@@ -1,0 +1,367 @@
+package gurita_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§V) plus the ablations DESIGN.md calls out. Each benchmark
+// runs the corresponding experiment end to end, logs the regenerated
+// table, and reports the figure's headline numbers as custom benchmark
+// metrics so `go test -bench` output doubles as the reproduction record.
+//
+// Benchmarks default to QuickScale (same fabrics and distributions, fewer
+// jobs); set GURITA_FULLSCALE=1 for the paper-scale configuration (8-pod
+// trace runs; 48-pod, 10000-job bursty runs — hours of runtime).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	gurita "gurita"
+)
+
+// logOnce prints a regenerated figure a single time per benchmark, not per
+// b.N iteration.
+type logOnce struct{ once sync.Once }
+
+func (l *logOnce) log(b *testing.B, msg string) {
+	b.Helper()
+	l.once.Do(func() { b.Log("\n" + msg) })
+}
+
+func BenchmarkTable1Categories(b *testing.B) {
+	var lo logOnce
+	for i := 0; i < b.N; i++ {
+		ft := gurita.Table1()
+		if len(ft.Rows) != 7 {
+			b.Fatalf("Table 1 rows = %d", len(ft.Rows))
+		}
+		lo.log(b, ft.String())
+	}
+}
+
+func BenchmarkFig2Motivation(b *testing.B) {
+	var lo logOnce
+	for i := 0; i < b.N; i++ {
+		ft, tbs, perStage := gurita.Fig2Motivation()
+		if perStage >= tbs {
+			b.Fatal("per-stage scheduling must win the motivation example")
+		}
+		lo.log(b, ft.String())
+		b.ReportMetric(tbs, "avgJCT-tbs")
+		b.ReportMetric(perStage, "avgJCT-perstage")
+	}
+}
+
+func BenchmarkFig4Blocking(b *testing.B) {
+	var lo logOnce
+	for i := 0; i < b.N; i++ {
+		ft, wide, narrow := gurita.Fig4Blocking()
+		if narrow >= wide {
+			b.Fatal("narrow-first must win the blocking example")
+		}
+		lo.log(b, ft.String())
+		b.ReportMetric(wide, "avgJCT-widefirst")
+		b.ReportMetric(narrow, "avgJCT-narrowfirst")
+	}
+}
+
+func BenchmarkFig5AverageImprovement(b *testing.B) {
+	scale := gurita.ScaleFromEnv()
+	var lo logOnce
+	for i := 0; i < b.N; i++ {
+		ft, raw, err := gurita.Fig5Improvements(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo.log(b, ft.String())
+		for _, scenario := range []string{"FB-t", "CD-t", "FB-b", "CD-b"} {
+			for kind, v := range raw[scenario] {
+				b.ReportMetric(v, fmt.Sprintf("%s-vs-%s", scenario, kind))
+			}
+		}
+	}
+}
+
+func benchFigCategories(b *testing.B, name string,
+	run func(gurita.Structure, gurita.Scale) (gurita.FigureTable, map[gurita.SchedulerKind]map[gurita.Category]float64, error)) {
+	scale := gurita.ScaleFromEnv()
+	for _, st := range []struct {
+		label string
+		s     gurita.Structure
+	}{{"FBTao", gurita.StructureFBTao}, {"TPCDS", gurita.StructureTPCDS}} {
+		st := st
+		b.Run(st.label, func(b *testing.B) {
+			var lo logOnce
+			for i := 0; i < b.N; i++ {
+				ft, per, err := run(st.s, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lo.log(b, ft.String())
+				// Headline metrics: category I improvements, where the
+				// paper's gains concentrate.
+				for _, kind := range []gurita.SchedulerKind{gurita.KindPFS, gurita.KindBaraat, gurita.KindStream, gurita.KindAalo} {
+					if v, ok := per[kind][gurita.CategoryI]; ok {
+						b.ReportMetric(v, fmt.Sprintf("catI-vs-%s", kind))
+					}
+				}
+			}
+			_ = name
+		})
+	}
+}
+
+func BenchmarkFig6TraceCategories(b *testing.B) {
+	benchFigCategories(b, "fig6", gurita.Fig6TraceCategories)
+}
+
+func BenchmarkFig7BurstyCategories(b *testing.B) {
+	benchFigCategories(b, "fig7", gurita.Fig7BurstyCategories)
+}
+
+func BenchmarkFig8GuritaPlus(b *testing.B) {
+	scale := gurita.ScaleFromEnv()
+	for _, st := range []struct {
+		label string
+		s     gurita.Structure
+	}{{"FBTao", gurita.StructureFBTao}, {"TPCDS", gurita.StructureTPCDS}} {
+		st := st
+		b.Run(st.label, func(b *testing.B) {
+			var lo logOnce
+			for i := 0; i < b.N; i++ {
+				ft, per, err := gurita.Fig8GuritaPlus(st.s, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lo.log(b, ft.String())
+				worst := 1.0
+				for _, v := range per {
+					if v < worst {
+						worst = v
+					}
+				}
+				b.ReportMetric(worst, "worst-ratio-vs-oracle")
+			}
+		})
+	}
+}
+
+// --- ablations (design choices DESIGN.md calls out) ---
+
+// ablationScenario is a shared moderate-contention trace scenario.
+func ablationScenario(b *testing.B) gurita.Scenario {
+	b.Helper()
+	scale := gurita.ScaleFromEnv()
+	sc, err := gurita.TraceScenario(gurita.StructureTPCDS, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+func runGuritaVariant(b *testing.B, sc gurita.Scenario, cfg gurita.GuritaConfig, queues int, wrr bool) *gurita.Result {
+	b.Helper()
+	if queues == 0 {
+		queues = 4
+	}
+	s, err := gurita.NewGurita(cfg, queues)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Queues = queues
+	res, err := sc.RunWith(s, wrr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationCriticalPath: Gurita's 4th rule on vs off.
+func BenchmarkAblationCriticalPath(b *testing.B) {
+	sc := ablationScenario(b)
+	for i := 0; i < b.N; i++ {
+		on := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+		off := runGuritaVariant(b, sc, gurita.GuritaConfig{DisableCriticalPath: true}, 4, true)
+		b.ReportMetric(on.AvgJCT(), "avgJCT-critpath-on")
+		b.ReportMetric(off.AvgJCT(), "avgJCT-critpath-off")
+		b.ReportMetric(off.AvgJCT()/on.AvgJCT(), "gain-from-critpath")
+	}
+}
+
+// BenchmarkAblationWRRvsSPQ: the starvation-mitigation data plane against
+// raw strict priority queuing.
+func BenchmarkAblationWRRvsSPQ(b *testing.B) {
+	sc := ablationScenario(b)
+	for i := 0; i < b.N; i++ {
+		wrr := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+		spq := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, false)
+		b.ReportMetric(wrr.AvgJCT(), "avgJCT-wrr")
+		b.ReportMetric(spq.AvgJCT(), "avgJCT-spq")
+	}
+}
+
+// BenchmarkAblationDeltaSweep: sensitivity to the HR reporting interval δ.
+func BenchmarkAblationDeltaSweep(b *testing.B) {
+	sc := ablationScenario(b)
+	for _, delta := range []float64{0.001, 0.010, 0.100} {
+		delta := delta
+		b.Run(fmt.Sprintf("delta=%gms", delta*1000), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runGuritaVariant(b, sc, gurita.GuritaConfig{Delta: delta}, 4, true)
+				b.ReportMetric(res.AvgJCT(), "avgJCT")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQueueCount: 2, 4 (the paper's setting), and 8 queues
+// (commodity-switch maximum).
+func BenchmarkAblationQueueCount(b *testing.B) {
+	sc := ablationScenario(b)
+	for _, q := range []int{2, 4, 8} {
+		q := q
+		b.Run(fmt.Sprintf("queues=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runGuritaVariant(b, sc, gurita.GuritaConfig{}, q, true)
+				b.ReportMetric(res.AvgJCT(), "avgJCT")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOmega: the estimated stage-progress weight ω̈ = 1/(1+s)
+// against the exact ω = 1 − s/s_total (stage count known from the master).
+func BenchmarkAblationOmega(b *testing.B) {
+	sc := ablationScenario(b)
+	for i := 0; i < b.N; i++ {
+		est := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+		known := runGuritaVariant(b, sc, gurita.GuritaConfig{KnownStageCount: true}, 4, true)
+		b.ReportMetric(est.AvgJCT(), "avgJCT-omega-estimated")
+		b.ReportMetric(known.AvgJCT(), "avgJCT-omega-known")
+	}
+}
+
+// BenchmarkAblationTaskDependencies: coflow-level vs task-level DAG release
+// (the paper's §I pipelining refinement) under Gurita.
+func BenchmarkAblationTaskDependencies(b *testing.B) {
+	sc := ablationScenario(b)
+	for i := 0; i < b.N; i++ {
+		sc.TaskLevelDependencies = false
+		coflowLevel := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+		sc.TaskLevelDependencies = true
+		taskLevel := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+		sc.TaskLevelDependencies = false
+		b.ReportMetric(coflowLevel.AvgJCT(), "avgJCT-coflow-release")
+		b.ReportMetric(taskLevel.AvgJCT(), "avgJCT-task-release")
+		b.ReportMetric(coflowLevel.AvgJCT()/taskLevel.AvgJCT(), "pipelining-gain")
+	}
+}
+
+// BenchmarkAblationOversubscription: scheduling pressure grows on tapered
+// fabrics; Gurita's margin over PFS should widen as the fabric
+// oversubscription ratio rises (same workload, same host count).
+func BenchmarkAblationOversubscription(b *testing.B) {
+	scale := gurita.ScaleFromEnv()
+	for _, ratio := range []float64{1, 2, 4} {
+		ratio := ratio
+		b.Run(fmt.Sprintf("ratio=%g", ratio), func(b *testing.B) {
+			tp, err := gurita.FatTreeOversub(scale.FatTreeK, 0, ratio)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, err := gurita.TraceScenario(gurita.StructureTPCDS, scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := gurita.Scenario{Topology: tp, Jobs: base.Jobs}
+			for i := 0; i < b.N; i++ {
+				results, err := sc.RunAll(gurita.KindPFS, gurita.KindGurita)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(gurita.PairedImprovement(results[gurita.KindPFS], results[gurita.KindGurita]), "gurita-vs-pfs")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionSchedulers races the two extension baselines — the
+// clairvoyant Varys SEBF oracle and the stage-agnostic MCS — against Gurita
+// on the trace scenario. MCS vs Gurita isolates what the paper's depth
+// dimension contributes; Varys bounds what clairvoyance would buy.
+func BenchmarkExtensionSchedulers(b *testing.B) {
+	sc := ablationScenario(b)
+	for i := 0; i < b.N; i++ {
+		results, err := sc.RunAll(gurita.KindGurita, gurita.KindVarys, gurita.KindMCS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := results[gurita.KindGurita]
+		b.ReportMetric(gurita.PairedImprovement(results[gurita.KindMCS], g), "gurita-vs-mcs")
+		b.ReportMetric(gurita.PairedImprovement(results[gurita.KindVarys], g), "gurita-vs-varys")
+	}
+}
+
+// BenchmarkAblationAaloCoordination charges Aalo a real coordination cost
+// (the paper grants it a free instantaneous global view) and reports how
+// the decentralized Gurita compares as that cost grows.
+func BenchmarkAblationAaloCoordination(b *testing.B) {
+	sc := ablationScenario(b)
+	gres := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+	for _, interval := range []float64{0, 0.010, 0.100} {
+		interval := interval
+		b.Run(fmt.Sprintf("interval=%gms", interval*1000), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				al, err := gurita.NewAaloWithCoordination(interval, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sc.RunWith(al, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgJCT(), "avgJCT-aalo")
+				b.ReportMetric(gurita.PairedImprovement(res, gres), "gurita-vs-aalo")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTCPSlowStart: steady-state TCP (the paper's model and
+// our default) against the fluid slow-start ramp — quantifies how much of
+// the small-job story start-up dynamics would change.
+func BenchmarkAblationTCPSlowStart(b *testing.B) {
+	sc := ablationScenario(b)
+	for i := 0; i < b.N; i++ {
+		sc.TCPSlowStart = false
+		steady := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+		sc.TCPSlowStart = true
+		ramped := runGuritaVariant(b, sc, gurita.GuritaConfig{}, 4, true)
+		sc.TCPSlowStart = false
+		b.ReportMetric(steady.AvgJCT(), "avgJCT-steady")
+		b.ReportMetric(ramped.AvgJCT(), "avgJCT-slowstart")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw engine speed: events per second
+// on a moderately loaded scenario (not a paper figure; an engineering
+// baseline for regressions).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	scale := gurita.QuickScale()
+	scale.TraceCoflows = 40
+	var events int64
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		sc, err := gurita.TraceScenario(gurita.StructureFBTao, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sc.Run(gurita.KindGurita)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		simSeconds += res.EndTime
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(simSeconds/float64(b.N), "simsec/run")
+}

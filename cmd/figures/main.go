@@ -1,0 +1,127 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (§V). By default it runs at a quick scale; set
+// GURITA_FULLSCALE=1 (or -full) for the paper-scale configuration
+// (8-pod trace runs; 48-pod, 10000-job bursty runs — expect long runtimes).
+//
+// Usage:
+//
+//	figures               # everything, quick scale
+//	figures -fig fig6     # one figure
+//	figures -full         # paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	gurita "gurita"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.String("fig", "all", "which figure: table1, fig2, fig4, fig5, fig6, fig7, fig8, all")
+		full   = flag.Bool("full", false, "paper-scale configuration (same as GURITA_FULLSCALE=1)")
+		csvDir = flag.String("csv", "", "also write each table as <dir>/<name>.csv for plotting")
+		trials = flag.Int("trials", 1, "average each figure over this many seeds")
+	)
+	flag.Parse()
+
+	scale := gurita.ScaleFromEnv()
+	if *full {
+		scale = gurita.PaperScale()
+	}
+	scale.Trials = *trials
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	emit := func(name string, ft gurita.FigureTable) error {
+		fmt.Println(ft)
+		if *csvDir == "" {
+			return nil
+		}
+		return os.WriteFile(filepath.Join(*csvDir, name+".csv"), []byte(ft.CSV()), 0o644)
+	}
+
+	if want("table1") {
+		if err := emit("table1", gurita.Table1()); err != nil {
+			return err
+		}
+	}
+	if want("fig2") {
+		ft, tbs, perStage := gurita.Fig2Motivation()
+		if err := emit("fig2", ft); err != nil {
+			return err
+		}
+		fmt.Printf("average JCT: %.2f (TBS) vs %.2f (per-stage)\n\n", tbs, perStage)
+	}
+	if want("fig4") {
+		ft, wide, narrow := gurita.Fig4Blocking()
+		if err := emit("fig4", ft); err != nil {
+			return err
+		}
+		fmt.Printf("average JCT: %.2f (wide-first) vs %.2f (narrow-first)\n\n", wide, narrow)
+	}
+	if want("fig5") {
+		ft, _, err := gurita.Fig5Improvements(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5", ft); err != nil {
+			return err
+		}
+	}
+	structures := []struct {
+		label string
+		s     gurita.Structure
+	}{
+		{"fbtao", gurita.StructureFBTao},
+		{"tpcds", gurita.StructureTPCDS},
+	}
+	if want("fig6") {
+		for _, st := range structures {
+			ft, _, err := gurita.Fig6TraceCategories(st.s, scale)
+			if err != nil {
+				return err
+			}
+			if err := emit("fig6-"+st.label, ft); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig7") {
+		for _, st := range structures {
+			ft, _, err := gurita.Fig7BurstyCategories(st.s, scale)
+			if err != nil {
+				return err
+			}
+			if err := emit("fig7-"+st.label, ft); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig8") {
+		for _, st := range structures {
+			ft, _, err := gurita.Fig8GuritaPlus(st.s, scale)
+			if err != nil {
+				return err
+			}
+			if err := emit("fig8-"+st.label, ft); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Command guritasim runs one scheduling scenario and prints JCT statistics,
+// overall and per Table 1 size category.
+//
+// Usage:
+//
+//	guritasim -scheduler gurita -structure fb-tao -jobs 100 -k 8 -seed 1
+//	guritasim -scheduler all -structure tpc-ds -bursty
+//	guritasim -scheduler pfs -trace FB2010-1Hr-150-0.txt   # real trace replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	gurita "gurita"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "guritasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		schedName = flag.String("scheduler", "gurita", `scheduler: gurita, gurita+, pfs, baraat, stream, aalo, or "all"`)
+		structure = flag.String("structure", "fb-tao", "job DAG structure: single, fb-tao, tpc-ds, mixed")
+		jobs      = flag.Int("jobs", 100, "number of jobs")
+		k         = flag.Int("k", 8, "FatTree pod count (8 => 128 servers/80 switches)")
+		topoKind  = flag.String("topo", "fattree", "fabric: fattree, leafspine, bigswitch")
+		oversub   = flag.Float64("oversub", 1, "fabric oversubscription ratio (fattree only)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		bursty    = flag.Bool("bursty", false, "bursty arrivals (2 µs bursts) instead of trace-like arrivals")
+		traceFile = flag.String("trace", "", "replay a coflow-benchmark trace file instead of synthesizing")
+		queues    = flag.Int("queues", 4, "priority queues")
+		timeScale = flag.Float64("timescale", 0.1, "arrival compression for trace-like runs")
+		util      = flag.Bool("util", false, "sample and print fabric utilization")
+		taskDeps  = flag.Bool("taskdeps", false, "task-level DAG release (pipelined stages)")
+		jsonOut   = flag.String("json", "", "write per-job results as JSON to this file")
+	)
+	flag.Parse()
+
+	var tp *gurita.Topology
+	var err error
+	switch *topoKind {
+	case "fattree":
+		if *oversub > 1 {
+			tp, err = gurita.FatTreeOversub(*k, 0, *oversub)
+		} else {
+			tp, err = gurita.FatTree(*k, 0)
+		}
+	case "leafspine":
+		// k pods worth of hosts arranged as k leaves × k*k/4 hosts each...
+		// keep it simple: k leaves, k/2 spines, 16 hosts per leaf.
+		tp, err = gurita.LeafSpine(*k, *k/2, 16, 0, 0)
+	case "bigswitch":
+		tp, err = gurita.BigSwitch(*k**k**k/4, 0)
+	default:
+		return fmt.Errorf("unknown topology %q", *topoKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	st, err := parseStructure(*structure)
+	if err != nil {
+		return err
+	}
+
+	var workload []*gurita.Job
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		racks, specs, err := gurita.ParseTrace(f)
+		if err != nil {
+			return err
+		}
+		if *jobs < len(specs) {
+			specs = specs[:*jobs]
+		}
+		workload, err = gurita.GraftTrace(specs, racks, gurita.GraftConfig{
+			Structure: st, Servers: tp.NumServers(), Seed: *seed, TimeScale: *timeScale,
+		})
+		if err != nil {
+			return err
+		}
+	case *bursty:
+		workload, err = gurita.GenerateWorkload(gurita.WorkloadConfig{
+			NumJobs: *jobs, Seed: *seed, Servers: tp.NumServers(), Structure: st,
+			Arrival: &gurita.BurstyArrivals{BurstSize: 20, IntraGap: 2e-6, InterGap: 5},
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		specs := gurita.SynthesizeTrace(*jobs, 150, *seed)
+		workload, err = gurita.GraftTrace(specs, 150, gurita.GraftConfig{
+			Structure: st, Servers: tp.NumServers(), Seed: *seed, TimeScale: *timeScale,
+			MaxSenders: 6, MaxReducers: 3,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	sc := gurita.Scenario{
+		Topology:              tp,
+		Jobs:                  workload,
+		Queues:                *queues,
+		TaskLevelDependencies: *taskDeps,
+	}
+	kinds := []gurita.SchedulerKind{gurita.SchedulerKind(*schedName)}
+	if *schedName == "all" {
+		kinds = gurita.AllKinds()
+	}
+
+	fmt.Printf("fabric: %v, jobs: %d, structure: %v\n\n", tp, len(workload), st)
+	for _, kind := range kinds {
+		var uc *gurita.UtilizationCollector
+		if *util {
+			uc = gurita.NewUtilizationCollector(tp)
+			sc.Probe = uc.Probe
+		}
+		res, err := sc.Run(kind)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		if uc != nil {
+			fmt.Printf("utilization: host %.1f%%, fabric %.1f%%, peak link %.0f%% (%d samples)\n\n",
+				100*uc.HostUtilization(), 100*uc.FabricUtilization(),
+				100*uc.PeakLinkUtilization(), uc.Samples())
+		}
+		if *jsonOut != "" {
+			name := *jsonOut
+			if len(kinds) > 1 {
+				name = fmt.Sprintf("%s.%s", name, kind)
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			if err := gurita.WriteResultJSON(f, res, false); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func parseStructure(s string) (gurita.Structure, error) {
+	switch s {
+	case "single":
+		return gurita.StructureSingle, nil
+	case "fb-tao":
+		return gurita.StructureFBTao, nil
+	case "tpc-ds":
+		return gurita.StructureTPCDS, nil
+	case "mixed":
+		return gurita.StructureMixed, nil
+	default:
+		return 0, fmt.Errorf("unknown structure %q", s)
+	}
+}
+
+func printResult(res *gurita.Result) {
+	all := gurita.Summarize(gurita.JCTs(res))
+	fmt.Printf("=== %s: %d jobs, avg JCT %.3fs, median %.3fs, p95 %.3fs (%d events)\n",
+		res.Scheduler, all.Count, all.Mean, all.Median, all.P95, res.Events)
+
+	byCat := make(map[gurita.Category][]float64)
+	for _, j := range res.Jobs {
+		c := gurita.CategoryOf(j.TotalBytes)
+		byCat[c] = append(byCat[c], j.JCT)
+	}
+	var cats []gurita.Category
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	rows := make([][]string, 0, len(cats))
+	for _, c := range cats {
+		s := gurita.Summarize(byCat[c])
+		rows = append(rows, []string{
+			c.String(),
+			fmt.Sprintf("%d", s.Count),
+			fmt.Sprintf("%.3f", s.Mean),
+			fmt.Sprintf("%.3f", s.Median),
+			fmt.Sprintf("%.3f", s.P95),
+		})
+	}
+	fmt.Println(gurita.RenderTable([]string{"cat", "jobs", "avg JCT", "median", "p95"}, rows))
+}

@@ -1,0 +1,87 @@
+// Command tracegen synthesizes workload traces.
+//
+// It emits either a coflow-benchmark-format trace (the format of the public
+// Facebook trace the paper replays) or a native JSON multi-stage workload
+// with explicit DAGs.
+//
+// Usage:
+//
+//	tracegen -coflows 500 -racks 150 -seed 1 > fb-like.txt
+//	tracegen -format jobs -jobs 200 -servers 128 -structure mixed > jobs.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	gurita "gurita"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		format    = flag.String("format", "benchmark", `output format: "benchmark" (coflow-benchmark text) or "jobs" (native JSON DAGs)`)
+		coflows   = flag.Int("coflows", 500, "benchmark format: number of coflows")
+		racks     = flag.Int("racks", 150, "benchmark format: number of racks")
+		jobs      = flag.Int("jobs", 200, "jobs format: number of jobs")
+		servers   = flag.Int("servers", 128, "jobs format: server placement domain")
+		structure = flag.String("structure", "mixed", "jobs format: single, fb-tao, tpc-ds, mixed")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	switch *format {
+	case "benchmark":
+		specs := gurita.SynthesizeTrace(*coflows, *racks, *seed)
+		return gurita.WriteTrace(w, *racks, specs)
+	case "jobs":
+		st, err := parseStructure(*structure)
+		if err != nil {
+			return err
+		}
+		generated, err := gurita.GenerateWorkload(gurita.WorkloadConfig{
+			NumJobs: *jobs, Seed: *seed, Servers: *servers, Structure: st,
+		})
+		if err != nil {
+			return err
+		}
+		return gurita.WriteJobs(w, generated)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func parseStructure(s string) (gurita.Structure, error) {
+	switch s {
+	case "single":
+		return gurita.StructureSingle, nil
+	case "fb-tao":
+		return gurita.StructureFBTao, nil
+	case "tpc-ds":
+		return gurita.StructureTPCDS, nil
+	case "mixed":
+		return gurita.StructureMixed, nil
+	default:
+		return 0, fmt.Errorf("unknown structure %q", s)
+	}
+}

@@ -1,0 +1,155 @@
+package gurita_test
+
+// Testable godoc examples for the public API. Each runs as part of the test
+// suite, so the documentation cannot rot.
+
+import (
+	"fmt"
+
+	gurita "gurita"
+)
+
+// Example builds the paper's evaluation fabric, synthesizes a small
+// trace-shaped workload, and compares Gurita with per-flow fair sharing.
+func Example() {
+	tp, err := gurita.FatTree(8, 0) // 128 servers, 80 switches, 10G
+	if err != nil {
+		panic(err)
+	}
+	specs := gurita.SynthesizeTrace(20, 150, 1)
+	jobs, err := gurita.GraftTrace(specs, 150, gurita.GraftConfig{
+		Structure:   gurita.StructureTPCDS,
+		Servers:     tp.NumServers(),
+		Seed:        1,
+		MaxSenders:  4,
+		MaxReducers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	results, err := gurita.Scenario{Topology: tp, Jobs: jobs}.RunAll(
+		gurita.KindPFS, gurita.KindGurita)
+	if err != nil {
+		panic(err)
+	}
+	imp := gurita.PairedImprovement(results[gurita.KindPFS], results[gurita.KindGurita])
+	fmt.Println("every job finished under both schedulers:",
+		len(results[gurita.KindPFS].Jobs) == 20 && len(results[gurita.KindGurita].Jobs) == 20)
+	fmt.Println("Gurita at least matches PFS:", imp >= 1.0)
+	// Output:
+	// every job finished under both schedulers: true
+	// Gurita at least matches PFS: true
+}
+
+// ExampleJobBuilder assembles a two-stage job by hand and inspects its
+// structure.
+func ExampleJobBuilder() {
+	var cid gurita.CoflowID
+	var fid gurita.FlowID
+	b := gurita.NewJobBuilder(1, 0, &cid, &fid)
+	shuffle := b.AddCoflow(
+		gurita.FlowSpec{Src: 0, Dst: 4, Size: 100e6},
+		gurita.FlowSpec{Src: 1, Dst: 5, Size: 200e6},
+	)
+	reduce := b.AddCoflow(gurita.FlowSpec{Src: 4, Dst: 8, Size: 50e6})
+	b.Depends(reduce, shuffle)
+	job, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stages:", job.NumStages)
+	fmt.Println("total bytes:", job.TotalBytes())
+	fmt.Println("category:", gurita.CategoryOf(job.TotalBytes()))
+	// Output:
+	// stages: 2
+	// total bytes: 350000000
+	// category: II
+}
+
+// ExampleCriticalCoflows finds the coflows whose delay would delay the
+// whole job (Gurita's 4th rule).
+func ExampleCriticalCoflows() {
+	var cid gurita.CoflowID
+	var fid gurita.FlowID
+	b := gurita.NewJobBuilder(1, 0, &cid, &fid)
+	heavy := b.AddCoflow(gurita.FlowSpec{Src: 0, Dst: 2, Size: 900e6})
+	light := b.AddCoflow(gurita.FlowSpec{Src: 1, Dst: 3, Size: 10e6})
+	root := b.AddCoflow(gurita.FlowSpec{Src: 2, Dst: 4, Size: 10e6})
+	b.Depends(root, heavy)
+	b.Depends(root, light)
+	job, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	crit := gurita.CriticalCoflows(job, 1.25e9)
+	fmt.Println("heavy branch critical:", crit[job.Coflows[heavy].ID])
+	fmt.Println("light branch critical:", crit[job.Coflows[light].ID])
+	fmt.Println("root critical:", crit[job.Coflows[root].ID])
+	// Output:
+	// heavy branch critical: true
+	// light branch critical: false
+	// root critical: true
+}
+
+// ExampleScenario_RunWith plugs a custom scheduling policy into the
+// simulator.
+func ExampleScenario_RunWith() {
+	tp, err := gurita.BigSwitch(8, 1e9)
+	if err != nil {
+		panic(err)
+	}
+	jobs, err := gurita.GenerateWorkload(gurita.WorkloadConfig{
+		NumJobs: 5, Seed: 4, Servers: tp.NumServers(),
+		CategoryWeights: [gurita.NumCategories]float64{1, 0, 0, 0, 0, 0, 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := gurita.Scenario{Topology: tp, Jobs: jobs}.RunWith(allTop{}, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Scheduler, "finished", len(res.Jobs), "jobs")
+	// Output:
+	// all-top finished 5 jobs
+}
+
+// allTop is the simplest possible policy: everything at highest priority.
+type allTop struct{}
+
+func (allTop) Name() string                         { return "all-top" }
+func (allTop) Init(gurita.SchedulerEnv)             {}
+func (allTop) OnJobArrival(*gurita.JobState)        {}
+func (allTop) OnCoflowStart(*gurita.CoflowState)    {}
+func (allTop) OnCoflowComplete(*gurita.CoflowState) {}
+func (allTop) OnJobComplete(*gurita.JobState)       {}
+func (allTop) AssignQueues(_ float64, flows []*gurita.FlowState) {
+	for _, f := range flows {
+		f.SetQueue(0)
+	}
+}
+
+// ExampleNewUtilizationCollector samples fabric load during a run.
+func ExampleNewUtilizationCollector() {
+	tp, err := gurita.BigSwitch(4, 100)
+	if err != nil {
+		panic(err)
+	}
+	var cid gurita.CoflowID
+	var fid gurita.FlowID
+	b := gurita.NewJobBuilder(1, 0, &cid, &fid)
+	b.AddCoflow(gurita.FlowSpec{Src: 0, Dst: 1, Size: 1000})
+	job, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	uc := gurita.NewUtilizationCollector(tp)
+	sc := gurita.Scenario{Topology: tp, Jobs: []*gurita.Job{job}, Probe: uc.Probe}
+	if _, err := sc.Run(gurita.KindPFS); err != nil {
+		panic(err)
+	}
+	fmt.Printf("host tier: %.0f%%, peak link: %.0f%%\n",
+		100*uc.HostUtilization(), 100*uc.PeakLinkUtilization())
+	// Output:
+	// host tier: 25%, peak link: 100%
+}

@@ -1,0 +1,72 @@
+// Bursty: the paper's large-scale scenario (§V, Figure 7) in miniature —
+// jobs arriving 2 µs apart in bursts, where scheduling matters most.
+// Compares all six schedulers on the identical workload and prints the
+// per-category improvement of Gurita over each baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gurita "gurita"
+)
+
+func main() {
+	tp, err := gurita.FatTree(8, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs, err := gurita.GenerateWorkload(gurita.WorkloadConfig{
+		NumJobs:   80,
+		Seed:      3,
+		Servers:   tp.NumServers(),
+		Structure: gurita.StructureFBTao,
+		Arrival: &gurita.BurstyArrivals{
+			BurstSize: 20,
+			IntraGap:  2e-6, // the paper's 2 µs bursts
+			InterGap:  5,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sc := gurita.Scenario{Topology: tp, Jobs: jobs}
+	results, err := sc.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("bursty workload: %d FB-Tao jobs in bursts of 20, 2 µs apart, on %v\n\n", len(jobs), tp)
+	fmt.Println("average JCT per scheduler:")
+	for _, k := range gurita.AllKinds() {
+		fmt.Printf("  %-8s %8.3f s\n", k, gurita.Summarize(gurita.JCTs(results[k])).Mean)
+	}
+
+	fmt.Println("\nGurita's improvement factor (>1 means Gurita faster):")
+	g := results[gurita.KindGurita]
+	header := []string{"category", "vs pfs", "vs baraat", "vs stream", "vs aalo"}
+	baselines := []gurita.SchedulerKind{gurita.KindPFS, gurita.KindBaraat, gurita.KindStream, gurita.KindAalo}
+	per := make(map[gurita.SchedulerKind]map[gurita.Category]float64)
+	for _, k := range baselines {
+		per[k] = gurita.ImprovementByCategory(results[k], g)
+	}
+	var rows [][]string
+	for c := gurita.CategoryI; c <= gurita.CategoryVII; c++ {
+		row := []string{c.String()}
+		any := false
+		for _, k := range baselines {
+			if v, ok := per[k][c]; ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+				any = true
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if any {
+			rows = append(rows, row)
+		}
+	}
+	fmt.Print(gurita.RenderTable(header, rows))
+}

@@ -1,0 +1,54 @@
+// Quickstart: build the paper's 8-pod fabric, synthesize a small
+// Facebook-like workload under the TPC-DS DAG structure, and compare Gurita
+// against per-flow fair sharing on the identical workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gurita "gurita"
+)
+
+func main() {
+	// The evaluation fabric: 8-pod FatTree, 128 servers, 80 switches, 10G.
+	tp, err := gurita.FatTree(8, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A Facebook-trace-shaped workload grafted with TPC-DS query-42 DAGs.
+	specs := gurita.SynthesizeTrace(60, 150, 1)
+	jobs, err := gurita.GraftTrace(specs, 150, gurita.GraftConfig{
+		Structure:   gurita.StructureTPCDS,
+		Servers:     tp.NumServers(),
+		Seed:        1,
+		MaxSenders:  6,
+		MaxReducers: 3,
+		TimeScale:   0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sc := gurita.Scenario{Topology: tp, Jobs: jobs}
+	results, err := sc.RunAll(gurita.KindPFS, gurita.KindGurita)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pfs, g := results[gurita.KindPFS], results[gurita.KindGurita]
+	fmt.Printf("fabric:   %v\n", tp)
+	fmt.Printf("workload: %d multi-stage jobs (%d stages each)\n\n", len(jobs), jobs[0].NumStages)
+	fmt.Printf("PFS     avg JCT: %8.3f s\n", gurita.Summarize(gurita.JCTs(pfs)).Mean)
+	fmt.Printf("Gurita  avg JCT: %8.3f s\n", gurita.Summarize(gurita.JCTs(g)).Mean)
+	fmt.Printf("improvement:     %8.2fx\n\n", gurita.Improvement(pfs, g))
+
+	fmt.Println("per-category improvement (Table 1 size classes):")
+	per := gurita.ImprovementByCategory(pfs, g)
+	for c := gurita.CategoryI; c <= gurita.CategoryVII; c++ {
+		if v, ok := per[c]; ok {
+			fmt.Printf("  %-4s %.2fx\n", c, v)
+		}
+	}
+}

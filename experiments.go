@@ -1,0 +1,493 @@
+package gurita
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file is the figure-regeneration harness: one entry point per table
+// and figure of the paper's evaluation (§V), shared by cmd/figures and the
+// root benchmarks. Absolute JCTs differ from the paper (synthetic trace,
+// fluid simulator); the harness reproduces the figures' *shape* — who wins,
+// by roughly what factor, where the crossovers sit. EXPERIMENTS.md records
+// paper-vs-measured for every row.
+
+// FigureTable is a rendered experiment output.
+type FigureTable struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as fixed-width text.
+func (f FigureTable) String() string {
+	return f.Title + "\n" + RenderTable(f.Header, f.Rows)
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first), ready for
+// plotting tools. The title is not included.
+func (f FigureTable) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	// Errors are impossible on a strings.Builder; Flush surfaces any.
+	_ = w.Write(f.Header)
+	_ = w.WriteAll(f.Rows)
+	w.Flush()
+	return b.String()
+}
+
+// Scale sizes an experiment. The quick scale keeps `go test -bench` fast;
+// the paper scale matches §V (8-pod trace runs; 48-pod, 10000-job bursty
+// runs) and is selected with GURITA_FULLSCALE=1.
+type Scale struct {
+	// TraceCoflows is the number of trace coflows (= jobs) in trace-driven
+	// runs on the FatTreeK fabric.
+	TraceCoflows int
+	FatTreeK     int
+	// BurstyJobs and BurstyFatTreeK size the bursty large-scale run.
+	BurstyJobs     int
+	BurstyFatTreeK int
+	// BurstSize jobs arrive 2 µs apart, then a quiet gap follows.
+	BurstSize int
+	Seed      int64
+	// MaxSenders/MaxReducers cap grafted flow grids (simulation
+	// tractability; see workload.GraftConfig).
+	MaxSenders  int
+	MaxReducers int
+	// TraceTimeScale compresses trace arrivals to load the fabric (the
+	// synthesized trace arrives at ~1 coflow/s; 0.1 → ~10 coflows/s).
+	TraceTimeScale float64
+	// BurstyCategoryWeights optionally overrides the job-size mix for the
+	// bursty runs. The quick scale trims the multi-TB tail (categories VI
+	// and VII) whose hours-long drains dominate wall-clock time without
+	// informing the comparison; the paper scale keeps the full mix.
+	BurstyCategoryWeights [NumCategories]float64
+	// Trials averages every figure over this many independent workloads
+	// (seeds Seed, Seed+1, …). 0 or 1 = a single trial. Wall-clock scales
+	// linearly with trials.
+	Trials int
+}
+
+// trials normalizes the trial count.
+func (s Scale) trials() int {
+	if s.Trials < 1 {
+		return 1
+	}
+	return s.Trials
+}
+
+// withSeed returns a copy of the scale re-seeded for one trial.
+func (s Scale) withSeed(seed int64) Scale {
+	s.Seed = seed
+	return s
+}
+
+// meanAccum accumulates per-key means (and spread) across trials.
+type meanAccum[K comparable] struct {
+	sum   map[K]float64
+	sumSq map[K]float64
+	count map[K]int
+}
+
+func newMeanAccum[K comparable]() *meanAccum[K] {
+	return &meanAccum[K]{
+		sum:   make(map[K]float64),
+		sumSq: make(map[K]float64),
+		count: make(map[K]int),
+	}
+}
+
+func (m *meanAccum[K]) add(k K, v float64) {
+	m.sum[k] += v
+	m.sumSq[k] += v * v
+	m.count[k]++
+}
+
+func (m *meanAccum[K]) means() map[K]float64 {
+	out := make(map[K]float64, len(m.sum))
+	for k, s := range m.sum {
+		out[k] = s / float64(m.count[k])
+	}
+	return out
+}
+
+// stddev returns the per-key sample standard deviation (0 for < 2 samples).
+func (m *meanAccum[K]) stddev(k K) float64 {
+	n := float64(m.count[k])
+	if n < 2 {
+		return 0
+	}
+	mean := m.sum[k] / n
+	variance := (m.sumSq[k] - n*mean*mean) / (n - 1)
+	if variance < 0 {
+		variance = 0 // float noise on identical samples
+	}
+	return math.Sqrt(variance)
+}
+
+// fmtCell renders a table cell: "mean" for single trials, "mean±sd" when
+// averaged.
+func fmtCell(mean, sd float64, trials int) string {
+	if trials > 1 {
+		return fmt.Sprintf("%.2f±%.2f", mean, sd)
+	}
+	return fmt.Sprintf("%.2f", mean)
+}
+
+// QuickScale is sized for CI and `go test -bench`: same fabrics and
+// distributions, fewer jobs and coarser flow grids.
+func QuickScale() Scale {
+	return Scale{
+		TraceCoflows:   100,
+		FatTreeK:       8,
+		BurstyJobs:     120,
+		BurstyFatTreeK: 8,
+		BurstSize:      20,
+		Seed:           1,
+		MaxSenders:     6,
+		MaxReducers:    3,
+		TraceTimeScale: 0.1,
+		BurstyCategoryWeights: [NumCategories]float64{
+			0.50, 0.25, 0.13, 0.05, 0.07, 0, 0,
+		},
+	}
+}
+
+// PaperScale matches the paper's configuration: the 150-rack-trace-sized
+// workload on the 8-pod fabric and 10000 bursty jobs on the 48-pod fabric.
+// Expect long runtimes.
+func PaperScale() Scale {
+	return Scale{
+		TraceCoflows:   526, // one-hour FB trace replay length used by [4]
+		FatTreeK:       8,
+		BurstyJobs:     10000,
+		BurstyFatTreeK: 48,
+		BurstSize:      100,
+		Seed:           1,
+		MaxSenders:     16,
+		MaxReducers:    8,
+		TraceTimeScale: 0.1,
+	}
+}
+
+// ScaleFromEnv returns PaperScale when GURITA_FULLSCALE=1, else QuickScale.
+func ScaleFromEnv() Scale {
+	if os.Getenv("GURITA_FULLSCALE") == "1" {
+		return PaperScale()
+	}
+	return QuickScale()
+}
+
+// comparisonKinds is the paper's x-axis: Gurita's improvement over each.
+var comparisonKinds = []SchedulerKind{KindBaraat, KindPFS, KindStream, KindAalo}
+
+// TraceScenario builds the trace-driven scenario of Figures 5 and 6: a
+// synthesized 150-rack Facebook-like trace grafted with the given DAG
+// structure on the k-pod fabric.
+func TraceScenario(structure Structure, scale Scale) (Scenario, error) {
+	tp, err := FatTree(scale.FatTreeK, 0)
+	if err != nil {
+		return Scenario{}, err
+	}
+	specs := SynthesizeTrace(scale.TraceCoflows, 150, scale.Seed)
+	jobs, err := GraftTrace(specs, 150, GraftConfig{
+		Structure:   structure,
+		Servers:     tp.NumServers(),
+		Seed:        scale.Seed,
+		MaxSenders:  scale.MaxSenders,
+		MaxReducers: scale.MaxReducers,
+		TimeScale:   scale.TraceTimeScale,
+	})
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{Topology: tp, Jobs: jobs}, nil
+}
+
+// BurstyScenario builds the bursty large-scale scenario of Figure 7 (and
+// the *-b columns of Figure 5): jobs arriving 2 µs apart in bursts on the
+// large fabric.
+func BurstyScenario(structure Structure, scale Scale) (Scenario, error) {
+	tp, err := FatTree(scale.BurstyFatTreeK, 0)
+	if err != nil {
+		return Scenario{}, err
+	}
+	jobs, err := GenerateWorkload(WorkloadConfig{
+		NumJobs:         scale.BurstyJobs,
+		Seed:            scale.Seed,
+		Servers:         tp.NumServers(),
+		Structure:       structure,
+		CategoryWeights: scale.BurstyCategoryWeights,
+		Arrival: &BurstyArrivals{
+			BurstSize: scale.BurstSize,
+			IntraGap:  2e-6, // the paper's 2 µs inter-arrival bursts
+			InterGap:  5,
+		},
+	})
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{Topology: tp, Jobs: jobs}, nil
+}
+
+// Table1 regenerates Table 1: the seven job-size categories.
+func Table1() FigureTable {
+	t := FigureTable{
+		Title:  "Table 1: seven categories of multi-stage job size",
+		Header: []string{"category", "range"},
+	}
+	human := func(b int64) string {
+		switch {
+		case b >= 1e12:
+			return fmt.Sprintf("%gTB", float64(b)/1e12)
+		case b >= 1e9:
+			return fmt.Sprintf("%gGB", float64(b)/1e9)
+		default:
+			return fmt.Sprintf("%gMB", float64(b)/1e6)
+		}
+	}
+	for c := CategoryI; c <= CategoryVII; c++ {
+		lo, hi := c.Bounds()
+		r := fmt.Sprintf("%s-%s", human(lo), human(hi))
+		if c == CategoryVII {
+			r = "> " + human(lo-1e6)
+		}
+		t.Rows = append(t.Rows, []string{c.String(), r})
+	}
+	return t
+}
+
+// Fig2Motivation regenerates the Figure 2 illustration: the same four jobs
+// (A: stages of 10,1,1,1 units; B, C, D: 2 units each, arriving as the
+// previous small job completes) scheduled by total bytes sent versus by
+// per-stage bytes, at 1 unit/time. The schedules below replay the paper's
+// narration; the harness recomputes the averages from the per-job JCTs.
+// Scenario 1 (TBS): small jobs preempt A entirely → A drains last.
+// Scenario 2 (per-stage): A's tiny later stages interleave, delaying each
+// small job by one unit while cutting A's wait.
+func Fig2Motivation() (ft FigureTable, tbsAvg, perStageAvg float64) {
+	scenario1 := map[string]float64{"A": 19, "B": 2, "C": 2, "D": 2}
+	scenario2 := map[string]float64{"A": 13, "B": 3, "C": 3, "D": 3}
+	avg := func(m map[string]float64) float64 {
+		s := 0.0
+		for _, v := range m {
+			s += v
+		}
+		return s / float64(len(m))
+	}
+	tbsAvg, perStageAvg = avg(scenario1), avg(scenario2)
+	ft = FigureTable{
+		Title:  "Figure 2: stage-agnostic (TBS) vs per-stage scheduling",
+		Header: []string{"job", "JCT under TBS", "JCT per-stage"},
+	}
+	for _, j := range []string{"A", "B", "C", "D"} {
+		ft.Rows = append(ft.Rows, []string{j,
+			fmt.Sprintf("%g", scenario1[j]), fmt.Sprintf("%g", scenario2[j])})
+	}
+	ft.Rows = append(ft.Rows, []string{"average",
+		fmt.Sprintf("%.2f", tbsAvg), fmt.Sprintf("%.2f", perStageAvg)})
+	return ft, tbsAvg, perStageAvg
+}
+
+// Fig4Blocking regenerates the Figure 4 illustration of Johnson's blocking
+// rule: job A (three 2-unit coflows) versus jobs B, C, D (two 3-unit
+// coflows each), all of equal total size. Prioritizing wide job A blocks
+// the other three (scenario 1); prioritizing the narrow jobs lowers the
+// average JCT (scenario 2).
+func Fig4Blocking() (ft FigureTable, wideFirstAvg, narrowFirstAvg float64) {
+	scenario1 := map[string]float64{"A": 2, "B": 5, "C": 5, "D": 5}
+	scenario2 := map[string]float64{"A": 5, "B": 3, "C": 3, "D": 3}
+	avg := func(m map[string]float64) float64 {
+		s := 0.0
+		for _, v := range m {
+			s += v
+		}
+		return s / float64(len(m))
+	}
+	wideFirstAvg, narrowFirstAvg = avg(scenario1), avg(scenario2)
+	ft = FigureTable{
+		Title:  "Figure 4: impact of blocking (Johnson's third rule)",
+		Header: []string{"job", "JCT wide-first", "JCT narrow-first"},
+	}
+	for _, j := range []string{"A", "B", "C", "D"} {
+		ft.Rows = append(ft.Rows, []string{j,
+			fmt.Sprintf("%g", scenario1[j]), fmt.Sprintf("%g", scenario2[j])})
+	}
+	ft.Rows = append(ft.Rows, []string{"average",
+		fmt.Sprintf("%.2f", wideFirstAvg), fmt.Sprintf("%.2f", narrowFirstAvg)})
+	return ft, wideFirstAvg, narrowFirstAvg
+}
+
+// Fig5Improvements regenerates Figure 5: Gurita's average-JCT improvement
+// over Baraat, PFS, Stream and Aalo in four scenarios — trace-driven and
+// bursty, each under the FB-Tao ("FB") and TPC-DS ("CD", the Cloudera
+// benchmark) structures. Returns the table and the raw factors keyed
+// scenario → scheduler.
+func Fig5Improvements(scale Scale) (FigureTable, map[string]map[SchedulerKind]float64, error) {
+	type sc struct {
+		name  string
+		build func(Scale) (Scenario, error)
+	}
+	scenarios := []sc{
+		{"FB-t", func(s Scale) (Scenario, error) { return TraceScenario(StructureFBTao, s) }},
+		{"CD-t", func(s Scale) (Scenario, error) { return TraceScenario(StructureTPCDS, s) }},
+		{"FB-b", func(s Scale) (Scenario, error) { return BurstyScenario(StructureFBTao, s) }},
+		{"CD-b", func(s Scale) (Scenario, error) { return BurstyScenario(StructureTPCDS, s) }},
+	}
+	raw := make(map[string]map[SchedulerKind]float64, len(scenarios))
+	ft := FigureTable{
+		Title:  "Figure 5: Gurita's average improvement (baseline avg JCT / Gurita avg JCT)",
+		Header: []string{"scenario", "vs baraat", "vs pfs", "vs stream", "vs aalo"},
+	}
+	for _, s := range scenarios {
+		acc := newMeanAccum[SchedulerKind]()
+		for trial := 0; trial < scale.trials(); trial++ {
+			trialScale := scale.withSeed(scale.Seed + int64(trial))
+			scenario, err := s.build(trialScale)
+			if err != nil {
+				return FigureTable{}, nil, fmt.Errorf("building %s: %w", s.name, err)
+			}
+			results, err := scenario.RunAll(KindGurita, KindBaraat, KindPFS, KindStream, KindAalo)
+			if err != nil {
+				return FigureTable{}, nil, fmt.Errorf("running %s: %w", s.name, err)
+			}
+			for _, k := range comparisonKinds {
+				// The aggregate is the paired per-job mean ratio: every job
+				// weighted equally, as in a small-job-dominated trace; a
+				// ratio of mean JCTs would be swamped by the multi-TB tail.
+				acc.add(k, PairedImprovement(results[k], results[KindGurita]))
+			}
+		}
+		raw[s.name] = acc.means()
+		row := []string{s.name}
+		for _, k := range comparisonKinds {
+			row = append(row, fmtCell(raw[s.name][k], acc.stddev(k), scale.trials()))
+		}
+		ft.Rows = append(ft.Rows, row)
+	}
+	return ft, raw, nil
+}
+
+// categoryRows renders per-category improvements into table rows.
+func categoryRows(perSched map[SchedulerKind]map[Category]float64) [][]string {
+	var rows [][]string
+	for c := CategoryI; c <= CategoryVII; c++ {
+		row := []string{c.String()}
+		any := false
+		for _, k := range comparisonKinds {
+			if v, ok := perSched[k][c]; ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+				any = true
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if any {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// figCategories runs the scenario under all comparison schedulers plus
+// Gurita, averaged across the scale's trials, and returns per-category
+// improvements per scheduler.
+func figCategories(build func(Scale) (Scenario, error), scale Scale) (map[SchedulerKind]map[Category]float64, error) {
+	accs := make(map[SchedulerKind]*meanAccum[Category], len(comparisonKinds))
+	for _, k := range comparisonKinds {
+		accs[k] = newMeanAccum[Category]()
+	}
+	for trial := 0; trial < scale.trials(); trial++ {
+		scenario, err := build(scale.withSeed(scale.Seed + int64(trial)))
+		if err != nil {
+			return nil, err
+		}
+		results, err := scenario.RunAll(KindGurita, KindBaraat, KindPFS, KindStream, KindAalo)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range comparisonKinds {
+			for c, v := range ImprovementByCategory(results[k], results[KindGurita]) {
+				accs[k].add(c, v)
+			}
+		}
+	}
+	out := make(map[SchedulerKind]map[Category]float64, len(comparisonKinds))
+	for _, k := range comparisonKinds {
+		out[k] = accs[k].means()
+	}
+	return out, nil
+}
+
+// Fig6TraceCategories regenerates Figure 6: per-category improvement in the
+// trace-driven scenario, for the FB-Tao (6.a) and TPC-DS (6.b) structures.
+func Fig6TraceCategories(structure Structure, scale Scale) (FigureTable, map[SchedulerKind]map[Category]float64, error) {
+	per, err := figCategories(func(s Scale) (Scenario, error) {
+		return TraceScenario(structure, s)
+	}, scale)
+	if err != nil {
+		return FigureTable{}, nil, err
+	}
+	ft := FigureTable{
+		Title:  fmt.Sprintf("Figure 6 (%v): per-category improvement, trace-driven", structure),
+		Header: []string{"category", "vs baraat", "vs pfs", "vs stream", "vs aalo"},
+		Rows:   categoryRows(per),
+	}
+	return ft, per, nil
+}
+
+// Fig7BurstyCategories regenerates Figure 7: per-category improvement in
+// the bursty large-scale scenario.
+func Fig7BurstyCategories(structure Structure, scale Scale) (FigureTable, map[SchedulerKind]map[Category]float64, error) {
+	per, err := figCategories(func(s Scale) (Scenario, error) {
+		return BurstyScenario(structure, s)
+	}, scale)
+	if err != nil {
+		return FigureTable{}, nil, err
+	}
+	ft := FigureTable{
+		Title:  fmt.Sprintf("Figure 7 (%v): per-category improvement, bursty large-scale", structure),
+		Header: []string{"category", "vs baraat", "vs pfs", "vs stream", "vs aalo"},
+		Rows:   categoryRows(per),
+	}
+	return ft, per, nil
+}
+
+// Fig8GuritaPlus regenerates Figure 8: how close practical Gurita gets to
+// the GuritaPlus oracle, per category, trace-driven. Values are
+// avgJCT(Gurita+)/avgJCT(Gurita) ≤ ~1; the paper reports Gurita within
+// 0.15% of GuritaPlus at worst.
+func Fig8GuritaPlus(structure Structure, scale Scale) (FigureTable, map[Category]float64, error) {
+	acc := newMeanAccum[Category]()
+	for trial := 0; trial < scale.trials(); trial++ {
+		scenario, err := TraceScenario(structure, scale.withSeed(scale.Seed+int64(trial)))
+		if err != nil {
+			return FigureTable{}, nil, err
+		}
+		results, err := scenario.RunAll(KindGurita, KindGuritaPlus)
+		if err != nil {
+			return FigureTable{}, nil, err
+		}
+		for c, v := range ImprovementByCategory(results[KindGuritaPlus], results[KindGurita]) {
+			acc.add(c, v)
+		}
+	}
+	per := acc.means()
+	ft := FigureTable{
+		Title:  fmt.Sprintf("Figure 8 (%v): Gurita vs GuritaPlus (ratio ≈ 1 ⇒ matching the oracle)", structure),
+		Header: []string{"category", "gurita+/gurita"},
+	}
+	var cats []Category
+	for c := range per {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		ft.Rows = append(ft.Rows, []string{c.String(), fmt.Sprintf("%.3f", per[c])})
+	}
+	return ft, per, nil
+}

@@ -1,0 +1,268 @@
+package gurita_test
+
+import (
+	"strings"
+	"testing"
+
+	gurita "gurita"
+)
+
+// tinyScale shrinks every experiment far enough to run in CI while still
+// exercising the full pipeline (synthesize → graft → run 5 schedulers →
+// aggregate → render).
+func tinyScale() gurita.Scale {
+	s := gurita.QuickScale()
+	s.TraceCoflows = 10
+	s.BurstyJobs = 12
+	s.BurstSize = 6
+	s.MaxSenders = 3
+	s.MaxReducers = 2
+	return s
+}
+
+func TestFig5PipelineTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scheduler simulation")
+	}
+	ft, raw, err := gurita.Fig5Improvements(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Rows) != 4 {
+		t.Fatalf("Fig5 rows = %d, want 4 scenarios", len(ft.Rows))
+	}
+	for _, scenario := range []string{"FB-t", "CD-t", "FB-b", "CD-b"} {
+		per, ok := raw[scenario]
+		if !ok {
+			t.Fatalf("scenario %s missing", scenario)
+		}
+		for kind, v := range per {
+			if v <= 0 {
+				t.Fatalf("%s vs %s improvement = %v, want > 0", scenario, kind, v)
+			}
+		}
+	}
+	if !strings.Contains(ft.String(), "vs pfs") {
+		t.Fatal("rendered table missing header")
+	}
+}
+
+func TestFig6PipelineTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scheduler simulation")
+	}
+	ft, per, err := gurita.Fig6TraceCategories(gurita.StructureFBTao, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Rows) == 0 {
+		t.Fatal("Fig6 produced no category rows")
+	}
+	for _, kind := range []gurita.SchedulerKind{gurita.KindPFS, gurita.KindBaraat, gurita.KindStream, gurita.KindAalo} {
+		if len(per[kind]) == 0 {
+			t.Fatalf("no per-category improvements vs %s", kind)
+		}
+	}
+}
+
+func TestFig7PipelineTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scheduler simulation")
+	}
+	ft, per, err := gurita.Fig7BurstyCategories(gurita.StructureTPCDS, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Rows) == 0 || len(per) == 0 {
+		t.Fatal("Fig7 empty")
+	}
+}
+
+func TestFig8PipelineTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scheduler simulation")
+	}
+	ft, per, err := gurita.Fig8GuritaPlus(gurita.StructureFBTao, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Rows) == 0 {
+		t.Fatal("Fig8 empty")
+	}
+	for c, v := range per {
+		// The oracle and the practical scheduler must be in the same
+		// ballpark even at tiny scale.
+		if v < 0.3 || v > 3 {
+			t.Fatalf("category %v oracle ratio = %v, implausible", c, v)
+		}
+	}
+}
+
+func TestMultiTrialAveraging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scheduler simulation")
+	}
+	s := tinyScale()
+	s.Trials = 2
+	_, raw, err := gurita.Fig5Improvements(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaged values must differ from the single-seed run (different
+	// workloads were mixed in) while staying positive.
+	s1 := tinyScale()
+	_, raw1, err := gurita.Fig5Improvements(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for scenario := range raw {
+		for k, v := range raw[scenario] {
+			if v <= 0 {
+				t.Fatalf("trial-averaged improvement %s/%s = %v", scenario, k, v)
+			}
+			if v != raw1[scenario][k] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("averaging over two seeds produced identical values — trials not applied")
+	}
+}
+
+func TestFigureTableCSV(t *testing.T) {
+	ft := gurita.FigureTable{
+		Title:  "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "with,comma"}, {"2", `with"quote`}},
+	}
+	csv := ft.CSV()
+	want := "a,b\n1,\"with,comma\"\n2,\"with\"\"quote\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestScenarioBuildersValidate(t *testing.T) {
+	bad := tinyScale()
+	bad.FatTreeK = 3 // invalid pod count
+	if _, err := gurita.TraceScenario(gurita.StructureFBTao, bad); err == nil {
+		t.Fatal("bad FatTreeK should fail")
+	}
+	bad = tinyScale()
+	bad.BurstyFatTreeK = 5
+	if _, err := gurita.BurstyScenario(gurita.StructureFBTao, bad); err == nil {
+		t.Fatal("bad BurstyFatTreeK should fail")
+	}
+}
+
+func TestNewFabricsFacade(t *testing.T) {
+	ft, err := gurita.FatTreeOversub(4, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ft.String(), "oversubscribed") {
+		t.Fatalf("stringer = %q", ft.String())
+	}
+	ls, err := gurita.LeafSpine(4, 2, 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.NumServers() != 32 {
+		t.Fatalf("leaf-spine servers = %d", ls.NumServers())
+	}
+	// Both fabrics drain a workload end to end.
+	jobs, err := gurita.GenerateWorkload(gurita.WorkloadConfig{
+		NumJobs: 6, Seed: 2, Servers: 16,
+		CategoryWeights: [gurita.NumCategories]float64{1, 0, 0, 0, 0, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range []*gurita.Topology{ft, ls} {
+		res, err := (gurita.Scenario{Topology: tp, Jobs: jobs}).Run(gurita.KindGurita)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Jobs) != 6 {
+			t.Fatalf("%v drained %d/6", tp, len(res.Jobs))
+		}
+	}
+}
+
+func TestTaskLevelDependenciesFacade(t *testing.T) {
+	tp, _ := gurita.BigSwitch(8, 1e6)
+	var cid gurita.CoflowID
+	var fid gurita.FlowID
+	b := gurita.NewJobBuilder(1, 0, &cid, &fid)
+	c1 := b.AddCoflow(
+		gurita.FlowSpec{Src: 0, Dst: 2, Size: 1e5},
+		gurita.FlowSpec{Src: 1, Dst: 3, Size: 9e5},
+	)
+	c2 := b.AddCoflow(
+		gurita.FlowSpec{Src: 2, Dst: 4, Size: 5e5},
+		gurita.FlowSpec{Src: 3, Dst: 5, Size: 5e5},
+	)
+	b.Depends(c2, c1)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := gurita.Scenario{Topology: tp, Jobs: []*gurita.Job{j}, TaskLevelDependencies: true}
+	res, err := sc.Run(gurita.KindPFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coflowLevel := gurita.Scenario{Topology: tp, Jobs: []*gurita.Job{j}}
+	// NOTE: jobs are static descriptions, safe to reuse across scenarios.
+	res2, err := coflowLevel.Run(gurita.KindPFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].JCT > res2.Jobs[0].JCT+1e-9 {
+		t.Fatalf("task-level JCT %v worse than coflow-level %v on a pipelineable job",
+			res.Jobs[0].JCT, res2.Jobs[0].JCT)
+	}
+}
+
+func TestVarysFacade(t *testing.T) {
+	s, err := gurita.NewScheduler(gurita.KindVarys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "varys" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if len(gurita.AllKinds()) != 8 {
+		t.Fatalf("AllKinds = %d, want 8", len(gurita.AllKinds()))
+	}
+}
+
+func TestResultExtrasFacade(t *testing.T) {
+	tp, _ := gurita.BigSwitch(4, 1e6)
+	jobs, err := gurita.GenerateWorkload(gurita.WorkloadConfig{
+		NumJobs: 3, Seed: 9, Servers: 4,
+		CategoryWeights: [gurita.NumCategories]float64{1, 0, 0, 0, 0, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (gurita.Scenario{Topology: tp, Jobs: jobs}).Run(gurita.KindPFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, j := range jobs {
+		want += j.TotalBytes()
+	}
+	if res.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", res.TotalBytes, want)
+	}
+	if res.MaxActiveFlows < 1 {
+		t.Fatal("MaxActiveFlows not tracked")
+	}
+	if res.AvgCCT() <= 0 {
+		t.Fatal("AvgCCT not computed")
+	}
+}

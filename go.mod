@@ -1,0 +1,3 @@
+module gurita
+
+go 1.22

@@ -1,0 +1,336 @@
+// Package gurita is a from-scratch reproduction of "A Near Optimal
+// Multi-Faced Job Scheduler for Datacenter Workloads" (ICDCS 2019): the
+// Gurita coflow scheduler for multi-stage (DAG-structured) datacenter jobs,
+// together with the full evaluation stack the paper runs on — a flow-level
+// datacenter simulator with FatTree/ECMP fabrics, SPQ/WRR priority data
+// planes, the PFS / Baraat / Stream / Aalo comparison schedulers, workload
+// generators replaying Facebook-trace-shaped coflows under TPC-DS and
+// FB-Tao DAG structures, and a benchmark harness regenerating every figure
+// and table of the paper's evaluation.
+//
+// # Quick start
+//
+//	tp, _ := gurita.FatTree(8, 0)                       // 128 hosts, 10G
+//	jobs, _ := gurita.GenerateWorkload(gurita.WorkloadConfig{
+//	    NumJobs: 100, Seed: 1, Servers: tp.NumServers(),
+//	})
+//	res, _ := gurita.Scenario{Topology: tp, Jobs: jobs}.Run(gurita.KindGurita)
+//	fmt.Println(res.AvgJCT())
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package gurita
+
+import (
+	"fmt"
+	"sync"
+
+	"gurita/internal/coflow"
+	"gurita/internal/core"
+	"gurita/internal/metrics"
+	"gurita/internal/netmod"
+	"gurita/internal/sched"
+	"gurita/internal/sim"
+	"gurita/internal/topo"
+	"gurita/internal/workload"
+)
+
+// Re-exported model types. The library's working vocabulary: jobs are DAGs
+// of coflows built with a Builder, run on a Topology by a Scheduler.
+type (
+	// Job is a multi-stage job: a DAG of coflows.
+	Job = coflow.Job
+	// JobID identifies a job.
+	JobID = coflow.JobID
+	// Coflow is a set of flows with all-or-nothing completion semantics.
+	Coflow = coflow.Coflow
+	// CoflowID identifies a coflow.
+	CoflowID = coflow.CoflowID
+	// FlowSpec describes one flow when building jobs.
+	FlowSpec = coflow.FlowSpec
+	// JobBuilder assembles and validates job DAGs.
+	JobBuilder = coflow.Builder
+
+	// Topology is a datacenter fabric (FatTree or big switch).
+	Topology = topo.Topology
+	// ServerID identifies an end host.
+	ServerID = topo.ServerID
+
+	// Scheduler is the policy interface; implement it to plug in your own
+	// scheme (see examples/customsched).
+	Scheduler = sim.Scheduler
+	// SchedulerEnv is passed to Scheduler.Init.
+	SchedulerEnv = sim.Env
+	// FlowState, CoflowState and JobState are the runtime views schedulers
+	// receive.
+	FlowState   = sim.FlowState
+	CoflowState = sim.CoflowState
+	JobState    = sim.JobState
+
+	// Result is a finished run; JobResult and CoflowResult are its rows.
+	Result       = sim.Result
+	JobResult    = sim.JobResult
+	CoflowResult = sim.CoflowResult
+
+	// GuritaConfig tunes the Gurita scheduler (δ, γ constant, thresholds,
+	// critical-path discount, oracle mode).
+	GuritaConfig = core.Config
+
+	// WorkloadConfig drives the synthetic workload generator.
+	WorkloadConfig = workload.Config
+	// Category is one of Table 1's seven job-size classes.
+	Category = metrics.Category
+	// Summary is descriptive statistics over JCTs.
+	Summary = metrics.Summary
+)
+
+// NewJobBuilder starts a job with the given ID and arrival time; pass
+// shared counters to keep coflow/flow IDs unique across a workload (nil for
+// standalone jobs).
+func NewJobBuilder(id JobID, arrival float64, nextCoflowID *CoflowID, nextFlowID *FlowID) *JobBuilder {
+	return coflow.NewBuilder(id, arrival, nextCoflowID, nextFlowID)
+}
+
+// FlowID identifies a flow.
+type FlowID = coflow.FlowID
+
+// FatTree builds a k-pod FatTree (k=8 → the paper's 128-server/80-switch
+// fabric; k=48 → 27648 servers/2880 switches). capacity 0 means 10 GbE.
+func FatTree(k int, capacity float64) (*Topology, error) {
+	return topo.NewFatTree(k, capacity)
+}
+
+// FatTreeOversub builds a k-pod FatTree whose switch-to-switch links are
+// oversubscribed by ratio (host links keep full capacity) — the tapered
+// fabrics common in production, where contention and therefore scheduling
+// pressure is higher than on the canonical non-blocking tree.
+func FatTreeOversub(k int, capacity, ratio float64) (*Topology, error) {
+	return topo.NewFatTreeOversub(k, capacity, ratio)
+}
+
+// LeafSpine builds a two-tier Clos fabric: leaves ToR switches with
+// hostsPerLeaf servers each, meshed to spines spine switches. Capacities of
+// 0 default to 10 GbE; uplinkCapacity 0 defaults to hostCapacity.
+func LeafSpine(leaves, spines, hostsPerLeaf int, hostCapacity, uplinkCapacity float64) (*Topology, error) {
+	return topo.NewLeafSpine(leaves, spines, hostsPerLeaf, hostCapacity, uplinkCapacity)
+}
+
+// BigSwitch builds the non-blocking fabric abstraction with n servers.
+func BigSwitch(n int, capacity float64) (*Topology, error) {
+	return topo.NewBigSwitch(n, capacity)
+}
+
+// SchedulerKind names a built-in scheduling policy.
+type SchedulerKind string
+
+// Built-in schedulers.
+const (
+	// KindGurita is the paper's contribution: decentralized LBEF over
+	// HR-estimated per-stage blocking effects, with WRR starvation
+	// mitigation on the data plane.
+	KindGurita SchedulerKind = "gurita"
+	// KindGuritaPlus is the oracle variant (exact per-stage information,
+	// instantaneous priority propagation).
+	KindGuritaPlus SchedulerKind = "gurita+"
+	// KindPFS is per-flow fair sharing (the baseline).
+	KindPFS SchedulerKind = "pfs"
+	// KindBaraat is FIFO with limited multiplexing (Dogar et al.).
+	KindBaraat SchedulerKind = "baraat"
+	// KindStream is decentralized TBS-threshold scheduling (Susanto et al.).
+	KindStream SchedulerKind = "stream"
+	// KindAalo is centralized D-CLAS with an instantaneous global view
+	// (Chowdhury & Stoica).
+	KindAalo SchedulerKind = "aalo"
+	// KindVarys is the clairvoyant SEBF oracle (Chowdhury, Zhong & Stoica).
+	// Not part of the paper's comparison set; included as an upper-bound
+	// reference that knows every flow's remaining bytes.
+	KindVarys SchedulerKind = "varys"
+	// KindMCS schedules by observed width × largest flow — multi-attribute
+	// like Gurita but stage-agnostic (the paper's reference [38]); the
+	// ablation partner that isolates the depth dimension's contribution.
+	KindMCS SchedulerKind = "mcs"
+)
+
+// AllKinds lists every built-in scheduler in the paper's comparison order,
+// plus the Varys and MCS extensions.
+func AllKinds() []SchedulerKind {
+	return []SchedulerKind{KindPFS, KindBaraat, KindStream, KindAalo, KindGurita, KindGuritaPlus, KindVarys, KindMCS}
+}
+
+// NewScheduler constructs a built-in scheduler for the given queue count
+// (the paper evaluates with 4).
+func NewScheduler(kind SchedulerKind, queues int) (Scheduler, error) {
+	switch kind {
+	case KindGurita:
+		return core.New(core.Config{}, queues)
+	case KindGuritaPlus:
+		return core.NewPlus(core.Config{}, queues)
+	case KindPFS:
+		return sched.NewPFS(), nil
+	case KindBaraat:
+		return sched.NewBaraat(sched.BaraatConfig{}), nil
+	case KindStream:
+		return sched.NewStream(sched.StreamConfig{}, queues)
+	case KindAalo:
+		return sched.NewAalo(sched.AaloConfig{}, queues)
+	case KindVarys:
+		return sched.NewVarys(), nil
+	case KindMCS:
+		return sched.NewMCS(sched.MCSConfig{}, queues)
+	default:
+		return nil, fmt.Errorf("gurita: unknown scheduler kind %q", kind)
+	}
+}
+
+// NewAaloWithCoordination constructs an Aalo scheduler that pays a real
+// coordination cost: byte counters reach the coordinator only every
+// interval seconds (0 = the paper's free instantaneous view).
+func NewAaloWithCoordination(interval float64, queues int) (Scheduler, error) {
+	return sched.NewAalo(sched.AaloConfig{CoordinationInterval: interval}, queues)
+}
+
+// NewGurita constructs a Gurita scheduler with explicit configuration
+// (ablations, δ sweeps, oracle mode).
+func NewGurita(cfg GuritaConfig, queues int) (Scheduler, error) {
+	if cfg.Oracle {
+		return core.NewPlus(cfg, queues)
+	}
+	return core.New(cfg, queues)
+}
+
+// dataPlaneFor pairs each policy with its data plane: Gurita emulates SPQ
+// with WRR for starvation mitigation (§IV.B); every compared scheme runs on
+// plain strict priority queues, as in the paper's evaluation.
+func dataPlaneFor(kind SchedulerKind) netmod.Mode {
+	switch kind {
+	case KindGurita, KindGuritaPlus:
+		return netmod.ModeWRR
+	default:
+		return netmod.ModeSPQ
+	}
+}
+
+// Scenario is one simulation setup: a fabric, a workload, and knobs shared
+// by every scheduler so comparisons are apples-to-apples.
+type Scenario struct {
+	// Topology is required.
+	Topology *Topology
+	// Jobs is the workload (validated DAGs from JobBuilder or generators).
+	Jobs []*Job
+	// Queues is the number of priority queues (default 4).
+	Queues int
+	// Tick is the scheduler update interval δ in seconds (default 10 ms).
+	Tick float64
+	// StageDelay is the optional computation delay between stages.
+	StageDelay float64
+	// MaxEvents optionally bounds the run (safety net).
+	MaxEvents int64
+	// TaskLevelDependencies enables the paper's §I refinement: a parent
+	// flow starts as soon as the child flows feeding its source server
+	// complete, instead of waiting for whole child coflows (pipelined
+	// stages, e.g. parallel-chain jobs).
+	TaskLevelDependencies bool
+	// Probe, when non-nil, is called roughly every Tick with the active
+	// flows (instrumentation: see NewUtilizationCollector).
+	Probe func(now float64, active []*FlowState)
+	// TCPSlowStart enables the fluid slow-start model: per-flow rate caps
+	// ramp from a 15 kB initial window, doubling per 100 µs RTT. Off by
+	// default (steady-state TCP, as in the paper's simulator).
+	TCPSlowStart bool
+}
+
+// Run executes the scenario under a built-in scheduler, pairing it with its
+// data plane (WRR for Gurita, SPQ for the rest).
+func (sc Scenario) Run(kind SchedulerKind) (*Result, error) {
+	s, err := NewScheduler(kind, sc.queues())
+	if err != nil {
+		return nil, err
+	}
+	return sc.RunWith(s, dataPlaneFor(kind) == netmod.ModeWRR)
+}
+
+// RunWith executes the scenario under a custom scheduler. wrr selects the
+// WRR starvation-mitigation data plane instead of strict priority queuing.
+func (sc Scenario) RunWith(s Scheduler, wrr bool) (*Result, error) {
+	if sc.Topology == nil {
+		return nil, fmt.Errorf("gurita: Scenario.Topology is required")
+	}
+	mode := netmod.ModeSPQ
+	if wrr {
+		mode = netmod.ModeWRR
+	}
+	dep := sim.DepCoflow
+	if sc.TaskLevelDependencies {
+		dep = sim.DepTask
+	}
+	simulator, err := sim.New(sim.Config{
+		Topology:     sc.Topology,
+		Queues:       sc.queues(),
+		Mode:         mode,
+		Tick:         sc.Tick,
+		StageDelay:   sc.StageDelay,
+		MaxEvents:    sc.MaxEvents,
+		Dependency:   dep,
+		Probe:        sc.Probe,
+		TCPSlowStart: sc.TCPSlowStart,
+	}, s, sc.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	return simulator.Run()
+}
+
+func (sc Scenario) queues() int {
+	if sc.Queues == 0 {
+		return 4
+	}
+	return sc.Queues
+}
+
+// RunAll runs the scenario under several schedulers on the identical
+// workload and returns results keyed by kind. The runs are independent
+// (jobs are immutable descriptions; every run builds its own runtime
+// state), so they execute in parallel; each individual run remains
+// single-threaded and deterministic.
+func (sc Scenario) RunAll(kinds ...SchedulerKind) (map[SchedulerKind]*Result, error) {
+	if len(kinds) == 0 {
+		kinds = AllKinds()
+	}
+	if sc.Probe != nil {
+		// A probe (e.g. a UtilizationCollector) is typically stateful and
+		// not safe to share across concurrent runs: fall back to sequential
+		// execution.
+		out := make(map[SchedulerKind]*Result, len(kinds))
+		for _, k := range kinds {
+			res, err := sc.Run(k)
+			if err != nil {
+				return nil, fmt.Errorf("gurita: running %s: %w", k, err)
+			}
+			out[k] = res
+		}
+		return out, nil
+	}
+	results := make([]*Result, len(kinds))
+	errs := make([]error, len(kinds))
+	var wg sync.WaitGroup
+	for i, k := range kinds {
+		wg.Add(1)
+		go func(i int, k SchedulerKind) {
+			defer wg.Done()
+			res, err := sc.Run(k)
+			if err != nil {
+				errs[i] = fmt.Errorf("gurita: running %s: %w", k, err)
+				return
+			}
+			results[i] = res
+		}(i, k)
+	}
+	wg.Wait()
+	out := make(map[SchedulerKind]*Result, len(kinds))
+	for i, k := range kinds {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[k] = results[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package gurita_test
+
+// Black-box tests of the public facade: everything an adopter of the
+// library touches, exercised exactly the way examples/ and cmd/ do.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	gurita "gurita"
+)
+
+func TestFatTreePaperFabrics(t *testing.T) {
+	ft, err := gurita.FatTree(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.NumServers() != 128 || ft.NumSwitches() != 80 {
+		t.Fatalf("k=8 fabric = %v", ft)
+	}
+	if _, err := gurita.FatTree(3, 0); err == nil {
+		t.Fatal("odd k should fail")
+	}
+	bs, err := gurita.BigSwitch(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.NumServers() != 16 {
+		t.Fatalf("big switch = %v", bs)
+	}
+}
+
+func TestNewSchedulerAllKinds(t *testing.T) {
+	for _, k := range gurita.AllKinds() {
+		s, err := gurita.NewScheduler(k, 4)
+		if err != nil {
+			t.Fatalf("NewScheduler(%s): %v", k, err)
+		}
+		if s.Name() != string(k) {
+			t.Fatalf("scheduler %s reports name %q", k, s.Name())
+		}
+	}
+	if _, err := gurita.NewScheduler("nope", 4); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func TestJobBuilderPublic(t *testing.T) {
+	b := gurita.NewJobBuilder(1, 0, nil, nil)
+	c1 := b.AddCoflow(gurita.FlowSpec{Src: 0, Dst: 1, Size: 1000})
+	c2 := b.AddCoflow(gurita.FlowSpec{Src: 1, Dst: 2, Size: 500})
+	b.Depends(c2, c1)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumStages != 2 || j.TotalBytes() != 1500 {
+		t.Fatalf("job = %v", j)
+	}
+	if l := gurita.CriticalPathLength(j, 1); math.Abs(l-1500) > 1e-9 {
+		t.Fatalf("critical path = %v, want 1500", l)
+	}
+	crit := gurita.CriticalCoflows(j, 1)
+	if len(crit) != 2 {
+		t.Fatalf("critical set = %v, want both coflows (chain)", crit)
+	}
+}
+
+func TestScenarioEndToEnd(t *testing.T) {
+	tp, err := gurita.BigSwitch(16, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := gurita.GenerateWorkload(gurita.WorkloadConfig{
+		NumJobs: 20,
+		Seed:    7,
+		Servers: tp.NumServers(),
+		// Keep the quick test quick: only small jobs.
+		CategoryWeights: [gurita.NumCategories]float64{1, 0, 0, 0, 0, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := gurita.Scenario{Topology: tp, Jobs: jobs}
+	results, err := sc.RunAll(gurita.KindPFS, gurita.KindGurita)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []gurita.SchedulerKind{gurita.KindPFS, gurita.KindGurita} {
+		if len(results[k].Jobs) != 20 {
+			t.Fatalf("%s finished %d/20", k, len(results[k].Jobs))
+		}
+	}
+	imp := gurita.Improvement(results[gurita.KindPFS], results[gurita.KindGurita])
+	if imp <= 0 {
+		t.Fatalf("improvement = %v", imp)
+	}
+	if s := gurita.Summarize(gurita.JCTs(results[gurita.KindGurita])); s.Count != 20 || s.Mean <= 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := (gurita.Scenario{}).Run(gurita.KindPFS); err == nil {
+		t.Fatal("missing topology should fail")
+	}
+	tp, _ := gurita.BigSwitch(4, 1e6)
+	if _, err := (gurita.Scenario{Topology: tp}).Run("bogus"); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func TestCustomSchedulerPlugsIn(t *testing.T) {
+	tp, _ := gurita.BigSwitch(8, 1e6)
+	jobs, err := gurita.GenerateWorkload(gurita.WorkloadConfig{
+		NumJobs: 5, Seed: 1, Servers: 8,
+		CategoryWeights: [gurita.NumCategories]float64{1, 0, 0, 0, 0, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gurita.Scenario{Topology: tp, Jobs: jobs}.RunWith(roundRobin{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 5 || res.Scheduler != "round-robin" {
+		t.Fatalf("custom scheduler result = %+v", res)
+	}
+}
+
+// roundRobin assigns queues by job ID modulo queue count — a deliberately
+// silly policy proving the Scheduler interface is implementable externally.
+type roundRobin struct{}
+
+func (roundRobin) Name() string                         { return "round-robin" }
+func (roundRobin) Init(gurita.SchedulerEnv)             {}
+func (roundRobin) OnJobArrival(*gurita.JobState)        {}
+func (roundRobin) OnCoflowStart(*gurita.CoflowState)    {}
+func (roundRobin) OnCoflowComplete(*gurita.CoflowState) {}
+func (roundRobin) OnJobComplete(*gurita.JobState)       {}
+func (roundRobin) AssignQueues(_ float64, flows []*gurita.FlowState) {
+	for _, f := range flows {
+		f.SetQueue(int(f.Coflow.Job.Job.ID) % 4)
+	}
+}
+
+func TestTraceRoundTripPublic(t *testing.T) {
+	specs := gurita.SynthesizeTrace(10, 150, 3)
+	var buf bytes.Buffer
+	if err := gurita.WriteTrace(&buf, 150, specs); err != nil {
+		t.Fatal(err)
+	}
+	racks, parsed, err := gurita.ParseTrace(&buf)
+	if err != nil || racks != 150 || len(parsed) != 10 {
+		t.Fatalf("racks=%d n=%d err=%v", racks, len(parsed), err)
+	}
+	jobs, err := gurita.GraftTrace(parsed, racks, gurita.GraftConfig{
+		Structure: gurita.StructureTPCDS, Servers: 128, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jbuf bytes.Buffer
+	if err := gurita.WriteJobs(&jbuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gurita.ReadJobs(&jbuf)
+	if err != nil || len(back) != len(jobs) {
+		t.Fatalf("jobs round trip: n=%d err=%v", len(back), err)
+	}
+}
+
+func TestTable1Regeneration(t *testing.T) {
+	ft := gurita.Table1()
+	out := ft.String()
+	for _, want := range []string{"I", "VII", "6MB-80MB", "> 1TB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	if len(ft.Rows) != 7 {
+		t.Fatalf("Table 1 rows = %d, want 7", len(ft.Rows))
+	}
+}
+
+func TestFig2And4Illustrations(t *testing.T) {
+	_, tbs, perStage := gurita.Fig2Motivation()
+	if math.Abs(tbs-6.25) > 1e-9 || math.Abs(perStage-5.5) > 1e-9 {
+		t.Fatalf("Fig2 averages = %v, %v; want 6.25, 5.5", tbs, perStage)
+	}
+	if perStage >= tbs {
+		t.Fatal("per-stage scheduling must beat TBS in the motivation example")
+	}
+	_, wide, narrow := gurita.Fig4Blocking()
+	if math.Abs(wide-4.25) > 1e-9 || math.Abs(narrow-3.5) > 1e-9 {
+		t.Fatalf("Fig4 averages = %v, %v; want 4.25, 3.50", wide, narrow)
+	}
+}
+
+func TestCategoryFacade(t *testing.T) {
+	if gurita.CategoryOf(50e6) != gurita.CategoryI {
+		t.Fatal("50 MB should be category I")
+	}
+	if gurita.CategoryOf(2e12) != gurita.CategoryVII {
+		t.Fatal("2 TB should be category VII")
+	}
+}
+
+func TestScaleFromEnv(t *testing.T) {
+	t.Setenv("GURITA_FULLSCALE", "")
+	if s := gurita.ScaleFromEnv(); s != gurita.QuickScale() {
+		t.Fatal("default scale should be quick")
+	}
+	t.Setenv("GURITA_FULLSCALE", "1")
+	if s := gurita.ScaleFromEnv(); s != gurita.PaperScale() {
+		t.Fatal("GURITA_FULLSCALE=1 should select paper scale")
+	}
+}
+
+// TestTraceScenarioSmall: the Figure 5/6 scenario builder produces a
+// runnable scenario whose schedulers all drain it.
+func TestTraceScenarioSmall(t *testing.T) {
+	scale := gurita.QuickScale()
+	scale.TraceCoflows = 12
+	sc, err := gurita.TraceScenario(gurita.StructureTPCDS, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(gurita.KindGurita)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 12 {
+		t.Fatalf("drained %d/12 jobs", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.NumStages != 5 {
+			t.Fatalf("TPC-DS job has %d stages", j.NumStages)
+		}
+	}
+}
+
+// TestBurstyScenarioSmall: the Figure 7 builder produces 2 µs bursts.
+func TestBurstyScenarioSmall(t *testing.T) {
+	scale := gurita.QuickScale()
+	scale.BurstyJobs = 10
+	scale.BurstSize = 5
+	sc, err := gurita.BurstyScenario(gurita.StructureFBTao, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Jobs) != 10 {
+		t.Fatalf("jobs = %d", len(sc.Jobs))
+	}
+	// First burst: arrivals 2 µs apart.
+	if gap := sc.Jobs[1].Arrival - sc.Jobs[0].Arrival; math.Abs(gap-2e-6) > 1e-12 {
+		t.Fatalf("intra-burst gap = %v, want 2e-6", gap)
+	}
+	// Across bursts: a long quiet period.
+	if gap := sc.Jobs[5].Arrival - sc.Jobs[4].Arrival; gap < 1 {
+		t.Fatalf("inter-burst gap = %v, want >= 1", gap)
+	}
+	res, err := sc.Run(gurita.KindPFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 10 {
+		t.Fatalf("drained %d/10", len(res.Jobs))
+	}
+}

@@ -1,0 +1,181 @@
+package coflow
+
+import (
+	"errors"
+	"fmt"
+
+	"gurita/internal/topo"
+)
+
+// FlowSpec describes one flow when building a coflow.
+type FlowSpec struct {
+	Src  topo.ServerID
+	Dst  topo.ServerID
+	Size int64
+}
+
+// Builder assembles a Job DAG. Coflows are added first, then dependency
+// edges; Build validates the DAG (acyclic, non-empty, positive sizes),
+// computes stages and the topological order, and freezes the job.
+//
+// ID spaces: the builder assigns coflow and flow IDs from counters supplied
+// by the caller so that IDs stay unique across the many jobs of a workload.
+type Builder struct {
+	job      *Job
+	err      error
+	nextCID  *CoflowID
+	nextFID  *FlowID
+	edges    [][2]int // child index -> parent index
+	coflows  []*Coflow
+	byHandle map[int]*Coflow
+}
+
+// NewBuilder starts a job with the given ID and arrival time. nextCoflowID
+// and nextFlowID are shared counters advanced as the builder allocates IDs;
+// pass pointers to per-workload counters (or fresh zero counters for a
+// standalone job).
+func NewBuilder(id JobID, arrival float64, nextCoflowID *CoflowID, nextFlowID *FlowID) *Builder {
+	if nextCoflowID == nil {
+		nextCoflowID = new(CoflowID)
+	}
+	if nextFlowID == nil {
+		nextFID := FlowID(0)
+		nextFlowID = &nextFID
+	}
+	return &Builder{
+		job:      &Job{ID: id, Arrival: arrival},
+		nextCID:  nextCoflowID,
+		nextFID:  nextFlowID,
+		byHandle: make(map[int]*Coflow),
+	}
+}
+
+// AddCoflow adds a coflow with the given flows and returns a handle used in
+// Depends. Errors (empty coflow, non-positive sizes) are deferred to Build.
+func (b *Builder) AddCoflow(flows ...FlowSpec) int {
+	h := len(b.coflows)
+	c := &Coflow{ID: *b.nextCID, Job: b.job}
+	*b.nextCID++
+	if len(flows) == 0 && b.err == nil {
+		b.err = fmt.Errorf("coflow: coflow handle %d has no flows", h)
+	}
+	for _, fs := range flows {
+		if fs.Size <= 0 && b.err == nil {
+			b.err = fmt.Errorf("coflow: coflow handle %d has flow with size %d (must be > 0)", h, fs.Size)
+		}
+		f := &Flow{ID: *b.nextFID, Src: fs.Src, Dst: fs.Dst, Size: fs.Size}
+		*b.nextFID++
+		c.Flows = append(c.Flows, f)
+		c.totalBytes += fs.Size
+		if fs.Size > c.largest {
+			c.largest = fs.Size
+		}
+	}
+	b.coflows = append(b.coflows, c)
+	b.byHandle[h] = c
+	return h
+}
+
+// Depends records that parent can start only after child completes.
+func (b *Builder) Depends(parent, child int) {
+	if b.err != nil {
+		return
+	}
+	if parent == child {
+		b.err = fmt.Errorf("coflow: self-dependency on handle %d", parent)
+		return
+	}
+	if _, ok := b.byHandle[parent]; !ok {
+		b.err = fmt.Errorf("coflow: unknown parent handle %d", parent)
+		return
+	}
+	if _, ok := b.byHandle[child]; !ok {
+		b.err = fmt.Errorf("coflow: unknown child handle %d", child)
+		return
+	}
+	b.edges = append(b.edges, [2]int{child, parent})
+}
+
+// Chain is a convenience for linear pipelines: Chain(a, b, c) makes b depend
+// on a and c depend on b.
+func (b *Builder) Chain(handles ...int) {
+	for i := 1; i < len(handles); i++ {
+		b.Depends(handles[i], handles[i-1])
+	}
+}
+
+// ErrEmptyJob is returned by Build for a job with no coflows.
+var ErrEmptyJob = errors.New("coflow: job has no coflows")
+
+// ErrCycle is returned by Build when the dependency edges contain a cycle.
+var ErrCycle = errors.New("coflow: dependency graph has a cycle")
+
+// Build validates and freezes the job: deduplicates edges, checks
+// acyclicity, computes stages (leaves = 1) and the topological order.
+func (b *Builder) Build() (*Job, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.coflows) == 0 {
+		return nil, ErrEmptyJob
+	}
+
+	// Wire unique edges.
+	type edge struct{ child, parent int }
+	seen := make(map[edge]bool, len(b.edges))
+	for _, e := range b.edges {
+		k := edge{e[0], e[1]}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		child, parent := b.coflows[e[0]], b.coflows[e[1]]
+		parent.Children = append(parent.Children, child)
+		child.Parents = append(child.Parents, parent)
+	}
+
+	// Kahn's algorithm: children first, then parents.
+	indeg := make(map[*Coflow]int, len(b.coflows))
+	for _, c := range b.coflows {
+		indeg[c] = len(c.Children)
+	}
+	var queue []*Coflow
+	for _, c := range b.coflows {
+		if indeg[c] == 0 {
+			queue = append(queue, c)
+		}
+	}
+	order := make([]*Coflow, 0, len(b.coflows))
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		order = append(order, c)
+		for _, p := range c.Parents {
+			indeg[p]--
+			if indeg[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	if len(order) != len(b.coflows) {
+		return nil, ErrCycle
+	}
+
+	// Stages: leaves are 1; otherwise 1 + deepest child.
+	for _, c := range order {
+		c.Stage = 1
+		for _, ch := range c.Children {
+			if ch.Stage+1 > c.Stage {
+				c.Stage = ch.Stage + 1
+			}
+		}
+		if c.Stage > b.job.NumStages {
+			b.job.NumStages = c.Stage
+		}
+		b.job.totalBytes += c.totalBytes
+	}
+
+	b.job.Coflows = b.coflows
+	b.job.topoOrder = order
+	return b.job, nil
+}

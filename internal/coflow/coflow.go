@@ -1,0 +1,171 @@
+// Package coflow defines the static structure of datacenter workloads as the
+// paper models them (§II–III): a job is a DAG of coflows, a coflow is a set
+// of flows between two groups of machines, and an edge (c1, c2) means c2 (the
+// parent) can only start after c1 (the child) completes. Stages are the
+// paper's computation steps: leaves are stage 1, and a coflow's stage is one
+// more than the deepest stage among its children.
+//
+// Everything here is a static description — runtime progress (remaining
+// bytes, priorities, completion) lives in the simulator. Descriptions are
+// immutable after Build, so they are safe for concurrent readers.
+package coflow
+
+import (
+	"fmt"
+
+	"gurita/internal/topo"
+)
+
+// JobID identifies a job.
+type JobID int64
+
+// CoflowID identifies a coflow, unique within a workload.
+type CoflowID int64
+
+// FlowID identifies a flow, unique within a workload.
+type FlowID int64
+
+// Flow is one point-to-point transfer inside a coflow.
+type Flow struct {
+	ID   FlowID
+	Src  topo.ServerID
+	Dst  topo.ServerID
+	Size int64 // bytes
+}
+
+// Coflow is a set of flows with a shared completion semantic: the coflow
+// completes when all of its flows complete.
+type Coflow struct {
+	ID    CoflowID
+	Job   *Job
+	Flows []*Flow
+
+	// Stage is the coflow's computation stage: 1 for leaves, and
+	// 1 + max(children's stage) otherwise. Assigned by Build.
+	Stage int
+
+	// Children must complete before this coflow may start. Parents depend on
+	// this coflow. Both are assigned by Build.
+	Children []*Coflow
+	Parents  []*Coflow
+
+	totalBytes int64
+	largest    int64
+}
+
+// Width returns the number of flows in the coflow — the paper's horizontal
+// dimension.
+func (c *Coflow) Width() int { return len(c.Flows) }
+
+// LargestFlow returns the size in bytes of the coflow's largest flow — the
+// paper's vertical dimension.
+func (c *Coflow) LargestFlow() int64 { return c.largest }
+
+// TotalBytes returns the sum of flow sizes.
+func (c *Coflow) TotalBytes() int64 { return c.totalBytes }
+
+// MeanFlowSize returns the average flow size in bytes, or 0 for an empty
+// coflow.
+func (c *Coflow) MeanFlowSize() float64 {
+	if len(c.Flows) == 0 {
+		return 0
+	}
+	return float64(c.totalBytes) / float64(len(c.Flows))
+}
+
+// IsLeaf reports whether the coflow has no dependencies (stage 1).
+func (c *Coflow) IsLeaf() bool { return len(c.Children) == 0 }
+
+// IsRoot reports whether no other coflow depends on this one (a job output).
+func (c *Coflow) IsRoot() bool { return len(c.Parents) == 0 }
+
+// Receivers returns the distinct destination servers of the coflow's flows.
+func (c *Coflow) Receivers() []topo.ServerID {
+	seen := make(map[topo.ServerID]struct{}, len(c.Flows))
+	out := make([]topo.ServerID, 0, len(c.Flows))
+	for _, f := range c.Flows {
+		if _, ok := seen[f.Dst]; !ok {
+			seen[f.Dst] = struct{}{}
+			out = append(out, f.Dst)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (c *Coflow) String() string {
+	return fmt.Sprintf("coflow %d (job %d, stage %d, %d flows, %d B)",
+		c.ID, c.Job.ID, c.Stage, len(c.Flows), c.totalBytes)
+}
+
+// Job is a DAG of coflows arriving at a given time.
+type Job struct {
+	ID      JobID
+	Arrival float64 // seconds
+	Coflows []*Coflow
+
+	// NumStages is the depth of the DAG — the paper's depth dimension.
+	NumStages int
+
+	totalBytes int64
+	topoOrder  []*Coflow // children before parents
+}
+
+// TotalBytes returns the job's total bytes across all stages — the quantity
+// TBS-based schedulers key on, and the quantity used to place the job into
+// one of the paper's seven size categories (Table 1).
+func (j *Job) TotalBytes() int64 { return j.totalBytes }
+
+// NumFlows returns the total number of flows in the job.
+func (j *Job) NumFlows() int {
+	n := 0
+	for _, c := range j.Coflows {
+		n += len(c.Flows)
+	}
+	return n
+}
+
+// Leaves returns the coflows with no dependencies (stage 1); these transmit
+// first (observation o1 in §III.C).
+func (j *Job) Leaves() []*Coflow {
+	var out []*Coflow
+	for _, c := range j.Coflows {
+		if c.IsLeaf() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Roots returns the coflows nothing depends on (the job's outputs; a job may
+// have several — the "multiple roots" shapes reported in production [28]).
+func (j *Job) Roots() []*Coflow {
+	var out []*Coflow
+	for _, c := range j.Coflows {
+		if c.IsRoot() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TopologicalOrder returns the coflows with every child before its parents.
+// The returned slice is shared; callers must not modify it.
+func (j *Job) TopologicalOrder() []*Coflow { return j.topoOrder }
+
+// StageCoflows returns the coflows at the given 1-based stage.
+func (j *Job) StageCoflows(stage int) []*Coflow {
+	var out []*Coflow
+	for _, c := range j.Coflows {
+		if c.Stage == stage {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d (%d coflows, %d stages, %d B, arrival %.6fs)",
+		j.ID, len(j.Coflows), j.NumStages, j.totalBytes, j.Arrival)
+}

@@ -1,0 +1,224 @@
+package coflow
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildChain builds a 3-stage chain: c0 <- c1 <- c2 (c2 depends on c1
+// depends on c0), with sizes 10, 20, 30 MB single flows.
+func buildChain(t *testing.T) *Job {
+	t.Helper()
+	b := NewBuilder(1, 0, nil, nil)
+	c0 := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 10e6})
+	c1 := b.AddCoflow(FlowSpec{Src: 1, Dst: 2, Size: 20e6})
+	c2 := b.AddCoflow(FlowSpec{Src: 2, Dst: 3, Size: 30e6})
+	b.Chain(c0, c1, c2)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestBuilderChain(t *testing.T) {
+	j := buildChain(t)
+	if j.NumStages != 3 {
+		t.Fatalf("NumStages = %d, want 3", j.NumStages)
+	}
+	if j.TotalBytes() != 60e6 {
+		t.Fatalf("TotalBytes = %d, want 60e6", j.TotalBytes())
+	}
+	if j.NumFlows() != 3 {
+		t.Fatalf("NumFlows = %d, want 3", j.NumFlows())
+	}
+	if got := len(j.Leaves()); got != 1 {
+		t.Fatalf("len(Leaves) = %d, want 1", got)
+	}
+	if got := len(j.Roots()); got != 1 {
+		t.Fatalf("len(Roots) = %d, want 1", got)
+	}
+	for i, c := range j.Coflows {
+		if c.Stage != i+1 {
+			t.Fatalf("coflow %d stage = %d, want %d", i, c.Stage, i+1)
+		}
+		if c.Job != j {
+			t.Fatal("coflow not linked to job")
+		}
+	}
+}
+
+func TestBuilderWShape(t *testing.T) {
+	// "W" shape: two roots each depending on overlapping leaves.
+	//   r0      r1
+	//  /  \    /  \
+	// l0   l1     l2     (l1 feeds both roots)
+	b := NewBuilder(2, 1.5, nil, nil)
+	l0 := b.AddCoflow(FlowSpec{Src: 0, Dst: 4, Size: 1e6})
+	l1 := b.AddCoflow(FlowSpec{Src: 1, Dst: 4, Size: 2e6})
+	l2 := b.AddCoflow(FlowSpec{Src: 2, Dst: 5, Size: 3e6})
+	r0 := b.AddCoflow(FlowSpec{Src: 4, Dst: 6, Size: 4e6})
+	r1 := b.AddCoflow(FlowSpec{Src: 5, Dst: 7, Size: 5e6})
+	b.Depends(r0, l0)
+	b.Depends(r0, l1)
+	b.Depends(r1, l1)
+	b.Depends(r1, l2)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumStages != 2 {
+		t.Fatalf("NumStages = %d, want 2", j.NumStages)
+	}
+	if got := len(j.Roots()); got != 2 {
+		t.Fatalf("len(Roots) = %d, want 2 (W shape has two outputs)", got)
+	}
+	if got := len(j.Leaves()); got != 3 {
+		t.Fatalf("len(Leaves) = %d, want 3", got)
+	}
+	if got := len(j.StageCoflows(1)); got != 3 {
+		t.Fatalf("stage-1 coflows = %d, want 3", got)
+	}
+	if got := len(j.StageCoflows(2)); got != 2 {
+		t.Fatalf("stage-2 coflows = %d, want 2", got)
+	}
+}
+
+func TestBuilderCycleRejected(t *testing.T) {
+	b := NewBuilder(1, 0, nil, nil)
+	a := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+	c := b.AddCoflow(FlowSpec{Src: 1, Dst: 2, Size: 1})
+	b.Depends(a, c)
+	b.Depends(c, a)
+	if _, err := b.Build(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Build() err = %v, want ErrCycle", err)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	t.Run("empty job", func(t *testing.T) {
+		b := NewBuilder(1, 0, nil, nil)
+		if _, err := b.Build(); !errors.Is(err, ErrEmptyJob) {
+			t.Fatalf("err = %v, want ErrEmptyJob", err)
+		}
+	})
+	t.Run("empty coflow", func(t *testing.T) {
+		b := NewBuilder(1, 0, nil, nil)
+		b.AddCoflow()
+		if _, err := b.Build(); err == nil {
+			t.Fatal("empty coflow should fail")
+		}
+	})
+	t.Run("non-positive flow size", func(t *testing.T) {
+		b := NewBuilder(1, 0, nil, nil)
+		b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 0})
+		if _, err := b.Build(); err == nil {
+			t.Fatal("zero-size flow should fail")
+		}
+	})
+	t.Run("self dependency", func(t *testing.T) {
+		b := NewBuilder(1, 0, nil, nil)
+		c := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+		b.Depends(c, c)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("self-dependency should fail")
+		}
+	})
+	t.Run("unknown handles", func(t *testing.T) {
+		b := NewBuilder(1, 0, nil, nil)
+		c := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+		b.Depends(c, 42)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("unknown child handle should fail")
+		}
+		b2 := NewBuilder(1, 0, nil, nil)
+		c2 := b2.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+		b2.Depends(42, c2)
+		if _, err := b2.Build(); err == nil {
+			t.Fatal("unknown parent handle should fail")
+		}
+	})
+}
+
+func TestBuilderDuplicateEdgesDeduped(t *testing.T) {
+	b := NewBuilder(1, 0, nil, nil)
+	child := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+	parent := b.AddCoflow(FlowSpec{Src: 1, Dst: 2, Size: 1})
+	b.Depends(parent, child)
+	b.Depends(parent, child)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j.Coflows[1].Children); got != 1 {
+		t.Fatalf("children = %d, want 1 (deduped)", got)
+	}
+}
+
+func TestSharedIDCounters(t *testing.T) {
+	var cid CoflowID
+	var fid FlowID
+	b1 := NewBuilder(1, 0, &cid, &fid)
+	b1.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1}, FlowSpec{Src: 0, Dst: 2, Size: 1})
+	j1, _ := b1.Build()
+	b2 := NewBuilder(2, 0, &cid, &fid)
+	b2.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+	j2, _ := b2.Build()
+	if j1.Coflows[0].ID == j2.Coflows[0].ID {
+		t.Fatal("coflow IDs not unique across jobs")
+	}
+	if j2.Coflows[0].Flows[0].ID != 2 {
+		t.Fatalf("flow ID = %d, want 2 (counter shared)", j2.Coflows[0].Flows[0].ID)
+	}
+}
+
+func TestCoflowAccessors(t *testing.T) {
+	b := NewBuilder(7, 0, nil, nil)
+	b.AddCoflow(
+		FlowSpec{Src: 0, Dst: 5, Size: 10},
+		FlowSpec{Src: 1, Dst: 5, Size: 30},
+		FlowSpec{Src: 2, Dst: 6, Size: 20},
+	)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := j.Coflows[0]
+	if c.Width() != 3 {
+		t.Errorf("Width = %d, want 3", c.Width())
+	}
+	if c.LargestFlow() != 30 {
+		t.Errorf("LargestFlow = %d, want 30", c.LargestFlow())
+	}
+	if c.TotalBytes() != 60 {
+		t.Errorf("TotalBytes = %d, want 60", c.TotalBytes())
+	}
+	if c.MeanFlowSize() != 20 {
+		t.Errorf("MeanFlowSize = %v, want 20", c.MeanFlowSize())
+	}
+	if got := c.Receivers(); len(got) != 2 {
+		t.Errorf("Receivers = %v, want 2 distinct", got)
+	}
+	if !c.IsLeaf() || !c.IsRoot() {
+		t.Error("single coflow should be both leaf and root")
+	}
+	if c.String() == "" || j.String() == "" {
+		t.Error("stringers should be non-empty")
+	}
+}
+
+func TestTopologicalOrderChildrenFirst(t *testing.T) {
+	j := buildChain(t)
+	order := j.TopologicalOrder()
+	pos := make(map[CoflowID]int)
+	for i, c := range order {
+		pos[c.ID] = i
+	}
+	for _, c := range j.Coflows {
+		for _, ch := range c.Children {
+			if pos[ch.ID] >= pos[c.ID] {
+				t.Fatalf("child %d not before parent %d in topological order", ch.ID, c.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package coflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func unitWeight(*Coflow) float64 { return 1 }
+
+func TestCriticalPathChain(t *testing.T) {
+	j := buildChain(t)   // sizes 10, 20, 30 MB, single flows
+	w := CCTWeight(10e6) // 10 MB/s
+	if got, want := CriticalPathLength(j, w), 1.0+2.0+3.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CriticalPathLength = %v, want %v", got, want)
+	}
+	crit := CriticalSet(j, w)
+	if len(crit) != 3 {
+		t.Fatalf("chain: every coflow is critical, got %d of 3", len(crit))
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	// Diamond: root depends on two middle coflows that both depend on one
+	// leaf; one middle branch is heavier.
+	//        root(1)
+	//       /      \
+	//   mid1(5)   mid2(1)
+	//       \      /
+	//        leaf(1)
+	b := NewBuilder(1, 0, nil, nil)
+	leaf := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+	mid1 := b.AddCoflow(FlowSpec{Src: 1, Dst: 2, Size: 5})
+	mid2 := b.AddCoflow(FlowSpec{Src: 1, Dst: 3, Size: 1})
+	root := b.AddCoflow(FlowSpec{Src: 2, Dst: 4, Size: 1})
+	b.Depends(mid1, leaf)
+	b.Depends(mid2, leaf)
+	b.Depends(root, mid1)
+	b.Depends(root, mid2)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := CCTWeight(1)
+	if got, want := CriticalPathLength(j, w), 7.0; got != want {
+		t.Fatalf("CriticalPathLength = %v, want %v", got, want)
+	}
+	crit := CriticalSet(j, w)
+	wantCrit := map[int]bool{leaf: true, mid1: true, mid2: false, root: true}
+	for h, want := range wantCrit {
+		id := j.Coflows[h].ID
+		if crit[id] != want {
+			t.Errorf("coflow handle %d critical = %v, want %v", h, crit[id], want)
+		}
+	}
+}
+
+func TestCriticalSetMultiRoot(t *testing.T) {
+	// Two independent chains of different weight under one job: only the
+	// heavier chain is critical.
+	b := NewBuilder(1, 0, nil, nil)
+	a0 := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 10})
+	a1 := b.AddCoflow(FlowSpec{Src: 1, Dst: 2, Size: 10})
+	b.Chain(a0, a1)
+	c0 := b.AddCoflow(FlowSpec{Src: 3, Dst: 4, Size: 1})
+	c1 := b.AddCoflow(FlowSpec{Src: 4, Dst: 5, Size: 1})
+	b.Chain(c0, c1)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := CriticalSet(j, CCTWeight(1))
+	if !crit[j.Coflows[a0].ID] || !crit[j.Coflows[a1].ID] {
+		t.Error("heavy chain should be critical")
+	}
+	if crit[j.Coflows[c0].ID] || crit[j.Coflows[c1].ID] {
+		t.Error("light chain should not be critical")
+	}
+}
+
+func TestCCTWeightZeroRate(t *testing.T) {
+	j := buildChain(t)
+	w := CCTWeight(0) // degenerate rate falls back to raw bytes
+	if got := w(j.Coflows[0]); got != 10e6 {
+		t.Fatalf("weight = %v, want 10e6", got)
+	}
+}
+
+// randomDAG builds a random layered DAG for property testing.
+func randomDAG(t *testing.T, rng *rand.Rand) *Job {
+	t.Helper()
+	b := NewBuilder(1, 0, nil, nil)
+	layers := 2 + rng.Intn(4)
+	var prev []int
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(4)
+		var cur []int
+		for i := 0; i < width; i++ {
+			h := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: int64(1 + rng.Intn(100))})
+			cur = append(cur, h)
+			// Connect to a random subset of the previous layer.
+			for _, p := range prev {
+				if rng.Intn(2) == 0 {
+					b.Depends(h, p)
+				}
+			}
+		}
+		prev = cur
+	}
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// bruteForceLongest enumerates all leaf-to-root paths recursively —
+// exponential, fine for tiny DAGs — as an independent oracle.
+func bruteForceLongest(j *Job, w WeightFunc) (float64, map[CoflowID]bool) {
+	best := 0.0
+	onBest := make(map[CoflowID]bool)
+	var walk func(c *Coflow, sum float64, path []*Coflow)
+	walk = func(c *Coflow, sum float64, path []*Coflow) {
+		sum += w(c)
+		path = append(path, c)
+		if c.IsRoot() {
+			const eps = 1e-12
+			if sum > best+eps {
+				best = sum
+				onBest = make(map[CoflowID]bool)
+			}
+			if math.Abs(sum-best) <= eps {
+				for _, v := range path {
+					onBest[v.ID] = true
+				}
+			}
+			return
+		}
+		for _, p := range c.Parents {
+			walk(p, sum, path)
+		}
+	}
+	for _, c := range j.Coflows {
+		if c.IsLeaf() {
+			walk(c, 0, nil)
+		}
+	}
+	return best, onBest
+}
+
+// TestCriticalPathAgainstBruteForce cross-checks the O(V+E) sweep against
+// exhaustive path enumeration on random DAGs (DESIGN.md invariant).
+func TestCriticalPathAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		j := randomDAG(t, rng)
+		w := CCTWeight(1)
+		wantLen, wantSet := bruteForceLongest(j, w)
+		gotLen := CriticalPathLength(j, w)
+		if math.Abs(gotLen-wantLen) > 1e-9 {
+			t.Fatalf("trial %d: length %v, want %v", trial, gotLen, wantLen)
+		}
+		gotSet := CriticalSet(j, w)
+		for _, c := range j.Coflows {
+			if gotSet[c.ID] != wantSet[c.ID] {
+				t.Fatalf("trial %d: coflow %d critical = %v, oracle says %v",
+					trial, c.ID, gotSet[c.ID], wantSet[c.ID])
+			}
+		}
+	}
+}
+
+func TestCriticalSetUnitWeights(t *testing.T) {
+	// With unit weights, the critical set of a chain plus a short side
+	// branch is exactly the chain.
+	b := NewBuilder(1, 0, nil, nil)
+	c0 := b.AddCoflow(FlowSpec{Src: 0, Dst: 1, Size: 1})
+	c1 := b.AddCoflow(FlowSpec{Src: 1, Dst: 2, Size: 1})
+	c2 := b.AddCoflow(FlowSpec{Src: 2, Dst: 3, Size: 1})
+	side := b.AddCoflow(FlowSpec{Src: 5, Dst: 6, Size: 1})
+	b.Chain(c0, c1, c2)
+	b.Depends(c2, side) // side feeds the root directly (length-2 path)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := CriticalSet(j, unitWeight)
+	if !crit[j.Coflows[c0].ID] || !crit[j.Coflows[c1].ID] || !crit[j.Coflows[c2].ID] {
+		t.Error("chain should be critical")
+	}
+	if crit[j.Coflows[side].ID] {
+		t.Error("short side branch should not be critical")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sort"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+)
+
+// RankLBEF is the paper's Algorithm 1 (Least-Blocking-Effect First) as a
+// pure function: given the active coflows, compute each coflow's blocking
+// effect Ψ and each job's per-stage blocking effect Ψ_j(s), then return the
+// coflows ordered for processing — jobs with the smallest Ψ_j first, and
+// within a job, coflows with the smallest Ψ first (the paper sorts its
+// working array by Ψ_j(s) and processes all flows of each entry).
+//
+// The scheduler itself (Gurita.AssignQueues) realizes this ranking through
+// demotion thresholds onto switch priority queues, which is how the paper
+// enforces LBEF in a network; RankLBEF exposes the bare algorithm for
+// inspection, testing, and reuse (e.g. admission ordering in a batch
+// system).
+func (g *Gurita) RankLBEF(now float64, active []*sim.CoflowState) []*sim.CoflowState {
+	if !g.cfg.Oracle {
+		g.agg.Refresh(now, g.active)
+	}
+	psiC := make(map[coflow.CoflowID]float64, len(active))
+	psiJ := make(map[coflow.JobID]float64, len(active))
+	for _, cs := range active {
+		p := g.psi(cs)
+		psiC[cs.Coflow.ID] = p
+		psiJ[cs.Job.Job.ID] += p
+	}
+	out := make([]*sim.CoflowState, len(active))
+	copy(out, active)
+	sort.SliceStable(out, func(a, b int) bool {
+		ja, jb := psiJ[out[a].Job.Job.ID], psiJ[out[b].Job.Job.ID]
+		if ja != jb {
+			return ja < jb
+		}
+		ca, cb := psiC[out[a].Coflow.ID], psiC[out[b].Coflow.ID]
+		if ca != cb {
+			return ca < cb
+		}
+		return out[a].Coflow.ID < out[b].Coflow.ID // deterministic tie-break
+	})
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+	"gurita/internal/topo"
+)
+
+// mkRuntimeJob builds one active single-coflow runtime job with the given
+// width, true flow size, and per-flow observed bytes, registered with g.
+func mkRuntimeJob(t *testing.T, g *Gurita, jobID coflow.JobID, width int, flowSize int64, sent float64) *sim.CoflowState {
+	t.Helper()
+	cid := coflow.CoflowID(jobID * 1000)
+	fid := coflow.FlowID(jobID * 1000)
+	b := coflow.NewBuilder(jobID, 0, &cid, &fid)
+	specs := make([]coflow.FlowSpec, width)
+	for i := range specs {
+		specs[i] = coflow.FlowSpec{
+			Src:  topo.ServerID(i),
+			Dst:  topo.ServerID(i + 16),
+			Size: flowSize,
+		}
+	}
+	b.AddCoflow(specs...)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := &sim.JobState{Job: j}
+	cs := &sim.CoflowState{Coflow: j.Coflows[0], Job: js, Phase: sim.PhaseActive}
+	for _, fl := range j.Coflows[0].Flows {
+		fs := &sim.FlowState{Flow: fl, Coflow: cs}
+		fs.MarkStarted(0)
+		fs.Sent = sent
+		cs.BytesSent += sent
+		js.BytesSent += sent
+		cs.Flows = append(cs.Flows, fs)
+	}
+	js.Coflows = []*sim.CoflowState{cs}
+	g.OnJobArrival(js)
+	g.OnCoflowStart(cs)
+	return cs
+}
+
+// TestRankLBEFOrdersByBlockingEffect: Algorithm 1 puts the least-blocking
+// job's coflows first.
+func TestRankLBEFOrdersByBlockingEffect(t *testing.T) {
+	g, err := New(Config{Delta: 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _ := topo.NewBigSwitch(64, 1.25e9)
+	g.Init(sim.Env{Topo: tp, Queues: 4, Now: func() float64 { return 0 }})
+
+	fat := mkRuntimeJob(t, g, 1, 10, 1e9, 100e6) // wide, lots observed
+	thin := mkRuntimeJob(t, g, 2, 1, 1e6, 1e5)   // narrow, little observed
+
+	order := g.RankLBEF(1, []*sim.CoflowState{fat, thin})
+	if len(order) != 2 || order[0] != thin || order[1] != fat {
+		t.Fatal("RankLBEF must rank the thin job's coflow before the fat one")
+	}
+}
+
+// TestRankLBEFDeterministicTies: equal blocking effects fall back to coflow
+// ID order, so the ranking is stable across runs.
+func TestRankLBEFDeterministicTies(t *testing.T) {
+	g, err := New(Config{Delta: 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _ := topo.NewBigSwitch(64, 1.25e9)
+	g.Init(sim.Env{Topo: tp, Queues: 4, Now: func() float64 { return 0 }})
+
+	a := mkRuntimeJob(t, g, 1, 2, 1e6, 5e5)
+	b := mkRuntimeJob(t, g, 2, 2, 1e6, 5e5)
+	order1 := g.RankLBEF(1, []*sim.CoflowState{b, a})
+	order2 := g.RankLBEF(2, []*sim.CoflowState{a, b})
+	if order1[0] != order2[0] || order1[1] != order2[1] {
+		t.Fatal("tie-break not deterministic")
+	}
+	if order1[0] != a {
+		t.Fatal("ties must resolve by coflow ID")
+	}
+}
+
+// TestRankLBEFOracle: the oracle variant ranks from static structure with
+// no observations at all.
+func TestRankLBEFOracle(t *testing.T) {
+	g, err := NewPlus(Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _ := topo.NewBigSwitch(64, 1.25e9)
+	g.Init(sim.Env{Topo: tp, Queues: 4, Now: func() float64 { return 0 }})
+
+	fat := mkRuntimeJob(t, g, 1, 10, 1e9, 0) // nothing observed yet
+	thin := mkRuntimeJob(t, g, 2, 1, 1e6, 0)
+	order := g.RankLBEF(0, []*sim.CoflowState{fat, thin})
+	if order[0] != thin {
+		t.Fatal("oracle ranking must use true sizes")
+	}
+}

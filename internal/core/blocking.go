@@ -1,0 +1,96 @@
+// Package core implements Gurita, the paper's multi-stage job scheduler:
+// Least Blocking Effect First (LBEF) over the per-stage blocking effect Ψ,
+// with critical-path awareness, head-receiver (δ-stale) estimation, and the
+// TCP-reordering-safe priority update rule. The GuritaPlus oracle variant
+// (paper §V, Figure 8) shares the decision rule but sees exact per-stage
+// information instantly.
+package core
+
+// This file holds the pure blocking-effect math of eq. (2) and (3) so it can
+// be unit-tested independent of the simulator.
+
+// OmegaIdeal is the stage-progress weight ω = 1 − s/s_total of eq. (2):
+// as a job approaches its final stage ω → 0, shrinking Ψ and therefore
+// raising priority (Gurita's 3rd rule: jobs in the final stage first).
+// A floor keeps Ψ positive before the job actually finishes.
+func OmegaIdeal(completedStages, totalStages int) float64 {
+	if totalStages <= 0 {
+		return 1
+	}
+	if completedStages < 0 {
+		completedStages = 0
+	}
+	if completedStages > totalStages {
+		completedStages = totalStages
+	}
+	w := 1 - float64(completedStages)/float64(totalStages)
+	const floor = 0.05
+	if w < floor {
+		w = floor
+	}
+	return w
+}
+
+// OmegaEstimated is the practical ω̈ ≈ 1/(1+s) used when the total number of
+// stages is unknown a priori (paper §IV.B): it decreases as completed stages
+// accumulate, and its influence diminishes as s → ∞, preventing a deep job
+// from masquerading as "almost done".
+func OmegaEstimated(completedStages int) float64 {
+	if completedStages < 0 {
+		completedStages = 0
+	}
+	return 1 / float64(1+completedStages)
+}
+
+// Gamma is the flow-size normalization γ of eq. (2):
+//
+//	γ = 1 − δ̄  if δ̄ < 1, else 0.1·c̄,   with δ̄ = c̄ · f_avg / L
+//
+// where c̄ ∈ (0,1) is a constant, f_avg the mean flow size, and L the
+// largest flow. L/f_avg is the worst-case skew; when the largest flow
+// dwarfs the average (δ̄ → 0, γ → 1) the coflow is likely to delay others.
+// With no observations yet (L = 0), γ is 0: a coflow nobody has seen
+// transmit cannot be blocking anyone.
+func Gamma(cbar, meanFlowSize, largestFlow float64) float64 {
+	if largestFlow <= 0 {
+		return 0
+	}
+	if cbar <= 0 || cbar >= 1 {
+		cbar = 0.5
+	}
+	deltaBar := cbar * meanFlowSize / largestFlow
+	if deltaBar >= 1 {
+		return 0.1 * cbar
+	}
+	return 1 - deltaBar
+}
+
+// BlockingEffect is Ψ = ω × L × W × γ (eq. 2/3): the stage-progress weight
+// times the vertical dimension (largest flow, bytes), the horizontal
+// dimension (number of flows), and the flow-size normalization. The L×W
+// product approximates the area — the severity — of combined vertical and
+// horizontal blocking (Gurita's 2nd rule); γ scales it by how long the
+// blocking lasts (1st rule).
+func BlockingEffect(omega, largestFlow float64, width int, gamma float64) float64 {
+	if width < 0 {
+		width = 0
+	}
+	return omega * largestFlow * float64(width) * gamma
+}
+
+// ApplyCriticalDiscount implements the critical-path extension of eq. (3),
+// Ψ ← Ψ − ι·ε: coflows judged to be on a critical path (ι = 1) get their
+// blocking effect discounted so they sort ahead of same-magnitude coflows
+// (Gurita's 4th rule). Ψ carries byte units, so ε ∈ (0,1] is interpreted as
+// a relative discount: Ψ·(1−ε). This only moves coflows that sit near a
+// demotion threshold — exactly the "marginally larger blocking effect"
+// population the paper observes benefits from the rule.
+func ApplyCriticalDiscount(psi float64, critical bool, epsilon float64) float64 {
+	if !critical {
+		return psi
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		epsilon = 0.25
+	}
+	return psi * (1 - epsilon)
+}

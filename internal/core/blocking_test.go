@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOmegaIdeal(t *testing.T) {
+	tests := []struct {
+		done, total int
+		want        float64
+	}{
+		{0, 5, 1.0},
+		{1, 5, 0.8},
+		{4, 5, 0.2},
+		{5, 5, 0.05}, // floor keeps Ψ positive
+		{0, 0, 1.0},  // degenerate
+		{-1, 5, 1.0}, // clamped
+		{9, 5, 0.05}, // clamped
+	}
+	for _, tt := range tests {
+		if got := OmegaIdeal(tt.done, tt.total); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("OmegaIdeal(%d, %d) = %v, want %v", tt.done, tt.total, got, tt.want)
+		}
+	}
+}
+
+func TestOmegaIdealDecreases(t *testing.T) {
+	prev := 2.0
+	for s := 0; s <= 10; s++ {
+		w := OmegaIdeal(s, 10)
+		if w > prev {
+			t.Fatalf("OmegaIdeal not nonincreasing at s=%d: %v > %v", s, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestOmegaEstimated(t *testing.T) {
+	if got := OmegaEstimated(0); got != 1 {
+		t.Errorf("OmegaEstimated(0) = %v, want 1", got)
+	}
+	if got := OmegaEstimated(4); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("OmegaEstimated(4) = %v, want 0.2", got)
+	}
+	if got := OmegaEstimated(-3); got != 1 {
+		t.Errorf("OmegaEstimated(-3) = %v, want 1 (clamped)", got)
+	}
+	// Influence diminishes as s grows (paper: prevents false positives of
+	// nearing the final stage for deep jobs).
+	if OmegaEstimated(100) > 0.01 {
+		t.Error("OmegaEstimated should vanish for deep jobs")
+	}
+}
+
+func TestGamma(t *testing.T) {
+	// Uniform flows: mean == largest → δ̄ = c̄ → γ = 1 − c̄.
+	if got := Gamma(0.5, 100, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("uniform γ = %v, want 0.5", got)
+	}
+	// Skewed coflow: one elephant among mice → γ → 1.
+	g := Gamma(0.5, 1, 1000)
+	if g < 0.99 {
+		t.Errorf("skewed γ = %v, want ≈ 1", g)
+	}
+	// No observation yet.
+	if got := Gamma(0.5, 0, 0); got != 0 {
+		t.Errorf("unobserved γ = %v, want 0", got)
+	}
+	// Invalid c̄ falls back.
+	if got, want := Gamma(7, 100, 100), Gamma(0.5, 100, 100); got != want {
+		t.Errorf("bad c̄: γ = %v, want fallback %v", got, want)
+	}
+}
+
+func TestGammaOverflowBranch(t *testing.T) {
+	// δ̄ ≥ 1 can only occur if mean > largest/c̄ (inconsistent observations,
+	// e.g. from staleness); the paper's branch returns 0.1·c̄.
+	got := Gamma(0.5, 1000, 100)
+	if math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("overflow γ = %v, want 0.05", got)
+	}
+}
+
+func TestGammaMonotoneInSkew(t *testing.T) {
+	// γ grows with L/f_avg: more vertical skew → more blocking.
+	prev := -1.0
+	for _, l := range []float64{10, 20, 50, 100, 1000} {
+		g := Gamma(0.5, 10, l)
+		if g < prev {
+			t.Fatalf("γ not monotone in largest-flow size at L=%v", l)
+		}
+		prev = g
+	}
+}
+
+func TestBlockingEffect(t *testing.T) {
+	if got := BlockingEffect(0.5, 100, 4, 0.5); math.Abs(got-100) > 1e-12 {
+		t.Errorf("Ψ = %v, want 100", got)
+	}
+	if got := BlockingEffect(1, 100, 0, 1); got != 0 {
+		t.Errorf("zero-width Ψ = %v, want 0", got)
+	}
+	if got := BlockingEffect(1, 100, -3, 1); got != 0 {
+		t.Errorf("negative width Ψ = %v, want 0 (clamped)", got)
+	}
+}
+
+// TestBlockingEffectOrdersDimensions: Ψ must rank a wide coflow of
+// elephants above a narrow coflow of mice at the same stage (rules 1–2).
+func TestBlockingEffectOrdersDimensions(t *testing.T) {
+	mice := BlockingEffect(1, 1e6, 2, Gamma(0.5, 1e6, 1e6))
+	elephants := BlockingEffect(1, 1e9, 50, Gamma(0.5, 5e8, 1e9))
+	if elephants <= mice {
+		t.Fatalf("Ψ(elephants)=%v <= Ψ(mice)=%v", elephants, mice)
+	}
+}
+
+// TestPsiNonNegativeQuick: Ψ is nonnegative and finite for any plausible
+// observation tuple.
+func TestPsiNonNegativeQuick(t *testing.T) {
+	f := func(omegaSeed uint8, largest, mean float64, width int16) bool {
+		// Bound observations to plausible byte counts (≤ ~9 PB): quick's
+		// raw float64s reach 1e307, which no byte counter can.
+		largest = math.Mod(math.Abs(largest), 1e16)
+		mean = math.Mod(math.Abs(mean), 1e16)
+		omega := OmegaEstimated(int(omegaSeed))
+		gamma := Gamma(0.5, mean, largest)
+		psi := BlockingEffect(omega, largest, int(width), gamma)
+		return psi >= 0 && !math.IsNaN(psi) && !math.IsInf(psi, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyCriticalDiscount(t *testing.T) {
+	if got := ApplyCriticalDiscount(100, false, 0.25); got != 100 {
+		t.Errorf("non-critical should be unchanged, got %v", got)
+	}
+	if got := ApplyCriticalDiscount(100, true, 0.25); math.Abs(got-75) > 1e-12 {
+		t.Errorf("critical discount = %v, want 75", got)
+	}
+	// Bad ε falls back to the default 0.25.
+	if got := ApplyCriticalDiscount(100, true, 5); math.Abs(got-75) > 1e-12 {
+		t.Errorf("bad ε discount = %v, want 75", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package eventq provides the time-ordered event queue that drives the
+// discrete-event simulator. It is a plain binary min-heap keyed on event
+// time with a monotonically increasing sequence number used to break ties,
+// so events scheduled for the same instant fire in FIFO order and runs are
+// fully deterministic.
+package eventq
+
+// Event is a unit of scheduled work. Fire is invoked by the simulation loop
+// when the clock reaches Time.
+type Event struct {
+	// Time is the absolute simulation time, in seconds, at which the event
+	// fires.
+	Time float64
+	// Fire runs the event's action. It must not be nil.
+	Fire func()
+
+	seq      uint64
+	index    int
+	canceled bool
+}
+
+// Canceled reports whether the event was removed from its queue via Cancel.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Queue is a min-heap of events ordered by (Time, insertion order).
+// The zero value is an empty queue ready to use. Queue is not safe for
+// concurrent use; the simulator is single-threaded by design (determinism),
+// and any cross-goroutine interaction must happen outside the event loop.
+type Queue struct {
+	events []*Event
+	nexts  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Schedule enqueues an event firing fn at time t and returns a handle that
+// can later be passed to Cancel.
+func (q *Queue) Schedule(t float64, fn func()) *Event {
+	e := &Event{Time: t, Fire: fn, seq: q.nexts}
+	q.nexts++
+	q.push(e)
+	return e
+}
+
+// Cancel removes a previously scheduled event. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 || e.index >= len(q.events) || q.events[e.index] != e {
+		return
+	}
+	e.canceled = true
+	q.remove(e.index)
+}
+
+// Peek returns the earliest pending event without removing it, or nil when
+// the queue is empty.
+func (q *Queue) Peek() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	return q.events[0]
+}
+
+// Pop removes and returns the earliest pending event, or nil when the queue
+// is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	e := q.events[0]
+	q.remove(0)
+	return e
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+
+func (q *Queue) push(e *Event) {
+	e.index = len(q.events)
+	q.events = append(q.events, e)
+	q.up(e.index)
+}
+
+func (q *Queue) remove(i int) {
+	last := len(q.events) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.events[last].index = -1
+	q.events = q.events[:last]
+	if i != last && i < len(q.events) {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the element at i toward the leaves; it reports whether the
+// element moved.
+func (q *Queue) down(i int) bool {
+	start := i
+	n := len(q.events)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+	return i > start
+}

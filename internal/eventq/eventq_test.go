@@ -1,0 +1,160 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", q.Len())
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek() on empty queue should be nil")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop() on empty queue should be nil")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	times := []float64{5, 1, 3, 2, 4, 0.5, 2.5}
+	for _, tm := range times {
+		q.Schedule(tm, func() {})
+	}
+	sort.Float64s(times)
+	for i, want := range times {
+		e := q.Pop()
+		if e == nil {
+			t.Fatalf("Pop() #%d = nil", i)
+		}
+		if e.Time != want {
+			t.Fatalf("Pop() #%d time = %v, want %v", i, e.Time, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained, Len() = %d", q.Len())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(1.0, func() { order = append(order, i) })
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fire()
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := make(map[int]bool)
+	var handles []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		handles = append(handles, q.Schedule(float64(i), func() { fired[i] = true }))
+	}
+	// Cancel the odd ones.
+	for i := 1; i < 20; i += 2 {
+		q.Cancel(handles[i])
+		if !handles[i].Canceled() {
+			t.Fatalf("event %d not marked canceled", i)
+		}
+	}
+	// Double-cancel and cancel-nil must be no-ops.
+	q.Cancel(handles[1])
+	q.Cancel(nil)
+
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fire()
+	}
+	for i := 0; i < 20; i++ {
+		want := i%2 == 0
+		if fired[i] != want {
+			t.Fatalf("event %d fired = %v, want %v", i, fired[i], want)
+		}
+	}
+}
+
+func TestCancelAfterPop(t *testing.T) {
+	var q Queue
+	e := q.Schedule(1, func() {})
+	q.Schedule(2, func() {})
+	got := q.Pop()
+	if got != e {
+		t.Fatal("expected first event")
+	}
+	q.Cancel(e) // must not corrupt the heap or panic
+	if q.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", q.Len())
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Schedule(3, func() {})
+	q.Schedule(1, func() {})
+	p := q.Peek()
+	if p == nil || p.Time != 1 {
+		t.Fatalf("Peek() = %+v, want time 1", p)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek() removed an event, Len() = %d", q.Len())
+	}
+}
+
+// TestHeapPropertyQuick drains a randomly built queue with random
+// interleaved cancels and verifies the pop order is nondecreasing.
+func TestHeapPropertyQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var handles []*Event
+		for i := 0; i < int(n)+1; i++ {
+			handles = append(handles, q.Schedule(rng.Float64()*100, func() {}))
+		}
+		for _, h := range handles {
+			if rng.Intn(3) == 0 {
+				q.Cancel(h)
+			}
+		}
+		prev := -1.0
+		for e := q.Pop(); e != nil; e = q.Pop() {
+			if e.Time < prev {
+				return false
+			}
+			if e.Canceled() {
+				return false
+			}
+			prev = e.Time
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var q Queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(rng.Float64(), func() {})
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

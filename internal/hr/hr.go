@@ -1,0 +1,127 @@
+// Package hr models the paper's decentralized coordination plane (§IV.B
+// "Priority decision"): each job designates a head receiver (HR) — the first
+// receiver invoked in a coflow — and every other receiver reports its
+// locally observed information (bytes received per flow, number of open
+// connections) to the HR at a regular interval δ. The HR therefore makes
+// priority decisions from *stale* observations; only at the next reporting
+// round does it see newer state.
+//
+// The Aggregator reproduces exactly that information model for the
+// schedulers that are decentralized in the paper (Gurita, Stream): readers
+// see the snapshot taken at the last completed reporting round, never the
+// live state. Centralized Aalo bypasses this package (the paper grants it
+// instantaneous global knowledge in simulation).
+package hr
+
+import (
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+)
+
+// CoflowObs is what a head receiver knows about one coflow after a
+// reporting round.
+type CoflowObs struct {
+	// Width is the number of open connections (flows currently
+	// transmitting), the receiver-side estimate of the horizontal dimension.
+	Width int
+	// Largest is the maximum bytes received over the coflow's flows, the
+	// estimate of the vertical dimension L.
+	Largest float64
+	// Mean is the mean bytes received per flow (estimates f_avg).
+	Mean float64
+	// Bytes is the coflow's total bytes received so far.
+	Bytes float64
+	// Stage is the coflow's stage as registered through the framework
+	// master (the paper obtains it from the application's coflow API).
+	Stage int
+	// JobCompletedStages is the job's completed-stage counter s at the
+	// reporting round.
+	JobCompletedStages int
+	// Done reports whether the coflow had already completed at the round.
+	Done bool
+}
+
+// JobObs is what the HR knows about a whole job after a reporting round.
+type JobObs struct {
+	// Bytes is the job's accumulated total bytes sent (TBS) — the quantity
+	// TBS-based schedulers key on.
+	Bytes float64
+	// CompletedStages is the paper's s.
+	CompletedStages int
+}
+
+// Aggregator snapshots receiver observations every delta seconds.
+// The zero value is unusable; use New. Not safe for concurrent use — the
+// simulator is single-threaded.
+type Aggregator struct {
+	delta    float64
+	last     float64
+	hasRound bool
+
+	coflows map[coflow.CoflowID]CoflowObs
+	jobs    map[coflow.JobID]JobObs
+}
+
+// New builds an aggregator with reporting interval delta (seconds). A
+// non-positive delta means "report continuously": every Refresh snapshots.
+func New(delta float64) *Aggregator {
+	return &Aggregator{
+		delta:   delta,
+		coflows: make(map[coflow.CoflowID]CoflowObs),
+		jobs:    make(map[coflow.JobID]JobObs),
+	}
+}
+
+// Delta returns the reporting interval.
+func (a *Aggregator) Delta() float64 { return a.delta }
+
+// Refresh runs a reporting round if one is due at time now, snapshotting
+// the supplied active coflow states. It returns true when a round ran.
+// Completed coflows are retired from the snapshot at the following round
+// (the paper: "the HR excludes information of completed flows").
+func (a *Aggregator) Refresh(now float64, active []*sim.CoflowState) bool {
+	if a.hasRound && a.delta > 0 && now-a.last < a.delta {
+		return false
+	}
+	a.last = now
+	a.hasRound = true
+
+	// Rebuild rather than update in place: completed coflows drop out.
+	for k := range a.coflows {
+		delete(a.coflows, k)
+	}
+	for k := range a.jobs {
+		delete(a.jobs, k)
+	}
+	for _, cs := range active {
+		a.coflows[cs.Coflow.ID] = CoflowObs{
+			Width:              cs.ObservedWidth(),
+			Largest:            cs.ObservedLargest(),
+			Mean:               cs.ObservedMeanFlowSize(),
+			Bytes:              cs.BytesSent,
+			Stage:              cs.Coflow.Stage,
+			JobCompletedStages: cs.Job.CompletedStages,
+			Done:               cs.Phase == sim.PhaseDone,
+		}
+		js := cs.Job
+		obs := a.jobs[js.Job.ID]
+		obs.Bytes = js.BytesSent
+		obs.CompletedStages = js.CompletedStages
+		a.jobs[js.Job.ID] = obs
+	}
+	return true
+}
+
+// Coflow returns the last-round observation for a coflow. ok is false when
+// the coflow has not yet appeared in any round — the paper's "too small to
+// wait for decisions from HR" case, which callers treat as highest priority.
+func (a *Aggregator) Coflow(id coflow.CoflowID) (CoflowObs, bool) {
+	obs, ok := a.coflows[id]
+	return obs, ok
+}
+
+// Job returns the last-round observation for a job.
+func (a *Aggregator) Job(id coflow.JobID) (JobObs, bool) {
+	obs, ok := a.jobs[id]
+	return obs, ok
+}

@@ -1,0 +1,125 @@
+package hr
+
+import (
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+)
+
+// mkCoflowState builds a minimal live coflow state for aggregator tests.
+func mkCoflowState(t *testing.T, jobID coflow.JobID, sent float64) *sim.CoflowState {
+	t.Helper()
+	b := coflow.NewBuilder(jobID, 0, nil, nil)
+	b.AddCoflow(
+		coflow.FlowSpec{Src: 0, Dst: 1, Size: 1000},
+		coflow.FlowSpec{Src: 2, Dst: 3, Size: 1000},
+	)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := &sim.JobState{Job: j, BytesSent: sent}
+	cs := &sim.CoflowState{
+		Coflow:    j.Coflows[0],
+		Job:       js,
+		Phase:     sim.PhaseActive,
+		BytesSent: sent,
+	}
+	js.Coflows = []*sim.CoflowState{cs}
+	return cs
+}
+
+func TestFirstRefreshAlwaysRuns(t *testing.T) {
+	a := New(1.0)
+	cs := mkCoflowState(t, 1, 500)
+	if !a.Refresh(0, []*sim.CoflowState{cs}) {
+		t.Fatal("first refresh should run")
+	}
+	obs, ok := a.Coflow(cs.Coflow.ID)
+	if !ok {
+		t.Fatal("coflow not observed")
+	}
+	if obs.Bytes != 500 {
+		t.Fatalf("Bytes = %v, want 500", obs.Bytes)
+	}
+}
+
+func TestStalenessWindow(t *testing.T) {
+	a := New(1.0)
+	cs := mkCoflowState(t, 1, 100)
+	a.Refresh(0, []*sim.CoflowState{cs})
+
+	// Progress happens, but the next round is not due yet.
+	cs.BytesSent = 900
+	cs.Job.BytesSent = 900
+	if a.Refresh(0.5, []*sim.CoflowState{cs}) {
+		t.Fatal("refresh before delta should not run")
+	}
+	obs, _ := a.Coflow(cs.Coflow.ID)
+	if obs.Bytes != 100 {
+		t.Fatalf("stale Bytes = %v, want 100 (snapshot of last round)", obs.Bytes)
+	}
+
+	// After delta the round runs and the view catches up.
+	if !a.Refresh(1.0, []*sim.CoflowState{cs}) {
+		t.Fatal("refresh at delta should run")
+	}
+	obs, _ = a.Coflow(cs.Coflow.ID)
+	if obs.Bytes != 900 {
+		t.Fatalf("refreshed Bytes = %v, want 900", obs.Bytes)
+	}
+}
+
+func TestCompletedCoflowsRetired(t *testing.T) {
+	a := New(1.0)
+	cs := mkCoflowState(t, 1, 100)
+	a.Refresh(0, []*sim.CoflowState{cs})
+	// Next round without the coflow: it drops out of the snapshot.
+	a.Refresh(2.0, nil)
+	if _, ok := a.Coflow(cs.Coflow.ID); ok {
+		t.Fatal("completed coflow should be retired from the snapshot")
+	}
+	if _, ok := a.Job(cs.Job.Job.ID); ok {
+		t.Fatal("job with no active coflows should be retired")
+	}
+}
+
+func TestJobAggregation(t *testing.T) {
+	a := New(0) // continuous reporting
+	c1 := mkCoflowState(t, 7, 300)
+	obs, ok := a.Job(7)
+	if ok {
+		t.Fatal("job should be unknown before any round")
+	}
+	a.Refresh(0, []*sim.CoflowState{c1})
+	obs, ok = a.Job(7)
+	if !ok || obs.Bytes != 300 {
+		t.Fatalf("job obs = %+v ok=%v, want Bytes 300", obs, ok)
+	}
+}
+
+func TestZeroDeltaAlwaysRefreshes(t *testing.T) {
+	a := New(0)
+	cs := mkCoflowState(t, 1, 1)
+	for i := 0; i < 5; i++ {
+		cs.BytesSent = float64(i)
+		if !a.Refresh(0, []*sim.CoflowState{cs}) {
+			t.Fatal("zero-delta aggregator should refresh every call")
+		}
+		obs, _ := a.Coflow(cs.Coflow.ID)
+		if obs.Bytes != float64(i) {
+			t.Fatalf("Bytes = %v, want %v", obs.Bytes, float64(i))
+		}
+	}
+	if a.Delta() != 0 {
+		t.Fatal("Delta() should echo configuration")
+	}
+}
+
+func TestUnknownCoflow(t *testing.T) {
+	a := New(1)
+	if _, ok := a.Coflow(123); ok {
+		t.Fatal("unknown coflow should report ok=false")
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gurita/internal/sim"
+)
+
+// resultJSON is the stable on-disk schema for a simulation result; it
+// decouples external tooling from the sim package's internal layout.
+type resultJSON struct {
+	Scheduler      string       `json:"scheduler"`
+	AvgJCT         float64      `json:"avg_jct"`
+	AvgCCT         float64      `json:"avg_cct"`
+	EndTime        float64      `json:"end_time"`
+	Events         int64        `json:"events"`
+	TotalBytes     int64        `json:"total_bytes"`
+	MaxActiveFlows int          `json:"max_active_flows"`
+	Jobs           []jobJSON    `json:"jobs"`
+	Coflows        []coflowJSON `json:"coflows,omitempty"`
+}
+
+type jobJSON struct {
+	ID         int64   `json:"id"`
+	Arrival    float64 `json:"arrival"`
+	Finished   float64 `json:"finished"`
+	JCT        float64 `json:"jct"`
+	TotalBytes int64   `json:"total_bytes"`
+	Category   string  `json:"category"`
+	NumStages  int     `json:"num_stages"`
+	NumCoflows int     `json:"num_coflows"`
+}
+
+type coflowJSON struct {
+	ID       int64   `json:"id"`
+	JobID    int64   `json:"job_id"`
+	Stage    int     `json:"stage"`
+	Started  float64 `json:"started"`
+	Finished float64 `json:"finished"`
+	CCT      float64 `json:"cct"`
+	Bytes    int64   `json:"bytes"`
+	Width    int     `json:"width"`
+}
+
+// WriteResultJSON serializes a run's results for external analysis tools.
+// includeCoflows controls whether the (potentially large) per-coflow rows
+// are emitted alongside the per-job rows.
+func WriteResultJSON(w io.Writer, r *sim.Result, includeCoflows bool) error {
+	doc := resultJSON{
+		Scheduler:      r.Scheduler,
+		AvgJCT:         Summarize(JCTs(r)).Mean,
+		EndTime:        r.EndTime,
+		Events:         r.Events,
+		TotalBytes:     r.TotalBytes,
+		MaxActiveFlows: r.MaxActiveFlows,
+	}
+	doc.AvgCCT = r.AvgCCT()
+	for _, j := range r.Jobs {
+		doc.Jobs = append(doc.Jobs, jobJSON{
+			ID:         int64(j.JobID),
+			Arrival:    j.Arrival,
+			Finished:   j.Finished,
+			JCT:        j.JCT,
+			TotalBytes: j.TotalBytes,
+			Category:   CategoryOf(j.TotalBytes).String(),
+			NumStages:  j.NumStages,
+			NumCoflows: j.NumCoflows,
+		})
+	}
+	if includeCoflows {
+		for _, c := range r.Coflows {
+			doc.Coflows = append(doc.Coflows, coflowJSON{
+				ID:       int64(c.CoflowID),
+				JobID:    int64(c.JobID),
+				Stage:    c.Stage,
+				Started:  c.Started,
+				Finished: c.Finished,
+				CCT:      c.CCT,
+				Bytes:    c.Bytes,
+				Width:    c.Width,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("metrics: encoding result: %w", err)
+	}
+	return nil
+}

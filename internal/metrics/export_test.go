@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+)
+
+func TestWriteResultJSON(t *testing.T) {
+	r := &sim.Result{
+		Scheduler:      "gurita",
+		EndTime:        12.5,
+		Events:         100,
+		TotalBytes:     5000,
+		MaxActiveFlows: 7,
+		Jobs: []sim.JobResult{
+			{JobID: 1, Arrival: 0, Finished: 10, JCT: 10, TotalBytes: 50e6, NumStages: 3, NumCoflows: 5},
+			{JobID: 2, Arrival: 1, Finished: 3, JCT: 2, TotalBytes: 2e12, NumStages: 1, NumCoflows: 1},
+		},
+		Coflows: []sim.CoflowResult{
+			{CoflowID: coflow.CoflowID(9), JobID: 1, Stage: 2, Started: 1, Finished: 4, CCT: 3, Bytes: 100, Width: 4},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, r, true); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc["scheduler"] != "gurita" {
+		t.Fatalf("scheduler = %v", doc["scheduler"])
+	}
+	if doc["avg_jct"].(float64) != 6 {
+		t.Fatalf("avg_jct = %v, want 6", doc["avg_jct"])
+	}
+	jobs := doc["jobs"].([]any)
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	j0 := jobs[0].(map[string]any)
+	if j0["category"] != "I" {
+		t.Fatalf("category = %v, want I", j0["category"])
+	}
+	j1 := jobs[1].(map[string]any)
+	if j1["category"] != "VII" {
+		t.Fatalf("category = %v, want VII", j1["category"])
+	}
+	if _, ok := doc["coflows"]; !ok {
+		t.Fatal("coflows missing despite includeCoflows")
+	}
+
+	// Without coflows.
+	buf.Reset()
+	if err := WriteResultJSON(&buf, r, false); err != nil {
+		t.Fatal(err)
+	}
+	var doc2 map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc2["coflows"]; ok {
+		t.Fatal("coflows present despite includeCoflows=false")
+	}
+}

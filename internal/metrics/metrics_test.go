@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+)
+
+func TestCategoryOfTable1(t *testing.T) {
+	tests := []struct {
+		bytes int64
+		want  Category
+	}{
+		{1e6, CategoryI}, // below the table: counted in I
+		{6e6, CategoryI},
+		{80e6, CategoryI},
+		{81e6, CategoryII},
+		{800e6, CategoryII},
+		{801e6, CategoryIII},
+		{8e9, CategoryIII},
+		{9e9, CategoryIV},
+		{10e9, CategoryIV},
+		{50e9, CategoryV},
+		{100e9, CategoryV},
+		{500e9, CategoryVI},
+		{1000e9, CategoryVI},
+		{2e12, CategoryVII},
+	}
+	for _, tt := range tests {
+		if got := CategoryOf(tt.bytes); got != tt.want {
+			t.Errorf("CategoryOf(%d) = %v, want %v", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	want := []string{"I", "II", "III", "IV", "V", "VI", "VII"}
+	for i, w := range want {
+		if got := Category(i + 1).String(); got != w {
+			t.Errorf("Category(%d).String() = %q, want %q", i+1, got, w)
+		}
+	}
+	if Category(99).String() == "" {
+		t.Error("unknown category stringer empty")
+	}
+}
+
+func TestCategoryBounds(t *testing.T) {
+	for c := CategoryI; c <= CategoryVII; c++ {
+		lo, hi := c.Bounds()
+		if lo >= hi {
+			t.Errorf("category %v bounds inverted: %d >= %d", c, lo, hi)
+		}
+		if CategoryOf(hi) != c {
+			t.Errorf("upper bound %d of %v categorizes as %v", hi, c, CategoryOf(hi))
+		}
+	}
+	if _, hi := CategoryVII.Bounds(); hi != math.MaxInt64 {
+		t.Error("category VII should be unbounded above")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.P95 < 4.5 || s.P95 > 5 {
+		t.Fatalf("P95 = %v, want in [4.5, 5]", s.P95)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.P95 != 7 {
+		t.Fatalf("single-value summary = %+v", one)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+// mkResult builds a synthetic result from (jct, totalBytes) pairs.
+func mkResult(pairs ...[2]float64) *sim.Result {
+	r := &sim.Result{}
+	for i, p := range pairs {
+		r.Jobs = append(r.Jobs, sim.JobResult{
+			JobID:      coflow.JobID(i),
+			JCT:        p[0],
+			TotalBytes: int64(p[1]),
+		})
+	}
+	return r
+}
+
+func TestImprovement(t *testing.T) {
+	base := mkResult([2]float64{10, 50e6}, [2]float64{20, 200e6})
+	target := mkResult([2]float64{5, 50e6}, [2]float64{10, 200e6})
+	if got := Improvement(base, target); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Improvement = %v, want 2", got)
+	}
+	if got := Improvement(&sim.Result{}, target); got != 0 {
+		t.Fatalf("empty baseline improvement = %v, want 0", got)
+	}
+}
+
+func TestImprovementByCategory(t *testing.T) {
+	// Category I job (50 MB) and category II job (200 MB).
+	base := mkResult([2]float64{10, 50e6}, [2]float64{40, 200e6})
+	target := mkResult([2]float64{2, 50e6}, [2]float64{20, 200e6})
+	got := ImprovementByCategory(base, target)
+	if math.Abs(got[CategoryI]-5) > 1e-12 {
+		t.Errorf("category I improvement = %v, want 5", got[CategoryI])
+	}
+	if math.Abs(got[CategoryII]-2) > 1e-12 {
+		t.Errorf("category II improvement = %v, want 2", got[CategoryII])
+	}
+	if _, ok := got[CategoryVII]; ok {
+		t.Error("category VII should be absent (no jobs)")
+	}
+}
+
+func TestPairedImprovement(t *testing.T) {
+	base := mkResult([2]float64{10, 50e6}, [2]float64{100, 2e12})
+	target := mkResult([2]float64{5, 50e6}, [2]float64{100, 2e12})
+	// Job 0 sped up 2x, job 1 unchanged: paired mean = 1.5. (The ratio of
+	// mean JCTs would be (110/105) ≈ 1.05 — dominated by the big job.)
+	if got := PairedImprovement(base, target); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("PairedImprovement = %v, want 1.5", got)
+	}
+	// Unmatched jobs and zero JCTs are skipped.
+	extra := mkResult([2]float64{10, 50e6}, [2]float64{100, 2e12}, [2]float64{7, 1e6})
+	if got := PairedImprovement(base, extra); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PairedImprovement with unmatched job = %v, want 1", got)
+	}
+	if got := PairedImprovement(&sim.Result{}, &sim.Result{}); got != 0 {
+		t.Fatalf("empty paired improvement = %v, want 0", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	// Max quantile clamps to the last element.
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Max != 4 || s.Min != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Two elements: median interpolates.
+	two := Summarize([]float64{1, 3})
+	if two.Median != 2 {
+		t.Fatalf("median = %v, want 2", two.Median)
+	}
+	if two.P95 < 2.8 || two.P95 > 3 {
+		t.Fatalf("p95 = %v, want near 3", two.P95)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	// Rows with fewer cells than the header must not panic.
+	out := Table([]string{"a", "b", "c"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Fatalf("short-row table:\n%s", out)
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	r := mkResult([2]float64{1, 10e6}, [2]float64{2, 20e6}, [2]float64{3, 5e9})
+	by := ByCategory(r)
+	if len(by[CategoryI]) != 2 || len(by[CategoryIII]) != 1 {
+		t.Fatalf("ByCategory = %v", by)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"cat", "improvement"}, [][]string{
+		{"I", "8.50"},
+		{"II", "3.20"},
+	})
+	if !strings.Contains(out, "cat") || !strings.Contains(out, "8.50") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("header and separator widths differ:\n%s", out)
+	}
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"gurita/internal/sim"
+	"gurita/internal/topo"
+)
+
+// UtilizationCollector samples fabric load through the simulator's Probe
+// hook: at every sample it attributes each active flow's allocated rate to
+// the links on its path and aggregates per tier (host access links vs
+// switch-to-switch fabric links). Averages are over samples, so they answer
+// "how loaded was each tier while traffic was flowing".
+//
+// Wire it up with:
+//
+//	uc := metrics.NewUtilizationCollector(topology)
+//	cfg.Probe = uc.Probe
+type UtilizationCollector struct {
+	topo *topo.Topology
+
+	samples       int
+	sumHostUtil   float64
+	sumFabricUtil float64
+	peakLinkUtil  float64
+
+	usage map[topo.LinkID]float64 // scratch, reused per sample
+}
+
+// NewUtilizationCollector builds a collector for one fabric.
+func NewUtilizationCollector(t *topo.Topology) *UtilizationCollector {
+	return &UtilizationCollector{
+		topo:  t,
+		usage: make(map[topo.LinkID]float64),
+	}
+}
+
+// Probe implements the sim.Config.Probe signature.
+func (u *UtilizationCollector) Probe(_ float64, active []*sim.FlowState) {
+	for k := range u.usage {
+		delete(u.usage, k)
+	}
+	for _, f := range active {
+		rate := f.Rate()
+		if rate <= 0 {
+			continue
+		}
+		for _, l := range f.Demand.Path {
+			u.usage[l] += rate
+		}
+	}
+
+	hostLinks := 2 * u.topo.NumServers()
+	var host, fabric float64
+	for l, used := range u.usage {
+		util := used / u.topo.LinkCapacity(l)
+		if util > u.peakLinkUtil {
+			u.peakLinkUtil = util
+		}
+		if int(l) < hostLinks {
+			host += util
+		} else {
+			fabric += util
+		}
+	}
+	u.samples++
+	u.sumHostUtil += host / float64(hostLinks)
+	if n := u.topo.NumLinks() - hostLinks; n > 0 {
+		u.sumFabricUtil += fabric / float64(n)
+	}
+}
+
+// Samples returns how many probe samples were taken.
+func (u *UtilizationCollector) Samples() int { return u.samples }
+
+// HostUtilization returns the time-averaged utilization of the host access
+// tier (fraction of aggregate host-link capacity in use), or 0 with no
+// samples.
+func (u *UtilizationCollector) HostUtilization() float64 {
+	if u.samples == 0 {
+		return 0
+	}
+	return u.sumHostUtil / float64(u.samples)
+}
+
+// FabricUtilization returns the time-averaged utilization of the
+// switch-to-switch tier, or 0 with no samples (always 0 on a big switch,
+// which has no fabric links).
+func (u *UtilizationCollector) FabricUtilization() float64 {
+	if u.samples == 0 {
+		return 0
+	}
+	return u.sumFabricUtil / float64(u.samples)
+}
+
+// PeakLinkUtilization returns the highest single-link utilization observed
+// at any sample (1.0 = a saturated link).
+func (u *UtilizationCollector) PeakLinkUtilization() float64 { return u.peakLinkUtil }

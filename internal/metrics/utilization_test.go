@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+	"gurita/internal/topo"
+)
+
+// fairSched pins everything to queue 0 (fair sharing).
+type fairSched struct{}
+
+func (fairSched) Name() string               { return "fair" }
+func (fairSched) Init(sim.Env)               {}
+func (fairSched) OnJobArrival(*sim.JobState) {}
+func (fairSched) OnCoflowStart(*sim.CoflowState) {
+}
+func (fairSched) OnCoflowComplete(*sim.CoflowState) {}
+func (fairSched) OnJobComplete(*sim.JobState)       {}
+func (fairSched) AssignQueues(_ float64, fl []*sim.FlowState) {
+	for _, f := range fl {
+		f.SetQueue(0)
+	}
+}
+
+func TestUtilizationCollectorEndToEnd(t *testing.T) {
+	tp, err := topo.NewBigSwitch(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	b := coflow.NewBuilder(1, 0, &cid, &fid)
+	b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 1000})
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uc := NewUtilizationCollector(tp)
+	s, err := sim.New(sim.Config{Topology: tp, Tick: 0.5, Probe: uc.Probe}, fairSched{}, []*coflow.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if uc.Samples() == 0 {
+		t.Fatal("no probe samples taken")
+	}
+	// One flow at full rate on 2 of the 8 host links: per-sample host
+	// utilization = 2/8 = 0.25.
+	if got := uc.HostUtilization(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("HostUtilization = %v, want 0.25", got)
+	}
+	// Big switch has no fabric tier.
+	if got := uc.FabricUtilization(); got != 0 {
+		t.Fatalf("FabricUtilization = %v, want 0", got)
+	}
+	// The flow saturates its links.
+	if got := uc.PeakLinkUtilization(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("PeakLinkUtilization = %v, want 1", got)
+	}
+}
+
+func TestUtilizationCollectorFatTreeFabricTier(t *testing.T) {
+	tp, err := topo.NewFatTree(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	b := coflow.NewBuilder(1, 0, &cid, &fid)
+	// Cross-pod flow: traverses fabric links.
+	b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: topo.ServerID(tp.NumServers() - 1), Size: 1000})
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := NewUtilizationCollector(tp)
+	s, err := sim.New(sim.Config{Topology: tp, Tick: 0.5, Probe: uc.Probe}, fairSched{}, []*coflow.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if uc.FabricUtilization() <= 0 {
+		t.Fatal("cross-pod flow should register fabric utilization")
+	}
+	if uc.HostUtilization() <= 0 {
+		t.Fatal("host tier should register utilization")
+	}
+}
+
+func TestUtilizationCollectorEmpty(t *testing.T) {
+	tp, _ := topo.NewBigSwitch(2, 100)
+	uc := NewUtilizationCollector(tp)
+	if uc.HostUtilization() != 0 || uc.FabricUtilization() != 0 || uc.PeakLinkUtilization() != 0 {
+		t.Fatal("zero-sample collector should report zeros")
+	}
+}

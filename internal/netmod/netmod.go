@@ -1,0 +1,365 @@
+// Package netmod models how the fabric divides link bandwidth among
+// competing flows. It is the simulator's stand-in for the data plane the
+// paper assumes: commodity switches with strict priority queuing (SPQ)
+// carrying TCP traffic, optionally emulating SPQ with weighted round robin
+// (WRR) for starvation mitigation (paper §IV.B).
+//
+// The model is fluid: at any instant every flow transmits at a single rate,
+// and the allocator computes those rates from the flows' paths, priority
+// queues, and per-flow caps. Within one priority tier the allocation is
+// max-min fair (progressive filling / water-filling), which is the standard
+// flow-level approximation of many TCP flows sharing links.
+package netmod
+
+import (
+	"fmt"
+
+	"gurita/internal/topo"
+)
+
+// Mode selects how priority tiers share a link.
+type Mode int
+
+// Allocation modes.
+const (
+	// ModeSPQ is strict priority queuing: tier q receives bandwidth only
+	// after every tier < q is satisfied. This matches commodity-switch SPQ
+	// and can starve low tiers.
+	ModeSPQ Mode = iota + 1
+	// ModeWRR emulates SPQ with weighted round robin: every tier is
+	// guaranteed a share derived from the paper's SPQ waiting-time formula,
+	// so low-priority traffic keeps trickling (starvation mitigation).
+	ModeWRR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSPQ:
+		return "spq"
+	case ModeWRR:
+		return "wrr"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// FlowDemand is one active flow as seen by the allocator. The simulator owns
+// these structs and reuses them across allocation rounds.
+type FlowDemand struct {
+	// Path is the sequence of directed links the flow traverses. An empty
+	// path denotes a host-local transfer that never touches the fabric.
+	Path []topo.LinkID
+	// Queue is the priority tier (0 = highest). Values outside [0, queues)
+	// are clamped.
+	Queue int
+	// MaxRate caps the flow's rate in bytes/second (the sender NIC or a
+	// pacer). Zero means uncapped.
+	MaxRate float64
+	// Rate is the allocator's output, in bytes/second.
+	Rate float64
+
+	frozen bool
+}
+
+// Allocator computes per-flow rates. It pre-sizes its scratch state for one
+// topology and is reused across allocation instants; it is not safe for
+// concurrent use.
+type Allocator struct {
+	mode   Mode
+	queues int
+	eta    float64 // target utilization used when deriving WRR weights
+
+	capacity  func(topo.LinkID) float64
+	residual  []float64
+	count     []int32
+	touched   []bool
+	used      []topo.LinkID
+	byQueue   [][]*FlowDemand
+	wrrShares []float64
+}
+
+// Option configures an Allocator.
+type Option func(*Allocator)
+
+// WithUtilization sets the target utilization η used to convert per-queue
+// demand shares into the offered loads ρ_k of the WRR weight formula.
+// η must be in (0, 1); the default is 0.95.
+func WithUtilization(eta float64) Option {
+	return func(a *Allocator) { a.eta = eta }
+}
+
+// NewAllocator builds an allocator for the given fabric with the given
+// number of priority queues (the paper uses 4 in evaluation; commodity
+// switches support 8).
+func NewAllocator(t *topo.Topology, queues int, mode Mode, opts ...Option) (*Allocator, error) {
+	if queues < 1 {
+		return nil, fmt.Errorf("netmod: need at least one queue, got %d", queues)
+	}
+	if mode != ModeSPQ && mode != ModeWRR {
+		return nil, fmt.Errorf("netmod: unknown mode %v", mode)
+	}
+	a := &Allocator{
+		mode:      mode,
+		queues:    queues,
+		eta:       0.95,
+		capacity:  t.LinkCapacity,
+		residual:  make([]float64, t.NumLinks()),
+		count:     make([]int32, t.NumLinks()),
+		touched:   make([]bool, t.NumLinks()),
+		byQueue:   make([][]*FlowDemand, queues),
+		wrrShares: make([]float64, queues),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.eta <= 0 || a.eta >= 1 {
+		return nil, fmt.Errorf("netmod: utilization must be in (0,1), got %v", a.eta)
+	}
+	return a, nil
+}
+
+// Queues returns the number of priority tiers.
+func (a *Allocator) Queues() int { return a.queues }
+
+// Mode returns the configured allocation mode.
+func (a *Allocator) Mode() Mode { return a.mode }
+
+// rate tolerance: completions and saturation use this epsilon, scaled to
+// typical 10G capacities.
+const epsRate = 1e-3 // bytes/second
+
+// Allocate assigns Rate to every flow in flows. Rates satisfy:
+//
+//   - per-link conservation: the sum of rates crossing any link never
+//     exceeds its capacity;
+//   - SPQ: a tier receives bandwidth on a link only from what higher tiers
+//     left; WRR: each tier is guaranteed its weight share, and unused
+//     guarantees spill over (work conserving);
+//   - within a tier, max-min fairness subject to MaxRate caps.
+func (a *Allocator) Allocate(flows []*FlowDemand) {
+	// Reset scratch state from the previous round.
+	for _, l := range a.used {
+		a.residual[l] = 0
+		a.count[l] = 0
+		a.touched[l] = false
+	}
+	a.used = a.used[:0]
+	for q := range a.byQueue {
+		a.byQueue[q] = a.byQueue[q][:0]
+	}
+
+	for _, f := range flows {
+		f.Rate = 0
+		f.frozen = false
+		q := f.Queue
+		if q < 0 {
+			q = 0
+		} else if q >= a.queues {
+			q = a.queues - 1
+		}
+		if len(f.Path) == 0 {
+			// Host-local transfer: the fabric does not constrain it.
+			f.Rate = f.MaxRate
+			if f.Rate == 0 {
+				f.Rate = a.capacity(0)
+			}
+			f.frozen = true
+			continue
+		}
+		a.byQueue[q] = append(a.byQueue[q], f)
+		for _, l := range f.Path {
+			if !a.touched[l] {
+				a.touched[l] = true
+				a.residual[l] = a.capacity(l)
+				a.used = append(a.used, l)
+			}
+		}
+	}
+
+	switch a.mode {
+	case ModeSPQ:
+		for q := 0; q < a.queues; q++ {
+			a.registerCounts(a.byQueue[q])
+			a.waterfill(a.byQueue[q])
+		}
+	case ModeWRR:
+		a.allocateWRR(flows)
+	}
+}
+
+// allocateWRR implements the two-phase WRR emulation: phase one gives each
+// tier its guaranteed weight share of every link; phase two pools the
+// leftovers and water-fills across all still-unsatisfied flows, making the
+// discipline work conserving like a real WRR scheduler.
+func (a *Allocator) allocateWRR(flows []*FlowDemand) {
+	shares := a.demandShares(flows)
+	weights := StarvationWeights(shares, a.eta)
+
+	// Phase 1: per-tier guaranteed share. We shrink each touched link's
+	// residual to the tier's slice, run the water-fill, then return what the
+	// tier did not consume to the common pool.
+	pool := make(map[topo.LinkID]float64, len(a.used))
+	for _, l := range a.used {
+		pool[l] = a.residual[l]
+		a.residual[l] = 0
+	}
+	for q := 0; q < a.queues; q++ {
+		if len(a.byQueue[q]) == 0 {
+			continue
+		}
+		for _, l := range a.used {
+			a.residual[l] = pool[l] * weights[q]
+		}
+		a.registerCounts(a.byQueue[q])
+		a.waterfill(a.byQueue[q])
+		for _, l := range a.used {
+			// Whatever the tier left of its slice returns to the pool as
+			// "unguaranteed" capacity, shrinking the pool by what was used.
+			pool[l] -= pool[l]*weights[q] - a.residual[l]
+			a.residual[l] = 0
+		}
+	}
+
+	// Phase 2: spill leftover capacity to every flow not yet at its cap.
+	for _, l := range a.used {
+		a.residual[l] = pool[l]
+	}
+	spill := make([]*FlowDemand, 0, len(flows))
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		if f.MaxRate > 0 && f.Rate >= f.MaxRate-epsRate {
+			continue
+		}
+		f.frozen = false
+		spill = append(spill, f)
+	}
+	a.registerCounts(spill)
+	a.waterfill(spill)
+}
+
+// demandShares estimates each tier's share of total offered load, used to
+// derive WRR weights. The proxy for offered load is the number of active
+// flows per tier; receivers can observe it (open connections) without any
+// knowledge of flow sizes, consistent with the paper's information model.
+func (a *Allocator) demandShares(flows []*FlowDemand) []float64 {
+	for q := range a.wrrShares {
+		a.wrrShares[q] = 0
+	}
+	total := 0.0
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		q := f.Queue
+		if q < 0 {
+			q = 0
+		} else if q >= a.queues {
+			q = a.queues - 1
+		}
+		a.wrrShares[q]++
+		total++
+	}
+	if total > 0 {
+		for q := range a.wrrShares {
+			a.wrrShares[q] /= total
+		}
+	}
+	return a.wrrShares
+}
+
+// registerCounts records how many unfrozen flows cross each link.
+func (a *Allocator) registerCounts(fl []*FlowDemand) {
+	for _, l := range a.used {
+		a.count[l] = 0
+	}
+	for _, f := range fl {
+		if f.frozen {
+			continue
+		}
+		for _, l := range f.Path {
+			a.count[l]++
+		}
+	}
+}
+
+// waterfill runs progressive filling over fl against the current residual
+// capacities: all unfrozen flows' rates rise together; a flow freezes when a
+// link on its path saturates or it reaches MaxRate. Counts must have been
+// registered with registerCounts. Residuals are decremented in place.
+func (a *Allocator) waterfill(fl []*FlowDemand) {
+	active := 0
+	for _, f := range fl {
+		if !f.frozen {
+			active++
+		}
+	}
+	// Each round saturates at least one link or caps at least one flow, so
+	// rounds are bounded; the guard protects against float corner cases.
+	maxRounds := len(a.used) + len(fl) + 2
+	for round := 0; active > 0 && round < maxRounds; round++ {
+		// The water level can rise by the smallest per-link fair share...
+		d := -1.0
+		for _, l := range a.used {
+			if a.count[l] == 0 {
+				continue
+			}
+			s := a.residual[l] / float64(a.count[l])
+			if d < 0 || s < d {
+				d = s
+			}
+		}
+		// ...or until the nearest per-flow cap, whichever is smaller.
+		for _, f := range fl {
+			if f.frozen || f.MaxRate <= 0 {
+				continue
+			}
+			if room := f.MaxRate - f.Rate; d < 0 || room < d {
+				d = room
+			}
+		}
+		if d < 0 {
+			break // no constrained links and no caps: nothing bounds rates
+		}
+		if d > 0 {
+			for _, f := range fl {
+				if f.frozen {
+					continue
+				}
+				f.Rate += d
+			}
+			for _, l := range a.used {
+				if a.count[l] > 0 {
+					a.residual[l] -= d * float64(a.count[l])
+					if a.residual[l] < 0 {
+						a.residual[l] = 0
+					}
+				}
+			}
+		}
+		// Freeze flows that hit a saturated link or their cap.
+		for _, f := range fl {
+			if f.frozen {
+				continue
+			}
+			capped := f.MaxRate > 0 && f.Rate >= f.MaxRate-epsRate
+			saturated := false
+			if !capped {
+				for _, l := range f.Path {
+					if a.residual[l] <= epsRate {
+						saturated = true
+						break
+					}
+				}
+			}
+			if capped || saturated {
+				f.frozen = true
+				active--
+				for _, l := range f.Path {
+					a.count[l]--
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package netmod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPQWaitingTimesOrdering(t *testing.T) {
+	// Equal loads: waiting time must strictly increase with queue index
+	// (lower priority waits longer under SPQ).
+	rho := []float64{0.2, 0.2, 0.2, 0.2}
+	w := SPQWaitingTimes(rho)
+	for k := 1; k < len(w); k++ {
+		if w[k] <= w[k-1] {
+			t.Fatalf("waiting times not increasing: %v", w)
+		}
+	}
+}
+
+func TestSPQWaitingTimesZeroLoad(t *testing.T) {
+	w := SPQWaitingTimes([]float64{0, 0.5, 0})
+	if w[0] != 0 || w[2] != 0 {
+		t.Fatalf("zero-load queues should have zero wait, got %v", w)
+	}
+	if w[1] <= 0 {
+		t.Fatalf("loaded queue should wait, got %v", w)
+	}
+}
+
+func TestSPQWaitingTimesOverload(t *testing.T) {
+	w := SPQWaitingTimes([]float64{0.6, 0.6})
+	if w[1] < 1e17 {
+		t.Fatalf("overloaded queue should have unbounded wait, got %v", w)
+	}
+	// Negative loads are treated as zero.
+	w = SPQWaitingTimes([]float64{-1, 0.5})
+	if w[0] != 0 {
+		t.Fatalf("negative load should clamp to 0, got %v", w)
+	}
+}
+
+func TestWRRWeightsBasics(t *testing.T) {
+	shares := []float64{0.25, 0.25, 0.25, 0.25}
+	w := WRRWeights(shares, 0.95)
+	sum := 0.0
+	for k, x := range w {
+		if x <= 0 {
+			t.Fatalf("weight %d = %v, want > 0", k, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// Priority order preserved: weight decreases with queue index.
+	for k := 1; k < len(w); k++ {
+		if w[k] >= w[k-1] {
+			t.Fatalf("weights not decreasing: %v", w)
+		}
+	}
+}
+
+func TestWRRWeightsEmptyQueues(t *testing.T) {
+	w := WRRWeights([]float64{0, 1, 0, 0}, 0.95)
+	if w[0] != 0 || w[2] != 0 || w[3] != 0 {
+		t.Fatalf("empty queues should have zero weight: %v", w)
+	}
+	if math.Abs(w[1]-1) > 1e-9 {
+		t.Fatalf("single non-empty queue should get weight 1: %v", w)
+	}
+}
+
+func TestWRRWeightsNoDemand(t *testing.T) {
+	w := WRRWeights([]float64{0, 0}, 0.95)
+	if math.Abs(w[0]-0.5) > 1e-9 || math.Abs(w[1]-0.5) > 1e-9 {
+		t.Fatalf("no-demand weights should be uniform: %v", w)
+	}
+	if got := WRRWeights(nil, 0.95); len(got) != 0 {
+		t.Fatalf("nil shares should give empty weights, got %v", got)
+	}
+}
+
+func TestWRRWeightsBadEtaFallsBack(t *testing.T) {
+	w1 := WRRWeights([]float64{0.5, 0.5}, -3)
+	w2 := WRRWeights([]float64{0.5, 0.5}, 0.95)
+	for k := range w1 {
+		if math.Abs(w1[k]-w2[k]) > 1e-12 {
+			t.Fatalf("bad eta should fall back to default: %v vs %v", w1, w2)
+		}
+	}
+}
+
+// TestWRRWeightsMatchSPQWaitingTimes is the §IV.B emulation property: the
+// weights are proportional to each queue's SPQ service responsiveness
+// ρ_k/W_k = (1−σ_{k−1})(1−σ_k), so the WRR schedule reproduces SPQ's
+// steeply decreasing waiting-time profile while keeping every backlogged
+// queue above zero.
+func TestWRRWeightsMatchSPQWaitingTimes(t *testing.T) {
+	shares := []float64{0.4, 0.3, 0.2, 0.1}
+	eta := 0.9
+	rho := make([]float64, len(shares))
+	for k, s := range shares {
+		rho[k] = eta * s
+	}
+	spq := SPQWaitingTimes(rho)
+
+	// Unnormalized emulation weights φ_k = 1/W_k.
+	phi := make([]float64, len(rho))
+	sumPhi := 0.0
+	for k := range rho {
+		phi[k] = 1 / spq[k]
+		sumPhi += phi[k]
+	}
+	w := WRRWeights(shares, eta)
+	for k := range w {
+		if math.Abs(w[k]-phi[k]/sumPhi) > 1e-9 {
+			t.Fatalf("WRRWeights[%d] = %v, want %v (normalized 1/W)", k, w[k], phi[k]/sumPhi)
+		}
+	}
+}
+
+// TestStarvationWeights: the top backlogged queue owns η of the link; the
+// reservation 1−η is split by inverse waiting time; empty queues get 0.
+func TestStarvationWeights(t *testing.T) {
+	shares := []float64{0.3, 0, 0.7, 0}
+	eta := 0.9
+	w := StarvationWeights(shares, eta)
+	if w[1] != 0 || w[3] != 0 {
+		t.Fatalf("empty queues must have zero weight: %v", w)
+	}
+	if w[0] < eta {
+		t.Fatalf("top backlogged queue weight = %v, want >= %v", w[0], eta)
+	}
+	if w[2] <= 0 || w[2] > 1-eta {
+		t.Fatalf("lower queue weight = %v, want in (0, %v]", w[2], 1-eta)
+	}
+	sum := w[0] + w[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// Top queue need not be queue 0.
+	w = StarvationWeights([]float64{0, 0, 0.5, 0.5}, eta)
+	if w[2] < eta {
+		t.Fatalf("queue 2 is the top backlogged queue, weight = %v", w[2])
+	}
+	// No demand: uniform.
+	w = StarvationWeights([]float64{0, 0}, eta)
+	if w[0] != 0.5 || w[1] != 0.5 {
+		t.Fatalf("no-demand weights = %v, want uniform", w)
+	}
+	// Bad eta falls back to the default.
+	if got := StarvationWeights([]float64{1, 1}, -1); got[0] < 0.9 {
+		t.Fatalf("bad-eta fallback weights = %v", got)
+	}
+}
+
+// TestWRRWeightsSteepProfile: when nearly all demand sits in the lowest
+// queue, the top queue must still dominate the link (SPQ-like), with the
+// bottom queue reduced to a trickle — the behaviour §IV.B describes.
+func TestWRRWeightsSteepProfile(t *testing.T) {
+	w := WRRWeights([]float64{0.1, 0, 0, 0.9}, 0.95)
+	if w[0] < 0.85 {
+		t.Fatalf("top-queue weight = %v, want > 0.85 (SPQ-like dominance)", w[0])
+	}
+	if w[3] <= 0 || w[3] > 0.15 {
+		t.Fatalf("bottom-queue weight = %v, want a small positive trickle", w[3])
+	}
+}
+
+// TestWRRWeightsQuick: for random shares, weights are a distribution and
+// non-empty queues always get positive weight.
+func TestWRRWeightsQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := int(n)%8 + 1
+		shares := make([]float64, q)
+		total := 0.0
+		for k := range shares {
+			shares[k] = rng.Float64()
+			total += shares[k]
+		}
+		for k := range shares {
+			shares[k] /= total
+		}
+		w := WRRWeights(shares, 0.95)
+		sum := 0.0
+		for k, x := range w {
+			if shares[k] > 0 && x <= 0 {
+				return false
+			}
+			if x < 0 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"sort"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+)
+
+// BaraatConfig parameterizes the Baraat scheduler.
+type BaraatConfig struct {
+	// HeavyQuantile is the quantile of completed-job sizes above which an
+	// active job is declared heavy (Baraat derives its heavy threshold from
+	// the observed task-size distribution). Default 0.8.
+	HeavyQuantile float64
+	// InitialHeavyThreshold is used before enough jobs completed to estimate
+	// the quantile. Default 100 MB.
+	InitialHeavyThreshold float64
+	// MinSamples is how many completed jobs are needed before the quantile
+	// estimate replaces the initial threshold. Default 10.
+	MinSamples int
+}
+
+func (c *BaraatConfig) applyDefaults() {
+	if c.HeavyQuantile == 0 {
+		c.HeavyQuantile = 0.8
+	}
+	if c.InitialHeavyThreshold == 0 {
+		c.InitialHeavyThreshold = 100e6
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 10
+	}
+}
+
+// Baraat is the FIFO-LM (FIFO with limited multiplexing) decentralized
+// task-aware scheduler of Dogar et al. (SIGCOMM'14), the paper's
+// state-of-the-art decentralized comparison point.
+//
+// Jobs are served in arrival order: the i-th oldest active job's flows go to
+// priority queue min(i, K−1), so the head of the FIFO line owns the fabric.
+// Limited multiplexing handles elephants: when an active job's observed
+// bytes exceed the heavy threshold (a quantile of completed-job sizes), it
+// is declared heavy and demoted to the lowest queue, letting later jobs
+// multiplex past it instead of queueing behind it.
+//
+// The scheduler is information-agnostic: it keys only on arrival order and
+// observed bytes sent, never on a job's true size or structure.
+type Baraat struct {
+	cfg BaraatConfig
+	env sim.Env
+
+	// fifo holds active jobs in arrival order (the simulator delivers
+	// arrivals in time order; ties were already broken by job ID).
+	fifo  []*sim.JobState
+	heavy map[coflow.JobID]bool
+
+	// completedSizes is kept sorted for quantile lookups.
+	completedSizes []float64
+}
+
+// NewBaraat builds a Baraat scheduler.
+func NewBaraat(cfg BaraatConfig) *Baraat {
+	cfg.applyDefaults()
+	return &Baraat{cfg: cfg, heavy: make(map[coflow.JobID]bool)}
+}
+
+var _ sim.Scheduler = (*Baraat)(nil)
+
+// Name implements sim.Scheduler.
+func (*Baraat) Name() string { return "baraat" }
+
+// Init implements sim.Scheduler.
+func (b *Baraat) Init(env sim.Env) { b.env = env }
+
+// OnJobArrival implements sim.Scheduler.
+func (b *Baraat) OnJobArrival(j *sim.JobState) {
+	b.fifo = append(b.fifo, j)
+}
+
+// OnCoflowStart implements sim.Scheduler.
+func (*Baraat) OnCoflowStart(*sim.CoflowState) {}
+
+// OnCoflowComplete implements sim.Scheduler.
+func (*Baraat) OnCoflowComplete(*sim.CoflowState) {}
+
+// OnJobComplete implements sim.Scheduler.
+func (b *Baraat) OnJobComplete(j *sim.JobState) {
+	for i, x := range b.fifo {
+		if x == j {
+			b.fifo = append(b.fifo[:i], b.fifo[i+1:]...)
+			break
+		}
+	}
+	delete(b.heavy, j.Job.ID)
+	// Record the completed size for the heavy-threshold quantile.
+	size := j.BytesSent
+	i := sort.SearchFloat64s(b.completedSizes, size)
+	b.completedSizes = append(b.completedSizes, 0)
+	copy(b.completedSizes[i+1:], b.completedSizes[i:])
+	b.completedSizes[i] = size
+}
+
+// heavyThreshold returns the current elephant cutoff.
+func (b *Baraat) heavyThreshold() float64 {
+	if len(b.completedSizes) < b.cfg.MinSamples {
+		return b.cfg.InitialHeavyThreshold
+	}
+	idx := int(b.cfg.HeavyQuantile * float64(len(b.completedSizes)))
+	if idx >= len(b.completedSizes) {
+		idx = len(b.completedSizes) - 1
+	}
+	return b.completedSizes[idx]
+}
+
+// AssignQueues implements sim.Scheduler.
+func (b *Baraat) AssignQueues(_ float64, flows []*sim.FlowState) {
+	threshold := b.heavyThreshold()
+	lowest := b.env.Queues - 1
+
+	// Update heavy marks and compute each light job's FIFO rank.
+	rank := make(map[coflow.JobID]int, len(b.fifo))
+	r := 0
+	for _, j := range b.fifo {
+		if b.heavy[j.Job.ID] || j.BytesSent > threshold {
+			b.heavy[j.Job.ID] = true
+			continue
+		}
+		rank[j.Job.ID] = r
+		r++
+	}
+
+	for _, f := range flows {
+		id := f.Coflow.Job.Job.ID
+		if b.heavy[id] {
+			f.SetQueue(lowest)
+			continue
+		}
+		q := rank[id]
+		if q > lowest {
+			q = lowest
+		}
+		f.SetQueue(q)
+	}
+}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+)
+
+// TestBaraatHeavyThresholdQuantile: before MinSamples completed jobs the
+// initial threshold applies; after, the configured quantile of completed
+// sizes does.
+func TestBaraatHeavyThresholdQuantile(t *testing.T) {
+	b := NewBaraat(BaraatConfig{
+		HeavyQuantile:         0.5,
+		InitialHeavyThreshold: 42,
+		MinSamples:            3,
+	})
+	if got := b.heavyThreshold(); got != 42 {
+		t.Fatalf("empty threshold = %v, want initial 42", got)
+	}
+
+	// Feed completed jobs of sizes 10, 20, 30, 40 via OnJobComplete.
+	for i, size := range []float64{30, 10, 40, 20} {
+		js := &sim.JobState{
+			Job:       mustJob(t, coflow.JobID(i)),
+			BytesSent: size,
+		}
+		b.OnJobComplete(js)
+	}
+	// completedSizes sorted: [10 20 30 40]; quantile 0.5 → index 2 → 30.
+	if got := b.heavyThreshold(); got != 30 {
+		t.Fatalf("median threshold = %v, want 30", got)
+	}
+
+	// Quantile index clamps at the top.
+	b2 := NewBaraat(BaraatConfig{HeavyQuantile: 0.99, MinSamples: 1})
+	for i, size := range []float64{5, 15} {
+		b2.OnJobComplete(&sim.JobState{Job: mustJob(t, coflow.JobID(10+i)), BytesSent: size})
+	}
+	if got := b2.heavyThreshold(); got != 15 {
+		t.Fatalf("p99 threshold = %v, want 15 (clamped to max)", got)
+	}
+}
+
+// TestBaraatFIFOShrinks: completed jobs leave the FIFO line; later jobs
+// move up in rank (and therefore priority).
+func TestBaraatFIFOShrinks(t *testing.T) {
+	b := NewBaraat(BaraatConfig{})
+	b.Init(sim.Env{Queues: 4})
+	j1 := &sim.JobState{Job: mustJob(t, 1)}
+	j2 := &sim.JobState{Job: mustJob(t, 2)}
+	b.OnJobArrival(j1)
+	b.OnJobArrival(j2)
+
+	fs := mkFlow(t, j2)
+	b.AssignQueues(0, []*sim.FlowState{fs})
+	if fs.Queue() != 1 {
+		t.Fatalf("second job queue = %d, want 1 (behind the head)", fs.Queue())
+	}
+	b.OnJobComplete(j1)
+	b.AssignQueues(1, []*sim.FlowState{fs})
+	if fs.Queue() != 0 {
+		t.Fatalf("after head completes queue = %d, want 0", fs.Queue())
+	}
+}
+
+func mustJob(t *testing.T, id coflow.JobID) *coflow.Job {
+	t.Helper()
+	cid := coflow.CoflowID(id * 100)
+	fid := coflow.FlowID(id * 100)
+	b := coflow.NewBuilder(id, 0, &cid, &fid)
+	b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 100})
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func mkFlow(t *testing.T, js *sim.JobState) *sim.FlowState {
+	t.Helper()
+	cs := &sim.CoflowState{Coflow: js.Job.Coflows[0], Job: js, Phase: sim.PhaseActive}
+	fs := &sim.FlowState{Flow: js.Job.Coflows[0].Flows[0], Coflow: cs}
+	fs.MarkStarted(0)
+	cs.Flows = []*sim.FlowState{fs}
+	js.Coflows = []*sim.CoflowState{cs}
+	return fs
+}

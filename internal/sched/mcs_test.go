@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/topo"
+)
+
+func TestMCSValidation(t *testing.T) {
+	if _, err := NewMCS(MCSConfig{BaseThreshold: -1}, 4); err == nil {
+		t.Fatal("negative base should fail")
+	}
+	m, err := NewMCS(MCSConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mcs" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+// TestMCSDemotesByArea: a wide coflow of elephants sinks while a thin mouse
+// flies, based only on observed W×L.
+func TestMCSDemotesByArea(t *testing.T) {
+	tp := bigSwitch(t, 16, 1e6)
+	// Wide elephant: 8 flows × 20 MB from server 0 — W×L crosses thresholds
+	// quickly. Mouse: 1 × 200 KB on the same uplink, arriving later.
+	var specs []coflow.FlowSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, coflow.FlowSpec{Src: 0, Dst: topo.ServerID(2 + i), Size: 20e6})
+	}
+	elephant := job(t, 1, 0, specs...)
+	mouse := job(t, 2, 20, coflow.FlowSpec{Src: 0, Dst: topo.ServerID(12), Size: 200e3})
+	m, err := NewMCS(MCSConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, tp, m, []*coflow.Job{elephant, mouse})
+	if got := jctOf(t, res, 2); got > 3 {
+		t.Fatalf("mouse JCT = %v, want small (elephant demoted by W×L)", got)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatal("jobs lost")
+	}
+}
+
+// TestMCSIsStageAgnostic: unlike Gurita, MCS scores a stage-2 coflow by its
+// own W×L only — but like Aalo, each coflow starts fresh, so this test
+// pins the *job-level* difference: MCS never demotes a thin sibling for its
+// job's other fat coflows.
+func TestMCSIsStageAgnostic(t *testing.T) {
+	tp := bigSwitch(t, 16, 1e6)
+	cid := coflow.CoflowID(1000)
+	fid := coflow.FlowID(1000)
+	b := coflow.NewBuilder(1, 0, &cid, &fid)
+	// Two parallel leaves: fat and thin, disjoint hosts.
+	b.AddCoflow(
+		coflow.FlowSpec{Src: 0, Dst: topo.ServerID(4), Size: 50e6},
+		coflow.FlowSpec{Src: 1, Dst: topo.ServerID(5), Size: 50e6},
+	)
+	b.AddCoflow(coflow.FlowSpec{Src: 2, Dst: topo.ServerID(6), Size: 1e6})
+	j1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A competitor mouse sharing the thin coflow's uplink.
+	j2 := job(t, 2, 0, coflow.FlowSpec{Src: 2, Dst: topo.ServerID(7), Size: 1e6})
+	m, err := NewMCS(MCSConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, tp, m, []*coflow.Job{j1, j2})
+	// Under MCS the thin coflow keeps top priority (its own W×L is small):
+	// it fair-shares with the mouse and both finish ~2-3 s.
+	if got := jctOf(t, res, 2); got > 5 {
+		t.Fatalf("mouse JCT = %v; thin sibling should not have been demoted by its job", got)
+	}
+}

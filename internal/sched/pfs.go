@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"gurita/internal/sim"
+)
+
+// PFS is Per-Flow Fair Sharing, the paper's baseline: every flow shares
+// each link equally with every other flow crossing it, regardless of job or
+// coflow — the behaviour of many TCP flows with no scheduling at all.
+type PFS struct{}
+
+// NewPFS returns the per-flow fair sharing baseline.
+func NewPFS() *PFS { return &PFS{} }
+
+var _ sim.Scheduler = (*PFS)(nil)
+
+// Name implements sim.Scheduler.
+func (*PFS) Name() string { return "pfs" }
+
+// Init implements sim.Scheduler.
+func (*PFS) Init(sim.Env) {}
+
+// OnJobArrival implements sim.Scheduler.
+func (*PFS) OnJobArrival(*sim.JobState) {}
+
+// OnCoflowStart implements sim.Scheduler.
+func (*PFS) OnCoflowStart(*sim.CoflowState) {}
+
+// OnCoflowComplete implements sim.Scheduler.
+func (*PFS) OnCoflowComplete(*sim.CoflowState) {}
+
+// OnJobComplete implements sim.Scheduler.
+func (*PFS) OnJobComplete(*sim.JobState) {}
+
+// AssignQueues places every flow in the top queue; max-min water-filling
+// within one queue is exactly per-flow fair sharing.
+func (*PFS) AssignQueues(_ float64, flows []*sim.FlowState) {
+	for _, f := range flows {
+		f.SetQueue(0)
+	}
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"sort"
+
+	"gurita/internal/coflow"
+	"gurita/internal/sim"
+	"gurita/internal/topo"
+)
+
+// Varys is the clairvoyant Smallest-Effective-Bottleneck-First scheduler of
+// Chowdhury, Zhong & Stoica (SIGCOMM'14). It is NOT part of the paper's
+// comparison set (which restricts itself to information-agnostic schemes
+// plus Aalo); it is included as an upper-bound oracle: SEBF knows every
+// flow's remaining bytes exactly and orders coflows by their effective
+// bottleneck
+//
+//	Γ(c) = max over ports p of remainingBytes(c, p) / capacity(p)
+//
+// — the time the coflow needs at its most loaded ingress or egress port —
+// and serves smallest Γ first. Within our priority data plane, the i-th
+// smallest-Γ active coflow is assigned queue min(i, K−1).
+type Varys struct {
+	env    sim.Env
+	active []*sim.CoflowState
+}
+
+// NewVarys builds the SEBF oracle scheduler.
+func NewVarys() *Varys { return &Varys{} }
+
+var _ sim.Scheduler = (*Varys)(nil)
+
+// Name implements sim.Scheduler.
+func (*Varys) Name() string { return "varys" }
+
+// Init implements sim.Scheduler.
+func (v *Varys) Init(env sim.Env) { v.env = env }
+
+// OnJobArrival implements sim.Scheduler.
+func (*Varys) OnJobArrival(*sim.JobState) {}
+
+// OnCoflowStart implements sim.Scheduler.
+func (v *Varys) OnCoflowStart(c *sim.CoflowState) {
+	v.active = append(v.active, c)
+}
+
+// OnCoflowComplete implements sim.Scheduler.
+func (v *Varys) OnCoflowComplete(c *sim.CoflowState) {
+	for i, x := range v.active {
+		if x == c {
+			v.active = append(v.active[:i], v.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// OnJobComplete implements sim.Scheduler.
+func (*Varys) OnJobComplete(*sim.JobState) {}
+
+// gamma computes the effective bottleneck time of a coflow from exact
+// remaining bytes (clairvoyance).
+func (v *Varys) gamma(c *sim.CoflowState) float64 {
+	perPort := make(map[topo.ServerID]float64)
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		perPort[f.Flow.Src] += f.Remaining
+		// Egress ports tracked separately from ingress by offsetting; a
+		// server's NIC is full duplex.
+		perPort[-1-f.Flow.Dst] += f.Remaining
+	}
+	worst := 0.0
+	for _, bytes := range perPort {
+		if bytes > worst {
+			worst = bytes
+		}
+	}
+	cap := v.env.Topo.LinkCapacity(0)
+	if cap <= 0 {
+		return worst
+	}
+	return worst / cap
+}
+
+// AssignQueues implements sim.Scheduler.
+func (v *Varys) AssignQueues(_ float64, flows []*sim.FlowState) {
+	type ranked struct {
+		id    coflow.CoflowID
+		gamma float64
+	}
+	order := make([]ranked, 0, len(v.active))
+	for _, c := range v.active {
+		order = append(order, ranked{c.Coflow.ID, v.gamma(c)})
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].gamma != order[b].gamma {
+			return order[a].gamma < order[b].gamma
+		}
+		return order[a].id < order[b].id // deterministic tie-break
+	})
+	lowest := v.env.Queues - 1
+	queueOf := make(map[coflow.CoflowID]int, len(order))
+	for i, r := range order {
+		q := i
+		if q > lowest {
+			q = lowest
+		}
+		queueOf[r.id] = q
+	}
+	for _, f := range flows {
+		f.SetQueue(queueOf[f.Coflow.Coflow.ID])
+	}
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"gurita/internal/coflow"
+)
+
+// TestVarysSEBFOrder: with two contending coflows, the one with the smaller
+// effective bottleneck finishes first regardless of arrival order.
+func TestVarysSEBFOrder(t *testing.T) {
+	tp := bigSwitch(t, 4, 100)
+	// Big coflow arrives first (would win FIFO), small second.
+	big := job(t, 1, 0, coflow.FlowSpec{Src: 0, Dst: 1, Size: 1000})
+	small := job(t, 2, 0.001, coflow.FlowSpec{Src: 0, Dst: 2, Size: 100})
+	res := runSim(t, tp, NewVarys(), []*coflow.Job{big, small})
+	if res.Scheduler != "varys" {
+		t.Fatalf("name = %q", res.Scheduler)
+	}
+	// Small: Γ = 1 s << big's 10 s, so it owns the uplink: JCT ~1 s.
+	if got := jctOf(t, res, 2); got > 1.5 {
+		t.Fatalf("small JCT = %v, want ~1 (SEBF priority)", got)
+	}
+	if got := jctOf(t, res, 1); math.Abs(got-11) > 0.2 {
+		t.Fatalf("big JCT = %v, want ~11 (after the small)", got)
+	}
+}
+
+// TestVarysBottleneckIsPortLevel: Γ is the *port* bottleneck, not total
+// bytes — a wide coflow spread over many ports can beat a narrower coflow
+// with the same total concentrated on one port.
+func TestVarysBottleneckIsPortLevel(t *testing.T) {
+	tp := bigSwitch(t, 12, 100)
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	// Wide: 400 B over 4 disjoint src/dst pairs → Γ = 1 s.
+	bw := coflow.NewBuilder(1, 0, &cid, &fid)
+	bw.AddCoflow(
+		coflow.FlowSpec{Src: 0, Dst: 4, Size: 100},
+		coflow.FlowSpec{Src: 1, Dst: 5, Size: 100},
+		coflow.FlowSpec{Src: 2, Dst: 6, Size: 100},
+		coflow.FlowSpec{Src: 3, Dst: 7, Size: 100},
+	)
+	wide, err := bw.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrow: 300 B on one pair, sharing source 0 with the wide coflow:
+	// Γ = 3 s. SEBF must prefer the wide one on the contended port.
+	bn := coflow.NewBuilder(2, 0, &cid, &fid)
+	bn.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 8, Size: 300})
+	narrow, err := bn.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runSim(t, tp, NewVarys(), []*coflow.Job{wide, narrow})
+	// Wide completes in ~1 s (full rate on every pair), narrow in ~4 s.
+	if got := jctOf(t, res, 1); got > 1.2 {
+		t.Fatalf("wide JCT = %v, want ~1", got)
+	}
+	if got := jctOf(t, res, 2); math.Abs(got-4) > 0.3 {
+		t.Fatalf("narrow JCT = %v, want ~4", got)
+	}
+}
+
+// TestAaloCoordinationDelay: with a coordination interval, Aalo's demotions
+// lag; a coflow past the first threshold keeps its old queue until the next
+// round, so decisions differ from the free-coordination variant.
+func TestAaloCoordinationDelay(t *testing.T) {
+	if _, err := NewAalo(AaloConfig{CoordinationInterval: -1}, 4); err == nil {
+		t.Fatal("negative interval should fail")
+	}
+	tp := bigSwitch(t, 6, 1e6)
+	mk := func() []*coflow.Job {
+		// An elephant that should demote at 10 MB, and a mouse arriving
+		// while the elephant is between threshold crossing and the next
+		// coordination round.
+		elephant := job(t, 1, 0, coflow.FlowSpec{Src: 0, Dst: 1, Size: 100e6})
+		mouse := job(t, 2, 30, coflow.FlowSpec{Src: 0, Dst: 2, Size: 2e6})
+		return []*coflow.Job{elephant, mouse}
+	}
+	instant, err := NewAalo(AaloConfig{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := NewAalo(AaloConfig{CoordinationInterval: 60}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := runSim(t, tp, instant, mk())
+	rd := runSim(t, tp, delayed, mk())
+	// Instant coordination: elephant demoted at 10 MB, mouse flies: ~2 s.
+	if got := jctOf(t, ri, 2); got > 5 {
+		t.Fatalf("instant-Aalo mouse JCT = %v, want ~2", got)
+	}
+	// Stale coordinator (refreshed at t=0): elephant still looks tiny at
+	// t=30, stays at queue 0, mouse shares the link → noticeably slower.
+	if got := jctOf(t, rd, 2); got <= jctOf(t, ri, 2)+1e-9 {
+		t.Fatalf("delayed-Aalo mouse JCT = %v, want worse than instant %v", got, jctOf(t, ri, 2))
+	}
+	// Both drain everything.
+	if len(ri.Jobs) != 2 || len(rd.Jobs) != 2 {
+		t.Fatal("jobs lost")
+	}
+}

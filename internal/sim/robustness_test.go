@@ -1,0 +1,192 @@
+package sim
+
+// Failure-injection tests: the engine must stay correct when the scheduler
+// misbehaves or the configuration is hostile. A scheduling policy is
+// user-supplied code; a bad one may produce bad JCTs but must never corrupt
+// conservation, lose jobs, or hang the engine.
+
+import (
+	"math"
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/netmod"
+)
+
+// chaoticSched assigns wildly out-of-range and oscillating queues.
+type chaoticSched struct{ calls int }
+
+func (s *chaoticSched) Name() string                  { return "chaotic" }
+func (s *chaoticSched) Init(Env)                      {}
+func (s *chaoticSched) OnJobArrival(*JobState)        {}
+func (s *chaoticSched) OnCoflowStart(*CoflowState)    {}
+func (s *chaoticSched) OnCoflowComplete(*CoflowState) {}
+func (s *chaoticSched) OnJobComplete(*JobState)       {}
+func (s *chaoticSched) AssignQueues(_ float64, fl []*FlowState) {
+	s.calls++
+	for i, f := range fl {
+		switch (s.calls + i) % 4 {
+		case 0:
+			f.SetQueue(-100)
+		case 1:
+			f.SetQueue(1 << 20)
+		case 2:
+			f.SetQueue(0)
+		default:
+			f.SetQueue(3)
+		}
+	}
+}
+
+// lazySched never assigns queues at all (zero-value queue 0 everywhere).
+type lazySched struct{}
+
+func (lazySched) Name() string                       { return "lazy" }
+func (lazySched) Init(Env)                           {}
+func (lazySched) OnJobArrival(*JobState)             {}
+func (lazySched) OnCoflowStart(*CoflowState)         {}
+func (lazySched) OnCoflowComplete(*CoflowState)      {}
+func (lazySched) OnJobComplete(*JobState)            {}
+func (lazySched) AssignQueues(float64, []*FlowState) {}
+
+func hostileWorkload(t *testing.T) []*coflow.Job {
+	t.Helper()
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	var jobs []*coflow.Job
+	for i := 0; i < 12; i++ {
+		b := coflow.NewBuilder(coflow.JobID(i), float64(i%3)*0.1, &cid, &fid)
+		prev := -1
+		for st := 0; st < 1+i%3; st++ {
+			h := b.AddCoflow(
+				coflow.FlowSpec{Src: 0, Dst: 1, Size: int64(1000 * (i + 1))},
+				coflow.FlowSpec{Src: 2, Dst: 3, Size: 1}, // 1-byte flow edge case
+			)
+			if prev >= 0 {
+				b.Depends(h, prev)
+			}
+			prev = h
+		}
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// TestChaoticSchedulerCannotBreakEngine: out-of-range queues are clamped;
+// every job still drains under both data planes.
+func TestChaoticSchedulerCannotBreakEngine(t *testing.T) {
+	tp := bigSwitch(t, 8, 1000)
+	for _, mode := range []netmod.Mode{netmod.ModeSPQ, netmod.ModeWRR} {
+		res := run(t, Config{Topology: tp, Mode: mode}, &chaoticSched{}, hostileWorkload(t))
+		if len(res.Jobs) != 12 {
+			t.Fatalf("mode %v: drained %d/12 jobs under chaotic scheduler", mode, len(res.Jobs))
+		}
+		for _, jr := range res.Jobs {
+			if jr.JCT <= 0 || math.IsNaN(jr.JCT) || math.IsInf(jr.JCT, 0) {
+				t.Fatalf("mode %v: job %d JCT = %v", mode, jr.JobID, jr.JCT)
+			}
+		}
+	}
+}
+
+// TestLazySchedulerDefaultsToFairSharing: a scheduler that never sets
+// queues leaves everything at queue 0 = per-flow fair sharing; still
+// drains and matches the fair scheduler exactly.
+func TestLazySchedulerDefaultsToFairSharing(t *testing.T) {
+	tp := bigSwitch(t, 8, 1000)
+	rLazy := run(t, Config{Topology: tp}, lazySched{}, hostileWorkload(t))
+	rFair := run(t, Config{Topology: tp}, &fairSched{}, hostileWorkload(t))
+	if len(rLazy.Jobs) != len(rFair.Jobs) {
+		t.Fatal("job counts differ")
+	}
+	for i := range rLazy.Jobs {
+		if math.Abs(rLazy.Jobs[i].JCT-rFair.Jobs[i].JCT) > 1e-9 {
+			t.Fatalf("job %d: lazy %v vs fair %v", rLazy.Jobs[i].JobID, rLazy.Jobs[i].JCT, rFair.Jobs[i].JCT)
+		}
+	}
+}
+
+// TestOneByteFlows: minimal flow sizes complete without numerical trouble.
+func TestOneByteFlows(t *testing.T) {
+	tp := bigSwitch(t, 4, 1e9)
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	b := coflow.NewBuilder(1, 0, &cid, &fid)
+	c1 := b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 1})
+	c2 := b.AddCoflow(coflow.FlowSpec{Src: 1, Dst: 2, Size: 1})
+	b.Depends(c2, c1)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j})
+	if len(res.Jobs) != 1 || res.Jobs[0].JCT <= 0 {
+		t.Fatalf("1-byte chain failed: %+v", res.Jobs)
+	}
+}
+
+// TestSimultaneousArrivalStorm: many jobs at the exact same instant on the
+// same links; FIFO event ordering keeps the run deterministic and complete.
+func TestSimultaneousArrivalStorm(t *testing.T) {
+	tp := bigSwitch(t, 4, 1000)
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	var jobs []*coflow.Job
+	for i := 0; i < 50; i++ {
+		b := coflow.NewBuilder(coflow.JobID(i), 1.0, &cid, &fid) // identical arrival
+		b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 100})
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	res := run(t, Config{Topology: tp}, &fairSched{}, jobs)
+	if len(res.Jobs) != 50 {
+		t.Fatalf("drained %d/50", len(res.Jobs))
+	}
+	// All 50 × 100 B drain a 1000 B/s link: last completion at t=6.
+	if math.Abs(res.EndTime-6) > 1e-6 {
+		t.Fatalf("EndTime = %v, want 6", res.EndTime)
+	}
+}
+
+// TestDuplicateIDsRejected: the workload validation catches ID collisions
+// instead of letting schedulers silently corrupt their state.
+func TestDuplicateIDsRejected(t *testing.T) {
+	tp := bigSwitch(t, 4, 1000)
+	mk := func(jobID coflow.JobID) *coflow.Job {
+		b := coflow.NewBuilder(jobID, 0, nil, nil) // fresh counters: IDs collide
+		b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 10})
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	if _, err := New(Config{Topology: tp}, &fairSched{}, []*coflow.Job{mk(1), mk(2)}); err == nil {
+		t.Fatal("duplicate coflow IDs should be rejected")
+	}
+	j := mk(1)
+	if _, err := New(Config{Topology: tp}, &fairSched{}, []*coflow.Job{j, j}); err == nil {
+		t.Fatal("duplicate job should be rejected")
+	}
+}
+
+// TestHostileConfigRejected: invalid configurations fail fast.
+func TestHostileConfigRejected(t *testing.T) {
+	tp := bigSwitch(t, 4, 1000)
+	if _, err := New(Config{Topology: tp, MaxFlowRate: -1}, &fairSched{}, nil); err == nil {
+		t.Fatal("negative MaxFlowRate should fail")
+	}
+	if _, err := New(Config{Topology: tp, Dependency: DependencyMode(42)}, &fairSched{}, nil); err == nil {
+		t.Fatal("unknown dependency mode should fail")
+	}
+	if _, err := New(Config{Topology: tp, Utilization: 2}, &fairSched{}, nil); err == nil {
+		t.Fatal("utilization >= 1 should fail")
+	}
+}

@@ -1,0 +1,830 @@
+// Package sim is the flow-level discrete-event simulator the evaluation runs
+// on (paper §V: "We develop a flow-level simulator and it accounts for the
+// flow arrival and departure events, rather than packet sending and
+// receiving events. It updates the rate and the remaining volume of each
+// flow when event occurs.").
+//
+// The engine advances a fluid model: between events every active flow
+// transmits at the rate computed by the netmod allocator; events are job
+// arrivals, flow completions (which may complete coflows, release DAG
+// parents, and complete jobs), and periodic scheduler ticks. Scheduling
+// policies plug in through the Scheduler interface and only assign priority
+// queues; the data plane (SPQ or WRR emulation) turns those into rates.
+//
+// The simulator is deterministic: identical inputs produce identical
+// schedules, byte for byte. All state is confined to one goroutine.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gurita/internal/coflow"
+	"gurita/internal/eventq"
+	"gurita/internal/netmod"
+	"gurita/internal/topo"
+)
+
+// CoflowPhase is the lifecycle of a coflow inside a run.
+type CoflowPhase int
+
+// Coflow lifecycle phases.
+const (
+	// PhaseWaiting: DAG children not yet complete; no flows in the network.
+	PhaseWaiting CoflowPhase = iota + 1
+	// PhaseActive: flows are transmitting.
+	PhaseActive
+	// PhaseDone: all flows completed.
+	PhaseDone
+)
+
+// FlowState is the runtime state of one flow. Schedulers may read all
+// fields; information-agnostic schedulers must not read Flow.Size (only
+// Sent, which is what receivers can observe).
+type FlowState struct {
+	Flow   *coflow.Flow
+	Coflow *CoflowState
+
+	// Demand carries the path, the priority queue assigned by the scheduler,
+	// and the allocated rate. Schedulers set Demand.Queue.
+	Demand netmod.FlowDemand
+
+	// Remaining and Sent are bytes; Sent is the receiver-observable counter.
+	Remaining float64
+	Sent      float64
+
+	Started  float64
+	Finished float64
+	Done     bool
+
+	started   bool
+	activeIdx int // index into Simulator.active, -1 when inactive
+}
+
+// Active reports whether the flow has started and not yet finished (an
+// "open connection" from the receiver's perspective).
+func (f *FlowState) Active() bool { return f.started && !f.Done }
+
+// MarkStarted records that the flow was admitted into the network at the
+// given time. The engine calls this internally; external drivers building
+// runtime states by hand (scheduler unit tests, alternative frontends) must
+// call it for the flow to count as an open connection.
+func (f *FlowState) MarkStarted(now float64) {
+	f.started = true
+	f.Started = now
+}
+
+// Queue returns the currently assigned priority queue.
+func (f *FlowState) Queue() int { return f.Demand.Queue }
+
+// SetQueue assigns the priority queue (0 = highest).
+func (f *FlowState) SetQueue(q int) { f.Demand.Queue = q }
+
+// Rate returns the last allocated rate in bytes/second.
+func (f *FlowState) Rate() float64 { return f.Demand.Rate }
+
+// CoflowState is the runtime state of one coflow.
+type CoflowState struct {
+	Coflow *coflow.Coflow
+	Job    *JobState
+	Flows  []*FlowState
+
+	Phase           CoflowPhase
+	PendingChildren int
+	RemainingFlows  int
+
+	// BytesSent is the observable accumulated bytes across the coflow's
+	// flows — what TBS-based schedulers and Gurita's receivers key on.
+	BytesSent float64
+
+	Started  float64
+	Finished float64
+}
+
+// ObservedWidth returns the number of flows currently transmitting — the
+// receiver-side "open connections" estimate of the horizontal dimension.
+func (c *CoflowState) ObservedWidth() int {
+	n := 0
+	for _, f := range c.Flows {
+		if f.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// ObservedLargest returns the largest per-flow bytes received so far — the
+// receiver-side estimate of the vertical dimension L.
+func (c *CoflowState) ObservedLargest() float64 {
+	best := 0.0
+	for _, f := range c.Flows {
+		if f.Sent > best {
+			best = f.Sent
+		}
+	}
+	return best
+}
+
+// ObservedMeanFlowSize returns the mean bytes received per flow so far.
+func (c *CoflowState) ObservedMeanFlowSize() float64 {
+	if len(c.Flows) == 0 {
+		return 0
+	}
+	return c.BytesSent / float64(len(c.Flows))
+}
+
+// JobState is the runtime state of one job.
+type JobState struct {
+	Job     *coflow.Job
+	Coflows []*CoflowState
+
+	// CompletedStages is the paper's s: the longest prefix of stages fully
+	// completed. stageLeft[k] counts unfinished coflows at stage k+1.
+	CompletedStages int
+	stageLeft       []int
+
+	RemainingCoflows int
+	// BytesSent is the job-level observable TBS.
+	BytesSent float64
+
+	Finished float64
+	Done     bool
+}
+
+// ByID returns the job's coflow state with the given ID, or nil.
+func (j *JobState) ByID(id coflow.CoflowID) *CoflowState {
+	for _, c := range j.Coflows {
+		if c.Coflow.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Env is what the engine exposes to schedulers at Init time.
+type Env struct {
+	Topo   *topo.Topology
+	Queues int
+	// Now returns the current simulation time; valid for the whole run.
+	Now func() float64
+}
+
+// Scheduler is a scheduling policy. The engine calls the On* notifications
+// as the workload unfolds and AssignQueues before every rate allocation;
+// AssignQueues must set Demand.Queue on every flow in flows (0 = highest
+// priority). Implementations must be deterministic.
+type Scheduler interface {
+	Name() string
+	Init(env Env)
+	OnJobArrival(j *JobState)
+	OnCoflowStart(c *CoflowState)
+	OnCoflowComplete(c *CoflowState)
+	OnJobComplete(j *JobState)
+	AssignQueues(now float64, flows []*FlowState)
+}
+
+// DependencyMode selects the granularity at which DAG precedence releases
+// work.
+type DependencyMode int
+
+// Dependency modes.
+const (
+	// DepCoflow (the default) releases a coflow only when every child
+	// coflow has completed — the paper's base model (constraint 1.a).
+	DepCoflow DependencyMode = iota + 1
+	// DepTask implements the paper's §I refinement: "a task in the next
+	// stage can begin processing as soon as its dependent tasks complete".
+	// A parent flow starts once every child flow delivering to its source
+	// server has completed; flows whose source receives nothing from the
+	// children still wait for full child completion.
+	DepTask
+)
+
+func (m DependencyMode) String() string {
+	switch m {
+	case DepCoflow:
+		return "coflow"
+	case DepTask:
+		return "task"
+	default:
+		return fmt.Sprintf("DependencyMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Topology is required.
+	Topology *topo.Topology
+	// Queues is the number of priority queues (default 4, the paper's
+	// evaluation setting).
+	Queues int
+	// Mode selects SPQ or the WRR starvation-mitigation emulation
+	// (default SPQ).
+	Mode netmod.Mode
+	// Tick is the scheduler update interval δ in seconds (default 10 ms).
+	// Priorities are also refreshed at every natural event.
+	Tick float64
+	// MaxFlowRate caps each flow (TCP/NIC); 0 means the link capacity.
+	MaxFlowRate float64
+	// StageDelay is an optional computation delay inserted between a
+	// coflow's children completing and the coflow starting to transmit.
+	StageDelay float64
+	// MaxEvents bounds the run as a safety net (default 200 million).
+	MaxEvents int64
+	// Utilization is the η used for WRR weight derivation (default 0.95).
+	Utilization float64
+	// Dependency selects coflow-level (default) or task-level release.
+	Dependency DependencyMode
+	// Probe, when non-nil, is called roughly every Tick with the current
+	// time and the active flows (rates freshly allocated) — an
+	// instrumentation hook for utilization sampling or tracing. It must not
+	// mutate the flows.
+	Probe func(now float64, active []*FlowState)
+	// TCPSlowStart enables a fluid approximation of TCP slow start: each
+	// flow's rate cap ramps exponentially from InitWindow/RTT, doubling per
+	// RTT, until it reaches MaxFlowRate. Off by default — the paper's
+	// simulator (like most flow-level simulators) models steady-state TCP
+	// only; this knob quantifies what start-up dynamics would change.
+	TCPSlowStart bool
+	// RTT is the round-trip time driving slow start (default 100 µs).
+	RTT float64
+	// InitWindow is the initial congestion window in bytes (default 15 kB,
+	// ≈ 10 segments).
+	InitWindow float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Queues == 0 {
+		c.Queues = 4
+	}
+	if c.Mode == 0 {
+		c.Mode = netmod.ModeSPQ
+	}
+	if c.Tick == 0 {
+		c.Tick = 0.010
+	}
+	if c.MaxFlowRate == 0 && c.Topology != nil {
+		c.MaxFlowRate = c.Topology.LinkCapacity(0)
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 200_000_000
+	}
+	if c.Utilization == 0 {
+		c.Utilization = 0.95
+	}
+	if c.Dependency == 0 {
+		c.Dependency = DepCoflow
+	}
+	if c.RTT == 0 {
+		c.RTT = 100e-6
+	}
+	if c.InitWindow == 0 {
+		c.InitWindow = 15e3
+	}
+}
+
+// JobResult records one finished job.
+type JobResult struct {
+	JobID      coflow.JobID
+	Arrival    float64
+	Finished   float64
+	JCT        float64
+	TotalBytes int64
+	NumStages  int
+	NumCoflows int
+}
+
+// CoflowResult records one finished coflow.
+type CoflowResult struct {
+	CoflowID coflow.CoflowID
+	JobID    coflow.JobID
+	Stage    int
+	Started  float64
+	Finished float64
+	CCT      float64
+	Bytes    int64
+	Width    int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Scheduler string
+	Jobs      []JobResult
+	Coflows   []CoflowResult
+	// EndTime is the simulation time when the last job completed.
+	EndTime float64
+	// Events is the number of processed events.
+	Events int64
+	// TotalBytes is the volume moved across the fabric.
+	TotalBytes int64
+	// MaxActiveFlows is the peak number of concurrently transmitting flows,
+	// a load indicator for the run.
+	MaxActiveFlows int
+}
+
+// AvgJCT returns the average job completion time, or 0 with no jobs.
+func (r *Result) AvgJCT() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, j := range r.Jobs {
+		s += j.JCT
+	}
+	return s / float64(len(r.Jobs))
+}
+
+// AvgCCT returns the average coflow completion time — the paper's other
+// primary metric — or 0 with no coflows.
+func (r *Result) AvgCCT() float64 {
+	if len(r.Coflows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range r.Coflows {
+		s += c.CCT
+	}
+	return s / float64(len(r.Coflows))
+}
+
+// completion epsilon, in bytes: a flow with less than this remaining is
+// finished. Well below one byte, far above float noise at 10G rates.
+const epsBytes = 1e-3
+
+// Simulator runs one scenario. Create with New, run once with Run.
+type Simulator struct {
+	cfg   Config
+	sched Scheduler
+	alloc *netmod.Allocator
+
+	queue eventq.Queue
+	now   float64
+
+	jobs    []*JobState
+	active  []*FlowState
+	demands []*netmod.FlowDemand
+
+	// Task-level dependency wiring (Config.Dependency == DepTask):
+	// dependents maps a child flow to the parent flows it feeds;
+	// feedersLeft counts a parent flow's outstanding feeder flows.
+	dependents  map[coflow.FlowID][]*FlowState
+	feedersLeft map[coflow.FlowID]int
+
+	pendingDone *eventq.Event
+	tickPending bool
+	rampPending bool
+	lastProbe   float64
+	probed      bool
+
+	result Result
+	ran    bool
+}
+
+// New validates the configuration and prepares a run over the given jobs.
+// Jobs must have been produced by coflow.Builder (validated DAGs). The jobs
+// slice is not modified.
+func New(cfg Config, sched Scheduler, jobs []*coflow.Job) (*Simulator, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: Config.Topology is required")
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("sim: scheduler is required")
+	}
+	cfg.applyDefaults()
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("sim: Tick must be positive, got %v", cfg.Tick)
+	}
+	if cfg.StageDelay < 0 {
+		return nil, fmt.Errorf("sim: StageDelay must be >= 0, got %v", cfg.StageDelay)
+	}
+	if cfg.MaxFlowRate < 0 {
+		return nil, fmt.Errorf("sim: MaxFlowRate must be >= 0, got %v", cfg.MaxFlowRate)
+	}
+	if cfg.RTT < 0 || cfg.InitWindow < 0 {
+		return nil, fmt.Errorf("sim: RTT and InitWindow must be >= 0")
+	}
+	if cfg.Dependency != DepCoflow && cfg.Dependency != DepTask {
+		return nil, fmt.Errorf("sim: unknown dependency mode %v", cfg.Dependency)
+	}
+	alloc, err := netmod.NewAllocator(cfg.Topology, cfg.Queues, cfg.Mode,
+		netmod.WithUtilization(cfg.Utilization))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Simulator{cfg: cfg, sched: sched, alloc: alloc}
+	if cfg.Dependency == DepTask {
+		s.dependents = make(map[coflow.FlowID][]*FlowState)
+		s.feedersLeft = make(map[coflow.FlowID]int)
+	}
+
+	// Schedulers key state on job, coflow, and flow IDs; duplicates across
+	// the workload silently corrupt those maps, so reject them up front.
+	// (Builders given shared counters, and all generators, produce unique
+	// IDs automatically.)
+	jobIDs := make(map[coflow.JobID]bool, len(jobs))
+	coflowIDs := make(map[coflow.CoflowID]bool)
+	flowIDs := make(map[coflow.FlowID]bool)
+	for _, j := range jobs {
+		if jobIDs[j.ID] {
+			return nil, fmt.Errorf("sim: duplicate job ID %d", j.ID)
+		}
+		jobIDs[j.ID] = true
+		for _, c := range j.Coflows {
+			if coflowIDs[c.ID] {
+				return nil, fmt.Errorf("sim: duplicate coflow ID %d (build jobs with shared ID counters)", c.ID)
+			}
+			coflowIDs[c.ID] = true
+			for _, f := range c.Flows {
+				if flowIDs[f.ID] {
+					return nil, fmt.Errorf("sim: duplicate flow ID %d (build jobs with shared ID counters)", f.ID)
+				}
+				flowIDs[f.ID] = true
+			}
+		}
+	}
+
+	for _, j := range jobs {
+		if j.Arrival < 0 {
+			return nil, fmt.Errorf("sim: job %d has negative arrival %v", j.ID, j.Arrival)
+		}
+		js := &JobState{
+			Job:              j,
+			RemainingCoflows: len(j.Coflows),
+			stageLeft:        make([]int, j.NumStages),
+		}
+		for _, c := range j.Coflows {
+			cs := &CoflowState{
+				Coflow:          c,
+				Job:             js,
+				Phase:           PhaseWaiting,
+				PendingChildren: len(c.Children),
+				RemainingFlows:  len(c.Flows),
+			}
+			for _, fl := range c.Flows {
+				cs.Flows = append(cs.Flows, &FlowState{
+					Flow:      fl,
+					Coflow:    cs,
+					Remaining: float64(fl.Size),
+					activeIdx: -1,
+				})
+			}
+			js.Coflows = append(js.Coflows, cs)
+			js.stageLeft[c.Stage-1]++
+		}
+		if cfg.Dependency == DepTask {
+			s.wireTaskDependencies(js)
+		}
+		s.jobs = append(s.jobs, js)
+	}
+	// Sort arrival events by time for reproducibility regardless of input
+	// order; ties resolve by job ID.
+	order := make([]*JobState, len(s.jobs))
+	copy(order, s.jobs)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Job.Arrival != order[b].Job.Arrival {
+			return order[a].Job.Arrival < order[b].Job.Arrival
+		}
+		return order[a].Job.ID < order[b].Job.ID
+	})
+	for _, js := range order {
+		js := js
+		s.queue.Schedule(js.Job.Arrival, func() { s.handleArrival(js) })
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion and returns the results. A
+// Simulator is single-use.
+func (s *Simulator) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("sim: Run called twice")
+	}
+	s.ran = true
+	s.sched.Init(Env{
+		Topo:   s.cfg.Topology,
+		Queues: s.cfg.Queues,
+		Now:    func() float64 { return s.now },
+	})
+
+	var events int64
+	for s.queue.Len() > 0 {
+		events++
+		if events > s.cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v (possible livelock)", s.cfg.MaxEvents, s.now)
+		}
+		ev := s.queue.Pop()
+		s.advanceTo(ev.Time)
+		ev.Fire()
+		// Batch every event at this instant before reallocating.
+		for {
+			next := s.queue.Peek()
+			if next == nil || next.Time > s.now {
+				break
+			}
+			events++
+			s.queue.Pop().Fire()
+		}
+		s.reallocate()
+	}
+
+	s.result.Scheduler = s.sched.Name()
+	s.result.Events = events
+	sort.Slice(s.result.Jobs, func(a, b int) bool {
+		return s.result.Jobs[a].JobID < s.result.Jobs[b].JobID
+	})
+	sort.Slice(s.result.Coflows, func(a, b int) bool {
+		return s.result.Coflows[a].CoflowID < s.result.Coflows[b].CoflowID
+	})
+	return &s.result, nil
+}
+
+// advanceTo moves the clock forward, draining bytes at current rates.
+func (s *Simulator) advanceTo(t float64) {
+	dt := t - s.now
+	if dt < 0 {
+		// Guard against float noise in event times.
+		dt = 0
+	}
+	if dt > 0 {
+		for _, f := range s.active {
+			if f.Demand.Rate > 0 {
+				moved := f.Demand.Rate * dt
+				if moved > f.Remaining {
+					moved = f.Remaining
+				}
+				f.Remaining -= moved
+				f.Sent += moved
+				f.Coflow.BytesSent += moved
+				f.Coflow.Job.BytesSent += moved
+			}
+		}
+	}
+	s.now = t
+}
+
+// wireTaskDependencies indexes, for every non-leaf flow, the child flows
+// that deliver data to its source server (its "feeders"). Flows with no
+// feeders keep coflow-level release semantics.
+func (s *Simulator) wireTaskDependencies(js *JobState) {
+	for _, cs := range js.Coflows {
+		if len(cs.Coflow.Children) == 0 {
+			continue
+		}
+		// Destination index over the children's flow states.
+		byDst := make(map[topo.ServerID][]*FlowState)
+		for _, child := range cs.Coflow.Children {
+			childState := js.Coflows[indexOf(js.Job.Coflows, child)]
+			for _, cf := range childState.Flows {
+				byDst[cf.Flow.Dst] = append(byDst[cf.Flow.Dst], cf)
+			}
+		}
+		for _, fs := range cs.Flows {
+			feeders := byDst[fs.Flow.Src]
+			if len(feeders) == 0 {
+				continue
+			}
+			s.feedersLeft[fs.Flow.ID] = len(feeders)
+			for _, feeder := range feeders {
+				s.dependents[feeder.Flow.ID] = append(s.dependents[feeder.Flow.ID], fs)
+			}
+		}
+	}
+}
+
+func (s *Simulator) handleArrival(js *JobState) {
+	s.sched.OnJobArrival(js)
+	for _, cs := range js.Coflows {
+		if cs.PendingChildren == 0 {
+			s.releaseCoflow(cs)
+		}
+	}
+	s.ensureTick()
+}
+
+// releaseCoflow starts every not-yet-started flow of the coflow.
+func (s *Simulator) releaseCoflow(cs *CoflowState) {
+	for _, fs := range cs.Flows {
+		s.startFlow(fs)
+	}
+}
+
+// startFlow admits one flow into the network; the first flow of a coflow
+// transitions it to PhaseActive and notifies the scheduler.
+func (s *Simulator) startFlow(fs *FlowState) {
+	if fs.started {
+		return
+	}
+	fs.MarkStarted(s.now)
+	fs.activeIdx = len(s.active)
+	fl := fs.Flow
+	fs.Demand.Path = s.cfg.Topology.Path(fl.Src, fl.Dst,
+		topo.ECMPHash(fl.Src, fl.Dst, uint64(fl.ID)))
+	fs.Demand.MaxRate = s.cfg.MaxFlowRate
+	s.active = append(s.active, fs)
+	s.demands = append(s.demands, &fs.Demand)
+	s.result.TotalBytes += fl.Size
+	if len(s.active) > s.result.MaxActiveFlows {
+		s.result.MaxActiveFlows = len(s.active)
+	}
+
+	cs := fs.Coflow
+	if cs.Phase == PhaseWaiting {
+		cs.Phase = PhaseActive
+		cs.Started = s.now
+		s.sched.OnCoflowStart(cs)
+	}
+}
+
+// finishFlow retires a completed flow and cascades coflow/job completion.
+func (s *Simulator) finishFlow(fs *FlowState) {
+	fs.Done = true
+	fs.Finished = s.now
+	fs.Remaining = 0
+
+	// Swap-remove from the active set.
+	i := fs.activeIdx
+	last := len(s.active) - 1
+	s.active[i] = s.active[last]
+	s.active[i].activeIdx = i
+	s.active = s.active[:last]
+	s.demands[i] = s.demands[last]
+	s.demands = s.demands[:last]
+	fs.activeIdx = -1
+
+	// Task-level release: parent flows fed solely by completed child flows
+	// may start before the whole child coflow finishes (§I).
+	if s.dependents != nil {
+		for _, parent := range s.dependents[fs.Flow.ID] {
+			s.feedersLeft[parent.Flow.ID]--
+			if s.feedersLeft[parent.Flow.ID] == 0 {
+				if s.cfg.StageDelay > 0 {
+					parent := parent
+					s.queue.Schedule(s.now+s.cfg.StageDelay, func() { s.startFlow(parent) })
+				} else {
+					s.startFlow(parent)
+				}
+			}
+		}
+	}
+
+	cs := fs.Coflow
+	cs.RemainingFlows--
+	if cs.RemainingFlows > 0 {
+		return
+	}
+
+	// Coflow completed.
+	cs.Phase = PhaseDone
+	cs.Finished = s.now
+	js := cs.Job
+	s.result.Coflows = append(s.result.Coflows, CoflowResult{
+		CoflowID: cs.Coflow.ID,
+		JobID:    js.Job.ID,
+		Stage:    cs.Coflow.Stage,
+		Started:  cs.Started,
+		Finished: cs.Finished,
+		CCT:      cs.Finished - cs.Started,
+		Bytes:    cs.Coflow.TotalBytes(),
+		Width:    cs.Coflow.Width(),
+	})
+	js.stageLeft[cs.Coflow.Stage-1]--
+	for js.CompletedStages < len(js.stageLeft) && js.stageLeft[js.CompletedStages] == 0 {
+		js.CompletedStages++
+	}
+	s.sched.OnCoflowComplete(cs)
+
+	// Release parents whose children are now all complete.
+	for _, p := range cs.Coflow.Parents {
+		ps := js.Coflows[indexOf(js.Job.Coflows, p)]
+		ps.PendingChildren--
+		if ps.PendingChildren == 0 {
+			if s.cfg.StageDelay > 0 {
+				ps := ps
+				s.queue.Schedule(s.now+s.cfg.StageDelay, func() { s.releaseCoflow(ps) })
+			} else {
+				s.releaseCoflow(ps)
+			}
+		}
+	}
+
+	js.RemainingCoflows--
+	if js.RemainingCoflows == 0 {
+		js.Done = true
+		js.Finished = s.now
+		if s.now > s.result.EndTime {
+			s.result.EndTime = s.now
+		}
+		s.result.Jobs = append(s.result.Jobs, JobResult{
+			JobID:      js.Job.ID,
+			Arrival:    js.Job.Arrival,
+			Finished:   js.Finished,
+			JCT:        js.Finished - js.Job.Arrival,
+			TotalBytes: js.Job.TotalBytes(),
+			NumStages:  js.Job.NumStages,
+			NumCoflows: len(js.Job.Coflows),
+		})
+		s.sched.OnJobComplete(js)
+	}
+}
+
+// indexOf locates a coflow within its job's static slice. Jobs have modest
+// coflow counts (production mean depth 5), so a linear scan beats a map.
+func indexOf(cs []*coflow.Coflow, c *coflow.Coflow) int {
+	for i, x := range cs {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// reallocate refreshes priorities and rates, finishes any flows that are
+// already done, and schedules the next completion event.
+func (s *Simulator) reallocate() {
+	// Retire flows drained by advanceTo (batch completions at this instant).
+	// finishFlow swap-removes index i (so it is re-examined) and may start
+	// parent coflows, whose flows append to the tail and are scanned too.
+	for i := 0; i < len(s.active); i++ {
+		if s.active[i].Remaining <= epsBytes {
+			s.finishFlow(s.active[i])
+			i--
+		}
+	}
+
+	if s.pendingDone != nil {
+		s.queue.Cancel(s.pendingDone)
+		s.pendingDone = nil
+	}
+	if len(s.active) == 0 {
+		return
+	}
+
+	// TCP slow start: cap each flow's rate by its ramping congestion
+	// window; while any flow ramps, wake up every RTT so caps refresh.
+	ramping := false
+	if s.cfg.TCPSlowStart {
+		for _, f := range s.active {
+			cap := s.slowStartCap(s.now - f.Started)
+			if cap < s.cfg.MaxFlowRate {
+				ramping = true
+			} else {
+				cap = s.cfg.MaxFlowRate
+			}
+			f.Demand.MaxRate = cap
+		}
+	}
+
+	s.sched.AssignQueues(s.now, s.active)
+	s.alloc.Allocate(s.demands)
+
+	next := -1.0
+	for _, f := range s.active {
+		if f.Demand.Rate <= 0 {
+			continue
+		}
+		t := f.Remaining / f.Demand.Rate
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if next >= 0 {
+		// Never schedule in the past relative to float granularity.
+		at := s.now + next
+		if at <= s.now {
+			at = s.now + 1e-12
+		}
+		s.pendingDone = s.queue.Schedule(at, func() {})
+	}
+	if ramping && !s.rampPending {
+		s.rampPending = true
+		s.queue.Schedule(s.now+s.cfg.RTT, func() { s.rampPending = false })
+	}
+	if s.cfg.Probe != nil && (!s.probed || s.now-s.lastProbe >= s.cfg.Tick) {
+		s.probed = true
+		s.lastProbe = s.now
+		s.cfg.Probe(s.now, s.active)
+	}
+	s.ensureTick()
+}
+
+// slowStartCap returns the rate allowed by a congestion window that started
+// ramping age seconds ago: InitWindow/RTT doubling every RTT.
+func (s *Simulator) slowStartCap(age float64) float64 {
+	if age < 0 {
+		age = 0
+	}
+	return s.cfg.InitWindow / s.cfg.RTT * math.Pow(2, age/s.cfg.RTT)
+}
+
+// ensureTick keeps the periodic scheduler tick alive while flows are active.
+func (s *Simulator) ensureTick() {
+	if s.tickPending || len(s.active) == 0 {
+		return
+	}
+	s.tickPending = true
+	s.queue.Schedule(s.now+s.cfg.Tick, func() {
+		s.tickPending = false
+		s.ensureTick()
+	})
+}

@@ -1,0 +1,533 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/netmod"
+	"gurita/internal/topo"
+)
+
+// fairSched places every flow in the top queue: combined with max-min
+// allocation this is per-flow fair sharing, an analytically tractable
+// baseline for engine tests.
+type fairSched struct{ inited bool }
+
+func (s *fairSched) Name() string                  { return "fair" }
+func (s *fairSched) Init(Env)                      { s.inited = true }
+func (s *fairSched) OnJobArrival(*JobState)        {}
+func (s *fairSched) OnCoflowStart(*CoflowState)    {}
+func (s *fairSched) OnCoflowComplete(*CoflowState) {}
+func (s *fairSched) OnJobComplete(*JobState)       {}
+func (s *fairSched) AssignQueues(_ float64, fl []*FlowState) {
+	for _, f := range fl {
+		f.SetQueue(0)
+	}
+}
+
+var _ Scheduler = (*fairSched)(nil)
+
+func bigSwitch(t *testing.T, n int, cap float64) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewBigSwitch(n, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// singleFlowJob builds a one-coflow one-flow job. Coflow and flow IDs are
+// derived from the job ID so that jobs built separately stay unique within
+// one workload (the simulator rejects duplicates).
+func singleFlowJob(t *testing.T, id coflow.JobID, arrival float64, src, dst topo.ServerID, size int64) *coflow.Job {
+	t.Helper()
+	cid := coflow.CoflowID(id * 1000)
+	fid := coflow.FlowID(id * 1000)
+	b := coflow.NewBuilder(id, arrival, &cid, &fid)
+	b.AddCoflow(coflow.FlowSpec{Src: src, Dst: dst, Size: size})
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func run(t *testing.T, cfg Config, sched Scheduler, jobs []*coflow.Job) *Result {
+	t.Helper()
+	s, err := New(cfg, sched, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleFlowCompletionTime(t *testing.T) {
+	tp := bigSwitch(t, 2, 100) // 100 B/s links
+	j := singleFlowJob(t, 1, 0, 0, 1, 1000)
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j})
+	if len(res.Jobs) != 1 {
+		t.Fatalf("jobs completed = %d, want 1", len(res.Jobs))
+	}
+	// 1000 B at 100 B/s = 10 s.
+	if got := res.Jobs[0].JCT; math.Abs(got-10) > 1e-6 {
+		t.Fatalf("JCT = %v, want 10", got)
+	}
+	if res.Scheduler != "fair" {
+		t.Fatalf("Scheduler = %q", res.Scheduler)
+	}
+	if res.EndTime != res.Jobs[0].Finished {
+		t.Fatalf("EndTime = %v, want %v", res.EndTime, res.Jobs[0].Finished)
+	}
+}
+
+func TestTwoFlowsShareUplink(t *testing.T) {
+	tp := bigSwitch(t, 3, 100)
+	// Both flows leave server 0: share the 100 B/s uplink, 50 B/s each.
+	j1 := singleFlowJob(t, 1, 0, 0, 1, 500)
+	j2 := singleFlowJob(t, 2, 0, 0, 2, 500)
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j1, j2})
+	for _, jr := range res.Jobs {
+		if math.Abs(jr.JCT-10) > 1e-6 {
+			t.Fatalf("job %d JCT = %v, want 10 (fair share)", jr.JobID, jr.JCT)
+		}
+	}
+}
+
+// TestWorkConservingHandoff: when the short flow finishes, the long one
+// picks up the full link: 500 B and 1000 B sharing 100 B/s. Short: drains
+// 500 at 50 B/s = 10 s. Long: 500 left after 10 s, then 100 B/s → 15 s.
+func TestWorkConservingHandoff(t *testing.T) {
+	tp := bigSwitch(t, 3, 100)
+	j1 := singleFlowJob(t, 1, 0, 0, 1, 500)
+	j2 := singleFlowJob(t, 2, 0, 0, 2, 1000)
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j1, j2})
+	if got := res.Jobs[0].JCT; math.Abs(got-10) > 1e-6 {
+		t.Fatalf("short JCT = %v, want 10", got)
+	}
+	if got := res.Jobs[1].JCT; math.Abs(got-15) > 1e-6 {
+		t.Fatalf("long JCT = %v, want 15", got)
+	}
+}
+
+// TestLateArrival: second flow arrives mid-way; rates adjust at arrival.
+// Flow A: 1000 B alone for 5 s (500 done), then shares (50 B/s): 10 s more.
+func TestLateArrival(t *testing.T) {
+	tp := bigSwitch(t, 3, 100)
+	j1 := singleFlowJob(t, 1, 0, 0, 1, 1000)
+	j2 := singleFlowJob(t, 2, 5, 0, 2, 1000)
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j1, j2})
+	if got := res.Jobs[0].JCT; math.Abs(got-15) > 1e-6 {
+		t.Fatalf("A JCT = %v, want 15", got)
+	}
+	// B: shares 5 s (250 B done at 50 B/s)... both finish computation:
+	// at t=15 A done (B has sent 500), B finishes remaining 500 at 100 B/s
+	// by t=20, JCT = 15.
+	if got := res.Jobs[1].JCT; math.Abs(got-15) > 1e-6 {
+		t.Fatalf("B JCT = %v, want 15", got)
+	}
+}
+
+// TestDAGStageRelease: a 2-stage chain; stage 2 starts only after stage 1
+// completes, so JCT is the sum of both transfers.
+func TestDAGStageRelease(t *testing.T) {
+	tp := bigSwitch(t, 4, 100)
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	c1 := b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 500})
+	c2 := b.AddCoflow(coflow.FlowSpec{Src: 1, Dst: 2, Size: 300})
+	b.Depends(c2, c1)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j})
+	if got := res.Jobs[0].JCT; math.Abs(got-8) > 1e-6 {
+		t.Fatalf("JCT = %v, want 8 (5 + 3 sequential stages)", got)
+	}
+	if len(res.Coflows) != 2 {
+		t.Fatalf("coflow results = %d, want 2", len(res.Coflows))
+	}
+	var first, second CoflowResult
+	for _, cr := range res.Coflows {
+		if cr.Stage == 1 {
+			first = cr
+		} else {
+			second = cr
+		}
+	}
+	if second.Started < first.Finished-1e-9 {
+		t.Fatalf("stage 2 started at %v before stage 1 finished at %v", second.Started, first.Finished)
+	}
+}
+
+// TestStageDelay: configured compute delay is inserted between stages.
+func TestStageDelay(t *testing.T) {
+	tp := bigSwitch(t, 4, 100)
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	c1 := b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 500})
+	c2 := b.AddCoflow(coflow.FlowSpec{Src: 1, Dst: 2, Size: 300})
+	b.Depends(c2, c1)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, Config{Topology: tp, StageDelay: 2}, &fairSched{}, []*coflow.Job{j})
+	if got := res.Jobs[0].JCT; math.Abs(got-10) > 1e-6 {
+		t.Fatalf("JCT = %v, want 10 (5 + 2 delay + 3)", got)
+	}
+}
+
+// TestParallelChainsWithinJob: two independent chains inside one job overlap.
+func TestParallelChainsWithinJob(t *testing.T) {
+	tp := bigSwitch(t, 8, 100)
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	a1 := b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 500})
+	a2 := b.AddCoflow(coflow.FlowSpec{Src: 1, Dst: 2, Size: 500})
+	b.Chain(a1, a2)
+	c1 := b.AddCoflow(coflow.FlowSpec{Src: 3, Dst: 4, Size: 500})
+	c2 := b.AddCoflow(coflow.FlowSpec{Src: 4, Dst: 5, Size: 500})
+	b.Chain(c1, c2)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j})
+	// Disjoint hosts: chains run in parallel, each 10 s.
+	if got := res.Jobs[0].JCT; math.Abs(got-10) > 1e-6 {
+		t.Fatalf("JCT = %v, want 10", got)
+	}
+}
+
+// TestMultiFlowCoflowCCT: a coflow completes when its slowest flow does.
+func TestMultiFlowCoflowCCT(t *testing.T) {
+	tp := bigSwitch(t, 4, 100)
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	b.AddCoflow(
+		coflow.FlowSpec{Src: 0, Dst: 2, Size: 100},
+		coflow.FlowSpec{Src: 1, Dst: 3, Size: 900},
+	)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, Config{Topology: tp}, &fairSched{}, []*coflow.Job{j})
+	// Disjoint paths: flows at 100 B/s; slowest = 9 s.
+	if got := res.Coflows[0].CCT; math.Abs(got-9) > 1e-6 {
+		t.Fatalf("CCT = %v, want 9", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tp := bigSwitch(t, 2, 100)
+	j := singleFlowJob(t, 1, 0, 0, 1, 10)
+	if _, err := New(Config{}, &fairSched{}, nil); err == nil {
+		t.Error("missing topology should fail")
+	}
+	if _, err := New(Config{Topology: tp}, nil, nil); err == nil {
+		t.Error("missing scheduler should fail")
+	}
+	if _, err := New(Config{Topology: tp, Tick: -1}, &fairSched{}, nil); err == nil {
+		t.Error("negative tick should fail")
+	}
+	if _, err := New(Config{Topology: tp, StageDelay: -1}, &fairSched{}, nil); err == nil {
+		t.Error("negative stage delay should fail")
+	}
+	bad := singleFlowJob(t, 2, 0, 0, 1, 10)
+	bad.Arrival = -5
+	if _, err := New(Config{Topology: tp}, &fairSched{}, []*coflow.Job{bad}); err == nil {
+		t.Error("negative arrival should fail")
+	}
+	s, err := New(Config{Topology: tp}, &fairSched{}, []*coflow.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("Run twice should fail")
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	tp := bigSwitch(t, 2, 100)
+	res := run(t, Config{Topology: tp}, &fairSched{}, nil)
+	if len(res.Jobs) != 0 || res.EndTime != 0 {
+		t.Fatalf("empty workload: %+v", res)
+	}
+	if res.AvgJCT() != 0 {
+		t.Fatal("AvgJCT of empty result should be 0")
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	tp := bigSwitch(t, 2, 100)
+	j := singleFlowJob(t, 1, 0, 0, 1, 1e12)
+	s, err := New(Config{Topology: tp, MaxEvents: 3, Tick: 0.001}, &fairSched{}, []*coflow.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("MaxEvents guard should trip")
+	}
+}
+
+// TestDeterminism: identical workloads produce bit-identical results.
+func TestDeterminism(t *testing.T) {
+	tp := bigSwitch(t, 16, 1e6)
+	mk := func() []*coflow.Job {
+		rng := rand.New(rand.NewSource(77))
+		var cid coflow.CoflowID
+		var fid coflow.FlowID
+		var jobs []*coflow.Job
+		for i := 0; i < 30; i++ {
+			b := coflow.NewBuilder(coflow.JobID(i), rng.Float64(), &cid, &fid)
+			prev := -1
+			stages := 1 + rng.Intn(3)
+			for st := 0; st < stages; st++ {
+				var specs []coflow.FlowSpec
+				for f := 0; f < 1+rng.Intn(4); f++ {
+					specs = append(specs, coflow.FlowSpec{
+						Src:  topo.ServerID(rng.Intn(16)),
+						Dst:  topo.ServerID(rng.Intn(16)),
+						Size: int64(1000 + rng.Intn(100000)),
+					})
+				}
+				h := b.AddCoflow(specs...)
+				if prev >= 0 {
+					b.Depends(h, prev)
+				}
+				prev = h
+			}
+			j, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		return jobs
+	}
+	r1 := run(t, Config{Topology: tp}, &fairSched{}, mk())
+	r2 := run(t, Config{Topology: tp}, &fairSched{}, mk())
+	if len(r1.Jobs) != len(r2.Jobs) {
+		t.Fatal("different job counts")
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i] != r2.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, r1.Jobs[i], r2.Jobs[i])
+		}
+	}
+}
+
+// TestAllJobsComplete: every submitted job finishes, regardless of shape.
+func TestAllJobsComplete(t *testing.T) {
+	tp := bigSwitch(t, 32, 1e6)
+	rng := rand.New(rand.NewSource(5))
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	var jobs []*coflow.Job
+	for i := 0; i < 50; i++ {
+		b := coflow.NewBuilder(coflow.JobID(i), rng.Float64()*10, &cid, &fid)
+		n := 1 + rng.Intn(6)
+		var hs []int
+		for c := 0; c < n; c++ {
+			hs = append(hs, b.AddCoflow(coflow.FlowSpec{
+				Src:  topo.ServerID(rng.Intn(32)),
+				Dst:  topo.ServerID(rng.Intn(32)),
+				Size: int64(100 + rng.Intn(1000000)),
+			}))
+			// Random DAG edges to earlier coflows.
+			for _, p := range hs[:len(hs)-1] {
+				if rng.Intn(3) == 0 {
+					b.Depends(hs[len(hs)-1], p)
+				}
+			}
+		}
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	res := run(t, Config{Topology: tp}, &fairSched{}, jobs)
+	if len(res.Jobs) != 50 {
+		t.Fatalf("completed %d/50 jobs", len(res.Jobs))
+	}
+	for _, jr := range res.Jobs {
+		if jr.JCT <= 0 {
+			t.Fatalf("job %d has non-positive JCT %v", jr.JobID, jr.JCT)
+		}
+	}
+}
+
+// TestObservedAccessors: receiver-side observations track actual progress.
+func TestObservedAccessors(t *testing.T) {
+	tp := bigSwitch(t, 4, 100)
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	b.AddCoflow(
+		coflow.FlowSpec{Src: 0, Dst: 2, Size: 400},
+		coflow.FlowSpec{Src: 1, Dst: 3, Size: 200},
+	)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observe mid-flight via a scheduler hook.
+	probe := &probeSched{at: 1.0}
+	res := run(t, Config{Topology: tp, Tick: 0.5}, probe, []*coflow.Job{j})
+	if len(res.Jobs) != 1 {
+		t.Fatal("job did not finish")
+	}
+	if probe.width != 2 {
+		t.Fatalf("ObservedWidth = %d, want 2", probe.width)
+	}
+	// At t>=1 s both flows sent ~100 B each.
+	if probe.largest < 90 || probe.largest > 210 {
+		t.Fatalf("ObservedLargest = %v, want ~100", probe.largest)
+	}
+	if probe.mean <= 0 {
+		t.Fatalf("ObservedMeanFlowSize = %v, want > 0", probe.mean)
+	}
+}
+
+type probeSched struct {
+	at      float64
+	width   int
+	largest float64
+	mean    float64
+	sampled bool
+}
+
+func (s *probeSched) Name() string                  { return "probe" }
+func (s *probeSched) Init(Env)                      {}
+func (s *probeSched) OnJobArrival(*JobState)        {}
+func (s *probeSched) OnCoflowStart(*CoflowState)    {}
+func (s *probeSched) OnCoflowComplete(*CoflowState) {}
+func (s *probeSched) OnJobComplete(*JobState)       {}
+func (s *probeSched) AssignQueues(now float64, fl []*FlowState) {
+	for _, f := range fl {
+		f.SetQueue(0)
+	}
+	if !s.sampled && now >= s.at && len(fl) > 0 {
+		s.sampled = true
+		c := fl[0].Coflow
+		s.width = c.ObservedWidth()
+		s.largest = c.ObservedLargest()
+		s.mean = c.ObservedMeanFlowSize()
+	}
+}
+
+// TestPriorityStarvationUnderSPQ: a scheduler that pins one flow to a low
+// queue starves it while a high-priority flow shares its path, and the low
+// flow still completes afterwards.
+type pinSched struct{ lowJob coflow.JobID }
+
+func (s *pinSched) Name() string                  { return "pin" }
+func (s *pinSched) Init(Env)                      {}
+func (s *pinSched) OnJobArrival(*JobState)        {}
+func (s *pinSched) OnCoflowStart(*CoflowState)    {}
+func (s *pinSched) OnCoflowComplete(*CoflowState) {}
+func (s *pinSched) OnJobComplete(*JobState)       {}
+func (s *pinSched) AssignQueues(_ float64, fl []*FlowState) {
+	for _, f := range fl {
+		if f.Coflow.Job.Job.ID == s.lowJob {
+			f.SetQueue(3)
+		} else {
+			f.SetQueue(0)
+		}
+	}
+}
+
+func TestPriorityStarvationUnderSPQ(t *testing.T) {
+	tp := bigSwitch(t, 3, 100)
+	hi := singleFlowJob(t, 1, 0, 0, 1, 1000)
+	lo := singleFlowJob(t, 2, 0, 0, 2, 500)
+	res := run(t, Config{Topology: tp, Mode: netmod.ModeSPQ}, &pinSched{lowJob: 2}, []*coflow.Job{hi, lo})
+	var hiJCT, loJCT float64
+	for _, jr := range res.Jobs {
+		if jr.JobID == 1 {
+			hiJCT = jr.JCT
+		} else {
+			loJCT = jr.JCT
+		}
+	}
+	if math.Abs(hiJCT-10) > 1e-6 {
+		t.Fatalf("high JCT = %v, want 10 (full rate)", hiJCT)
+	}
+	if math.Abs(loJCT-15) > 1e-6 {
+		t.Fatalf("low JCT = %v, want 15 (starved 10 s, then 5 s)", loJCT)
+	}
+}
+
+// TestWRRModeAvoidsStarvation: the same scenario under WRR gives the
+// low-priority flow a guaranteed trickle, which is visible as the
+// high-priority flow finishing later than its SPQ line-rate time (10 s).
+// (The low flow still finishes at t=15: the bottleneck stays saturated, so
+// total drain time is fixed; what WRR changes is who progresses when.)
+func TestWRRModeAvoidsStarvation(t *testing.T) {
+	tp := bigSwitch(t, 3, 100)
+	hi := singleFlowJob(t, 1, 0, 0, 1, 1000)
+	lo := singleFlowJob(t, 2, 0, 0, 2, 500)
+	res := run(t, Config{Topology: tp, Mode: netmod.ModeWRR}, &pinSched{lowJob: 2}, []*coflow.Job{hi, lo})
+	var hiJCT, loJCT float64
+	for _, jr := range res.Jobs {
+		if jr.JobID == 1 {
+			hiJCT = jr.JCT
+		} else {
+			loJCT = jr.JCT
+		}
+	}
+	if hiJCT <= 10+1e-6 {
+		t.Fatalf("high JCT = %v under WRR, want > 10 (low tier must get a share)", hiJCT)
+	}
+	if loJCT > 15+1e-6 {
+		t.Fatalf("low JCT = %v, want <= 15", loJCT)
+	}
+}
+
+// TestCompletedStages tracks the paper's s counter.
+func TestCompletedStages(t *testing.T) {
+	tp := bigSwitch(t, 4, 100)
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	c1 := b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: 100})
+	c2 := b.AddCoflow(coflow.FlowSpec{Src: 1, Dst: 2, Size: 100})
+	c3 := b.AddCoflow(coflow.FlowSpec{Src: 2, Dst: 3, Size: 100})
+	b.Chain(c1, c2, c3)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &stageTracker{}
+	run(t, Config{Topology: tp}, tr, []*coflow.Job{j})
+	want := []int{0, 1, 2}
+	if len(tr.seen) != 3 {
+		t.Fatalf("coflow starts = %d, want 3", len(tr.seen))
+	}
+	for i, got := range tr.seen {
+		if got != want[i] {
+			t.Fatalf("CompletedStages at start %d = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+type stageTracker struct{ seen []int }
+
+func (s *stageTracker) Name() string           { return "stages" }
+func (s *stageTracker) Init(Env)               {}
+func (s *stageTracker) OnJobArrival(*JobState) {}
+func (s *stageTracker) OnCoflowStart(c *CoflowState) {
+	s.seen = append(s.seen, c.Job.CompletedStages)
+}
+func (s *stageTracker) OnCoflowComplete(*CoflowState) {}
+func (s *stageTracker) OnJobComplete(*JobState)       {}
+func (s *stageTracker) AssignQueues(_ float64, fl []*FlowState) {
+	for _, f := range fl {
+		f.SetQueue(0)
+	}
+}

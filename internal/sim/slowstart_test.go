@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"gurita/internal/coflow"
+)
+
+func TestSlowStartConfigValidation(t *testing.T) {
+	tp := bigSwitch(t, 2, 1.25e9)
+	if _, err := New(Config{Topology: tp, RTT: -1}, &fairSched{}, nil); err == nil {
+		t.Fatal("negative RTT should fail")
+	}
+	if _, err := New(Config{Topology: tp, InitWindow: -1}, &fairSched{}, nil); err == nil {
+		t.Fatal("negative InitWindow should fail")
+	}
+}
+
+// TestSlowStartDelaysMice: a mouse flow's completion is dominated by the
+// window ramp, not the line rate.
+func TestSlowStartDelaysMice(t *testing.T) {
+	tp := bigSwitch(t, 2, 1.25e9) // 10G
+	mk := func() []*coflow.Job {
+		return []*coflow.Job{singleFlowJob(t, 1, 0, 0, 1, 50e3)} // 50 kB
+	}
+	fast := run(t, Config{Topology: tp}, &fairSched{}, mk())
+	// Line rate: 50e3/1.25e9 = 40 µs.
+	if got := fast.Jobs[0].JCT; math.Abs(got-4e-5) > 1e-9 {
+		t.Fatalf("steady-state JCT = %v, want 40 µs", got)
+	}
+	slow := run(t, Config{Topology: tp, TCPSlowStart: true}, &fairSched{}, mk())
+	got := slow.Jobs[0].JCT
+	if got <= 4e-5 {
+		t.Fatalf("slow-start JCT = %v, want > line-rate 40 µs", got)
+	}
+	// The ramp reaches line rate within ~14 RTTs; a 50 kB flow must finish
+	// within a handful of RTTs (100 µs each).
+	if got > 2e-3 {
+		t.Fatalf("slow-start JCT = %v, implausibly slow", got)
+	}
+}
+
+// TestSlowStartBarelyAffectsElephants: the ramp is a fixed ~1 ms prologue,
+// negligible against an 800 ms transfer.
+func TestSlowStartBarelyAffectsElephants(t *testing.T) {
+	tp := bigSwitch(t, 2, 1.25e9)
+	mk := func() []*coflow.Job {
+		return []*coflow.Job{singleFlowJob(t, 1, 0, 0, 1, 1e9)} // 1 GB
+	}
+	fast := run(t, Config{Topology: tp}, &fairSched{}, mk())
+	slow := run(t, Config{Topology: tp, TCPSlowStart: true}, &fairSched{}, mk())
+	ratio := slow.Jobs[0].JCT / fast.Jobs[0].JCT
+	if ratio < 1 {
+		t.Fatalf("slow start made the elephant faster?! ratio %v", ratio)
+	}
+	if ratio > 1.01 {
+		t.Fatalf("slow start cost the elephant %.2f%%, want < 1%%", 100*(ratio-1))
+	}
+}
+
+// TestSlowStartDefaultOff: with the flag off, configs with RTT/InitWindow
+// set behave exactly like before.
+func TestSlowStartDefaultOff(t *testing.T) {
+	tp := bigSwitch(t, 2, 1.25e9)
+	mk := func() []*coflow.Job {
+		return []*coflow.Job{singleFlowJob(t, 1, 0, 0, 1, 50e3)}
+	}
+	a := run(t, Config{Topology: tp}, &fairSched{}, mk())
+	b := run(t, Config{Topology: tp, RTT: 1e-3, InitWindow: 1}, &fairSched{}, mk())
+	if a.Jobs[0].JCT != b.Jobs[0].JCT {
+		t.Fatal("RTT/InitWindow must be inert while TCPSlowStart is off")
+	}
+}
+
+// TestSlowStartRampMonotone: a flow's observed rate never decreases while
+// it is alone on its path during the ramp.
+func TestSlowStartRampMonotone(t *testing.T) {
+	tp := bigSwitch(t, 2, 1.25e9)
+	probeRates := []float64{}
+	cfg := Config{
+		Topology:     tp,
+		TCPSlowStart: true,
+		Tick:         100e-6, // sample every RTT
+		Probe: func(_ float64, active []*FlowState) {
+			if len(active) == 1 {
+				probeRates = append(probeRates, active[0].Rate())
+			}
+		},
+	}
+	run(t, cfg, &fairSched{}, []*coflow.Job{singleFlowJob(t, 1, 0, 0, 1, 2e6)})
+	if len(probeRates) < 3 {
+		t.Fatalf("too few samples: %v", probeRates)
+	}
+	for i := 1; i < len(probeRates); i++ {
+		if probeRates[i] < probeRates[i-1]-1e-6 {
+			t.Fatalf("ramp not monotone: %v", probeRates)
+		}
+	}
+	if probeRates[0] >= 1.25e9 {
+		t.Fatal("first sample already at line rate; ramp not applied")
+	}
+}

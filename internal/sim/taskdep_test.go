@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/topo"
+)
+
+// pipelineJob builds a 2-stage job where stage 2's flows are fed one-to-one
+// by stage 1's flows: child flows deliver to servers 2 and 3, and the
+// parent's flows leave exactly those servers. Under task-level release the
+// parent flow out of server 2 can start as soon as the (fast) child flow
+// into server 2 finishes, while the slow child into server 3 is still
+// running.
+func pipelineJob(t *testing.T) *coflow.Job {
+	t.Helper()
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	child := b.AddCoflow(
+		coflow.FlowSpec{Src: 0, Dst: 2, Size: 100},  // fast: 1 s at 100 B/s
+		coflow.FlowSpec{Src: 1, Dst: 3, Size: 1000}, // slow: 10 s
+	)
+	parent := b.AddCoflow(
+		coflow.FlowSpec{Src: 2, Dst: 4, Size: 500},
+		coflow.FlowSpec{Src: 3, Dst: 5, Size: 500},
+	)
+	b.Depends(parent, child)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestTaskDependencyPipelines(t *testing.T) {
+	tp := bigSwitch(t, 8, 100)
+
+	// Coflow-level release: parent waits for the slow child flow.
+	// JCT = 10 (slow child) + 5 (parent) = 15.
+	resCoflow := run(t, Config{Topology: tp, Dependency: DepCoflow}, &fairSched{}, []*coflow.Job{pipelineJob(t)})
+	if got := resCoflow.Jobs[0].JCT; math.Abs(got-15) > 1e-6 {
+		t.Fatalf("coflow-level JCT = %v, want 15", got)
+	}
+
+	// Task-level release: parent flow from server 2 starts at t=1 (its
+	// feeder finished), overlaps the slow child, and finishes at t=6. The
+	// other parent flow runs 10..15. JCT stays 15 here (the slow chain
+	// dominates), but the coflow's first flow starts at t=1.
+	resTask := run(t, Config{Topology: tp, Dependency: DepTask}, &fairSched{}, []*coflow.Job{pipelineJob(t)})
+	var parentRes CoflowResult
+	for _, cr := range resTask.Coflows {
+		if cr.Stage == 2 {
+			parentRes = cr
+		}
+	}
+	if math.Abs(parentRes.Started-1) > 1e-6 {
+		t.Fatalf("task-level parent started at %v, want 1 (pipelined)", parentRes.Started)
+	}
+	if got := resTask.Jobs[0].JCT; math.Abs(got-15) > 1e-6 {
+		t.Fatalf("task-level JCT = %v, want 15", got)
+	}
+}
+
+// TestTaskDependencyShortensJCT: when the *slow* side of stage 2 is the one
+// that can pipeline, task-level release shortens the JCT outright.
+func TestTaskDependencyShortensJCT(t *testing.T) {
+	tp := bigSwitch(t, 8, 100)
+	mk := func() *coflow.Job {
+		b := coflow.NewBuilder(1, 0, nil, nil)
+		child := b.AddCoflow(
+			coflow.FlowSpec{Src: 0, Dst: 2, Size: 100},  // finishes t=1
+			coflow.FlowSpec{Src: 1, Dst: 3, Size: 1000}, // finishes t=10
+		)
+		parent := b.AddCoflow(
+			coflow.FlowSpec{Src: 2, Dst: 4, Size: 2000}, // heavy, fed by fast child
+			coflow.FlowSpec{Src: 3, Dst: 5, Size: 100},  // light, fed by slow child
+		)
+		b.Depends(parent, child)
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	resCoflow := run(t, Config{Topology: tp, Dependency: DepCoflow}, &fairSched{}, []*coflow.Job{mk()})
+	resTask := run(t, Config{Topology: tp, Dependency: DepTask}, &fairSched{}, []*coflow.Job{mk()})
+	// Coflow mode: 10 + 20 = 30. Task mode: heavy parent flow runs 1..21;
+	// light runs 10..11; JCT 21.
+	if got := resCoflow.Jobs[0].JCT; math.Abs(got-30) > 1e-6 {
+		t.Fatalf("coflow-level JCT = %v, want 30", got)
+	}
+	if got := resTask.Jobs[0].JCT; math.Abs(got-21) > 1e-6 {
+		t.Fatalf("task-level JCT = %v, want 21 (pipelined)", got)
+	}
+}
+
+// TestTaskDependencyNoFeederFallsBack: a parent flow whose source receives
+// nothing from the children keeps coflow-level semantics.
+func TestTaskDependencyNoFeederFallsBack(t *testing.T) {
+	tp := bigSwitch(t, 8, 100)
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	child := b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 2, Size: 500})
+	// Parent flow leaves server 6, which no child delivers to.
+	parent := b.AddCoflow(coflow.FlowSpec{Src: 6, Dst: 7, Size: 100})
+	b.Depends(parent, child)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, Config{Topology: tp, Dependency: DepTask}, &fairSched{}, []*coflow.Job{j})
+	var parentRes CoflowResult
+	for _, cr := range res.Coflows {
+		if cr.Stage == 2 {
+			parentRes = cr
+		}
+	}
+	if math.Abs(parentRes.Started-5) > 1e-6 {
+		t.Fatalf("no-feeder parent started at %v, want 5 (after child coflow)", parentRes.Started)
+	}
+}
+
+// TestTaskDependencyNeverSlower: task-level release can only start flows
+// earlier, so per-job JCT is never worse than coflow-level release on the
+// same workload (under the same neutral scheduler).
+func TestTaskDependencyNeverSlower(t *testing.T) {
+	tp := bigSwitch(t, 24, 1e5)
+	mk := func(seed int64) []*coflow.Job {
+		rng := rand.New(rand.NewSource(seed))
+		var cid coflow.CoflowID
+		var fid coflow.FlowID
+		var jobs []*coflow.Job
+		for i := 0; i < 20; i++ {
+			b := coflow.NewBuilder(coflow.JobID(i), rng.Float64(), &cid, &fid)
+			prev := -1
+			for st := 0; st < 1+rng.Intn(4); st++ {
+				var specs []coflow.FlowSpec
+				for f := 0; f < 1+rng.Intn(3); f++ {
+					specs = append(specs, coflow.FlowSpec{
+						Src:  topo.ServerID(rng.Intn(24)),
+						Dst:  topo.ServerID(rng.Intn(24)),
+						Size: int64(1e3 + rng.Intn(100000)),
+					})
+				}
+				h := b.AddCoflow(specs...)
+				if prev >= 0 {
+					b.Depends(h, prev)
+				}
+				prev = h
+			}
+			j, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+		return jobs
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rc := run(t, Config{Topology: tp, Dependency: DepCoflow}, &fairSched{}, mk(seed))
+		rt := run(t, Config{Topology: tp, Dependency: DepTask}, &fairSched{}, mk(seed))
+		if len(rc.Jobs) != len(rt.Jobs) {
+			t.Fatal("job counts differ")
+		}
+		avgC := rc.AvgJCT()
+		avgT := rt.AvgJCT()
+		// Pipelining changes contention patterns, so individual jobs can
+		// shift either way; the average should not regress materially.
+		if avgT > avgC*1.05 {
+			t.Fatalf("seed %d: task-level avg JCT %v sharply worse than coflow-level %v", seed, avgT, avgC)
+		}
+	}
+}
+
+func TestDependencyModeString(t *testing.T) {
+	if DepCoflow.String() != "coflow" || DepTask.String() != "task" || DependencyMode(9).String() == "" {
+		t.Fatal("dependency mode stringers wrong")
+	}
+}
+
+// TestJCTLowerBound is the conservation sanity check used across the whole
+// suite: no scheduler can beat the job's critical path at line rate, since
+// a stage cannot start before its children finish and no flow exceeds the
+// link capacity.
+func TestJCTLowerBound(t *testing.T) {
+	tp := bigSwitch(t, 16, 1e5)
+	rng := rand.New(rand.NewSource(33))
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	var jobs []*coflow.Job
+	for i := 0; i < 15; i++ {
+		b := coflow.NewBuilder(coflow.JobID(i), rng.Float64(), &cid, &fid)
+		prev := -1
+		for st := 0; st < 1+rng.Intn(4); st++ {
+			h := b.AddCoflow(coflow.FlowSpec{
+				Src:  topo.ServerID(rng.Intn(16)),
+				Dst:  topo.ServerID(rng.Intn(16)),
+				Size: int64(1e4 + rng.Intn(1000000)),
+			})
+			if prev >= 0 {
+				b.Depends(h, prev)
+			}
+			prev = h
+		}
+		j, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	res := run(t, Config{Topology: tp}, &fairSched{}, jobs)
+	for _, jr := range res.Jobs {
+		var job *coflow.Job
+		for _, j := range jobs {
+			if j.ID == jr.JobID {
+				job = j
+			}
+		}
+		bound := coflow.CriticalPathLength(job, coflow.CCTWeight(1e5))
+		if jr.JCT < bound-1e-6 {
+			t.Fatalf("job %d JCT %v beats the line-rate critical path bound %v", jr.JobID, jr.JCT, bound)
+		}
+	}
+}

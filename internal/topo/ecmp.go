@@ -1,0 +1,21 @@
+package topo
+
+// ECMPHash derives the stable per-flow hash used to pick among equal-cost
+// paths. Production switches hash the 5-tuple; in the simulator a flow's
+// identity is (src, dst, flowID), which plays the same role: flows between
+// the same pair of hosts can still spread over different paths, while a
+// single flow never changes path (no packet reordering).
+//
+// The mix is the 64-bit finalizer from SplitMix64, which has full avalanche:
+// every input bit affects every output bit, so consecutive flow IDs land on
+// uncorrelated paths.
+func ECMPHash(src, dst ServerID, flowID uint64) uint64 {
+	x := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	x ^= flowID * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,154 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLeafSpineDimensions(t *testing.T) {
+	ls, err := NewLeafSpine(8, 4, 16, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.NumServers() != 128 {
+		t.Fatalf("servers = %d, want 128", ls.NumServers())
+	}
+	if ls.NumSwitches() != 12 {
+		t.Fatalf("switches = %d, want 12", ls.NumSwitches())
+	}
+	// 2*128 host links + 2*8*4 fabric links.
+	if ls.NumLinks() != 256+64 {
+		t.Fatalf("links = %d, want 320", ls.NumLinks())
+	}
+	if ls.Kind() != KindLeafSpine || ls.Kind().String() != "leafspine" {
+		t.Fatal("wrong kind")
+	}
+	if ls.String() == "" {
+		t.Fatal("empty stringer")
+	}
+}
+
+func TestLeafSpineValidation(t *testing.T) {
+	if _, err := NewLeafSpine(0, 4, 16, 0, 0); err == nil {
+		t.Error("zero leaves should fail")
+	}
+	if _, err := NewLeafSpine(8, 0, 16, 0, 0); err == nil {
+		t.Error("zero spines should fail")
+	}
+	if _, err := NewLeafSpine(8, 4, 0, 0, 0); err == nil {
+		t.Error("zero hosts per leaf should fail")
+	}
+	if _, err := NewLeafSpine(8, 4, 16, -1, 0); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestLeafSpinePaths(t *testing.T) {
+	ls, err := NewLeafSpine(4, 2, 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same leaf: two hops.
+	p := ls.Path(0, 1, 5)
+	if len(p) != 2 || p[0] != ls.ServerUplink(0) || p[1] != ls.ServerDownlink(1) {
+		t.Fatalf("same-leaf path = %v", p)
+	}
+	// Cross leaf: four hops via a spine.
+	p = ls.Path(0, 31, 5)
+	if len(p) != 4 {
+		t.Fatalf("cross-leaf path = %v, want 4 hops", p)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		src := ServerID(rng.Intn(32))
+		dst := ServerID(rng.Intn(32))
+		for _, l := range ls.Path(src, dst, rng.Uint64()) {
+			if l < 0 || int(l) >= ls.NumLinks() {
+				t.Fatalf("link %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestLeafSpineECMPSpreads(t *testing.T) {
+	ls, _ := NewLeafSpine(4, 4, 8, 0, 0)
+	spinesSeen := make(map[LinkID]bool)
+	for f := uint64(0); f < 32; f++ {
+		p := ls.Path(0, 31, ECMPHash(0, 31, f))
+		spinesSeen[p[1]] = true // second hop is leaf->spine
+	}
+	if len(spinesSeen) < 2 {
+		t.Fatalf("ECMP used %d spine uplinks, want >= 2", len(spinesSeen))
+	}
+}
+
+func TestLeafSpineOversubscribedUplinks(t *testing.T) {
+	ls, err := NewLeafSpine(4, 2, 8, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.LinkCapacity(ls.ServerUplink(3)); got != 100 {
+		t.Fatalf("host link capacity = %v, want 100", got)
+	}
+	// Any fabric link id >= 2*servers.
+	fabricLink := LinkID(2 * ls.NumServers())
+	if got := ls.LinkCapacity(fabricLink); got != 25 {
+		t.Fatalf("fabric link capacity = %v, want 25", got)
+	}
+}
+
+func TestLeafSpineRacks(t *testing.T) {
+	ls, _ := NewLeafSpine(4, 2, 8, 0, 0)
+	if ls.RackOf(0) != ls.RackOf(7) || ls.RackOf(0) == ls.RackOf(8) {
+		t.Fatal("leaf-spine rack = leaf")
+	}
+}
+
+func TestFatTreeOversub(t *testing.T) {
+	ft, err := NewFatTreeOversub(4, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.LinkCapacity(ft.ServerUplink(0)); got != 100 {
+		t.Fatalf("host link = %v, want 100", got)
+	}
+	// Edge->agg links start at 2N.
+	if got := ft.LinkCapacity(LinkID(2 * ft.NumServers())); got != 25 {
+		t.Fatalf("fabric link = %v, want 25", got)
+	}
+	if _, err := NewFatTreeOversub(4, 100, 0.5); err == nil {
+		t.Error("ratio < 1 should fail")
+	}
+	if _, err := NewFatTreeOversub(3, 100, 2); err == nil {
+		t.Error("odd k should fail")
+	}
+	if ft.String() == "" {
+		t.Fatal("empty stringer")
+	}
+	nonOversub, _ := NewFatTree(4, 100)
+	if nonOversub.String() == ft.String() {
+		t.Fatal("oversubscribed stringer should differ")
+	}
+}
+
+// TestOversubPathsUnchanged: oversubscription changes capacities only, not
+// routing.
+func TestOversubPathsUnchanged(t *testing.T) {
+	a, _ := NewFatTree(8, 100)
+	b, _ := NewFatTreeOversub(8, 100, 4)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		src := ServerID(rng.Intn(a.NumServers()))
+		dst := ServerID(rng.Intn(a.NumServers()))
+		h := rng.Uint64()
+		pa, pb := a.Path(src, dst, h), b.Path(src, dst, h)
+		if len(pa) != len(pb) {
+			t.Fatal("path lengths differ")
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("paths differ")
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFatTreePaperSizes(t *testing.T) {
+	tests := []struct {
+		k                        int
+		servers, switches, links int
+	}{
+		// The two fabrics from the paper's evaluation (§V).
+		{8, 128, 80, 768},
+		{48, 27648, 2880, 165888},
+		// Smallest legal fat-tree.
+		{2, 2, 5, 12},
+		{4, 16, 20, 96},
+	}
+	for _, tt := range tests {
+		ft, err := NewFatTree(tt.k, 0)
+		if err != nil {
+			t.Fatalf("NewFatTree(%d): %v", tt.k, err)
+		}
+		if got := ft.NumServers(); got != tt.servers {
+			t.Errorf("k=%d NumServers() = %d, want %d", tt.k, got, tt.servers)
+		}
+		if got := ft.NumSwitches(); got != tt.switches {
+			t.Errorf("k=%d NumSwitches() = %d, want %d", tt.k, got, tt.switches)
+		}
+		if got := ft.NumLinks(); got != tt.links {
+			t.Errorf("k=%d NumLinks() = %d, want %d", tt.k, got, tt.links)
+		}
+	}
+}
+
+func TestNewFatTreeRejectsBadK(t *testing.T) {
+	for _, k := range []int{-2, 0, 1, 3, 7} {
+		if _, err := NewFatTree(k, 0); err == nil {
+			t.Errorf("NewFatTree(%d) should fail", k)
+		}
+	}
+	if _, err := NewFatTree(4, -1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestNewBigSwitch(t *testing.T) {
+	bs, err := NewBigSwitch(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.NumServers() != 100 || bs.NumSwitches() != 1 || bs.NumLinks() != 200 {
+		t.Fatalf("unexpected big switch dims: %v servers %v switches %v links",
+			bs.NumServers(), bs.NumSwitches(), bs.NumLinks())
+	}
+	if _, err := NewBigSwitch(0, 0); err == nil {
+		t.Error("NewBigSwitch(0) should fail")
+	}
+}
+
+func TestDefaultCapacityIs10G(t *testing.T) {
+	ft, _ := NewFatTree(4, 0)
+	if got := ft.LinkCapacity(0); got != 1.25e9 {
+		t.Fatalf("LinkCapacity = %v, want 1.25e9 (10 GbE)", got)
+	}
+	ft2, _ := NewFatTree(4, 5e8)
+	if got := ft2.LinkCapacity(3); got != 5e8 {
+		t.Fatalf("LinkCapacity = %v, want 5e8", got)
+	}
+}
+
+func TestPathSameHost(t *testing.T) {
+	ft, _ := NewFatTree(4, 0)
+	if p := ft.Path(3, 3, 12345); len(p) != 0 {
+		t.Fatalf("same-host path should be empty, got %v", p)
+	}
+}
+
+// pathLen computes the expected hop count for a FatTree path.
+func pathLen(ft *Topology, src, dst ServerID) int {
+	switch {
+	case src == dst:
+		return 0
+	case ft.edgeIdx(src) == ft.edgeIdx(dst):
+		return 2 // up to edge, down to server
+	case ft.pod(src) == ft.pod(dst):
+		return 4 // server-edge-agg-edge-server
+	default:
+		return 6 // via core
+	}
+}
+
+func TestPathShapes(t *testing.T) {
+	ft, _ := NewFatTree(8, 0)
+	tests := []struct {
+		name     string
+		src, dst ServerID
+	}{
+		{"same edge", 0, 1},
+		{"same pod", 0, 5},
+		{"cross pod", 0, ServerID(ft.NumServers() - 1)},
+	}
+	for _, tt := range tests {
+		p := ft.Path(tt.src, tt.dst, 7)
+		if len(p) != pathLen(ft, tt.src, tt.dst) {
+			t.Errorf("%s: path len = %d, want %d (%v)", tt.name, len(p), pathLen(ft, tt.src, tt.dst), p)
+		}
+	}
+}
+
+func TestPathLinkIDsInRange(t *testing.T) {
+	for _, k := range []int{4, 8} {
+		ft, _ := NewFatTree(k, 0)
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 2000; trial++ {
+			src := ServerID(rng.Intn(ft.NumServers()))
+			dst := ServerID(rng.Intn(ft.NumServers()))
+			hash := rng.Uint64()
+			for _, l := range ft.Path(src, dst, hash) {
+				if l < 0 || int(l) >= ft.NumLinks() {
+					t.Fatalf("k=%d: link %d out of range [0,%d)", k, l, ft.NumLinks())
+				}
+			}
+		}
+	}
+}
+
+// TestPathEndpoints checks that every path starts at the source uplink and
+// ends at the destination downlink.
+func TestPathEndpoints(t *testing.T) {
+	ft, _ := NewFatTree(8, 0)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1000; trial++ {
+		src := ServerID(rng.Intn(ft.NumServers()))
+		dst := ServerID(rng.Intn(ft.NumServers()))
+		if src == dst {
+			continue
+		}
+		p := ft.Path(src, dst, rng.Uint64())
+		if p[0] != ft.ServerUplink(src) {
+			t.Fatalf("path %v does not start at uplink of %d", p, src)
+		}
+		if p[len(p)-1] != ft.ServerDownlink(dst) {
+			t.Fatalf("path %v does not end at downlink of %d", p, dst)
+		}
+	}
+}
+
+// TestPathNoDuplicateLinks: valid fat-tree paths never revisit a link.
+func TestPathNoDuplicateLinks(t *testing.T) {
+	ft, _ := NewFatTree(8, 0)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		src := ServerID(rng.Intn(ft.NumServers()))
+		dst := ServerID(rng.Intn(ft.NumServers()))
+		p := ft.Path(src, dst, rng.Uint64())
+		seen := make(map[LinkID]bool, len(p))
+		for _, l := range p {
+			if seen[l] {
+				t.Fatalf("duplicate link %d in path %v", l, p)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+// TestECMPDeterministic: the same (src,dst,hash) always yields the same path.
+func TestECMPDeterministic(t *testing.T) {
+	ft, _ := NewFatTree(8, 0)
+	src, dst := ServerID(0), ServerID(127)
+	h := ECMPHash(src, dst, 99)
+	p1 := ft.Path(src, dst, h)
+	p2 := ft.Path(src, dst, h)
+	if len(p1) != len(p2) {
+		t.Fatal("nondeterministic path length")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("nondeterministic path: %v vs %v", p1, p2)
+		}
+	}
+}
+
+// TestECMPSpreads: distinct flows between the same pair of hosts should use
+// more than one core-level path on a k=8 fabric (16 cores available).
+func TestECMPSpreads(t *testing.T) {
+	ft, _ := NewFatTree(8, 0)
+	src, dst := ServerID(0), ServerID(127)
+	distinct := make(map[LinkID]bool)
+	for f := uint64(0); f < 64; f++ {
+		p := ft.Path(src, dst, ECMPHash(src, dst, f))
+		// Third hop is agg->core.
+		distinct[p[2]] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("ECMP used only %d distinct agg->core links out of 64 flows", len(distinct))
+	}
+}
+
+// TestBigSwitchPath: every cross-host big-switch path is exactly
+// [uplink(src), downlink(dst)].
+func TestBigSwitchPath(t *testing.T) {
+	bs, _ := NewBigSwitch(10, 0)
+	p := bs.Path(2, 7, 5)
+	if len(p) != 2 || p[0] != bs.ServerUplink(2) || p[1] != bs.ServerDownlink(7) {
+		t.Fatalf("unexpected big-switch path %v", p)
+	}
+}
+
+func TestRackOf(t *testing.T) {
+	ft, _ := NewFatTree(8, 0)
+	// Servers 0..3 share edge 0 on k=8 (h=4).
+	if ft.RackOf(0) != ft.RackOf(3) {
+		t.Error("servers 0 and 3 should share a rack on k=8")
+	}
+	if ft.RackOf(0) == ft.RackOf(4) {
+		t.Error("servers 0 and 4 should be in different racks on k=8")
+	}
+	bs, _ := NewBigSwitch(100, 0)
+	if bs.RackOf(0) != bs.RackOf(19) || bs.RackOf(0) == bs.RackOf(20) {
+		t.Error("big-switch rack partitioning wrong")
+	}
+}
+
+// TestECMPHashQuick: the hash is stable and src/dst-sensitive.
+func TestECMPHashQuick(t *testing.T) {
+	f := func(a, b int32, id uint64) bool {
+		src, dst := ServerID(a&0x7fffffff), ServerID(b&0x7fffffff)
+		h1 := ECMPHash(src, dst, id)
+		h2 := ECMPHash(src, dst, id)
+		return h1 == h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Different flow IDs should (almost always) hash differently.
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if ECMPHash(1, 2, i) == ECMPHash(1, 2, i+1) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("hash collides on %d/1000 consecutive flow IDs", same)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	ft, _ := NewFatTree(8, 0)
+	if ft.String() == "" || ft.Kind().String() != "fattree" {
+		t.Error("bad fat-tree stringer")
+	}
+	bs, _ := NewBigSwitch(4, 0)
+	if bs.String() == "" || bs.Kind().String() != "bigswitch" {
+		t.Error("bad big-switch stringer")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind stringer empty")
+	}
+}
+
+func BenchmarkPathCrossPod(b *testing.B) {
+	ft, _ := NewFatTree(48, 0)
+	buf := make([]LinkID, 0, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = ft.AppendPath(buf[:0], 0, ServerID(ft.NumServers()-1), uint64(i))
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gurita/internal/coflow"
+	"gurita/internal/topo"
+)
+
+// TestBenchmarkFormatRoundTripQuick: random well-formed traces survive a
+// write→parse round trip byte-exactly at the spec level.
+func TestBenchmarkFormatRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		racks := 1 + rng.Intn(200)
+		count := int(n)%20 + 1
+		specs := make([]CoflowSpec, 0, count)
+		arrival := 0.0
+		for i := 0; i < count; i++ {
+			spec := CoflowSpec{ID: int64(i + 1), ArrivalMillis: arrival}
+			arrival += rng.Float64() * 1000
+			for m := 0; m < 1+rng.Intn(10); m++ {
+				spec.Mappers = append(spec.Mappers, rng.Intn(racks))
+			}
+			for r := 0; r < 1+rng.Intn(10); r++ {
+				spec.Reducers = append(spec.Reducers, ReducerSpec{
+					Rack:   rng.Intn(racks),
+					SizeMB: rng.Float64() * 1e5,
+				})
+			}
+			specs = append(specs, spec)
+		}
+		var buf bytes.Buffer
+		if err := WriteBenchmark(&buf, racks, specs); err != nil {
+			return false
+		}
+		racks2, specs2, err := ParseBenchmark(&buf)
+		if err != nil || racks2 != racks || len(specs2) != len(specs) {
+			return false
+		}
+		for i := range specs {
+			a, b := specs[i], specs2[i]
+			if a.ID != b.ID || a.ArrivalMillis != b.ArrivalMillis {
+				return false
+			}
+			if len(a.Mappers) != len(b.Mappers) || len(a.Reducers) != len(b.Reducers) {
+				return false
+			}
+			for k := range a.Mappers {
+				if a.Mappers[k] != b.Mappers[k] {
+					return false
+				}
+			}
+			for k := range a.Reducers {
+				if a.Reducers[k] != b.Reducers[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobsJSONRoundTripQuick: random DAG workloads survive the native JSON
+// round trip structurally.
+func TestJobsJSONRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randomJobs(seed, 5)
+		var buf bytes.Buffer
+		if err := WriteJobs(&buf, jobs); err != nil {
+			return false
+		}
+		back, err := ReadJobs(&buf)
+		if err != nil || len(back) != len(jobs) {
+			return false
+		}
+		for i := range jobs {
+			a, b := jobs[i], back[i]
+			if a.TotalBytes() != b.TotalBytes() || a.NumStages != b.NumStages ||
+				a.NumFlows() != b.NumFlows() || len(a.Coflows) != len(b.Coflows) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomJobs builds a small random workload of valid DAG jobs.
+func randomJobs(seed int64, n int) []*coflow.Job {
+	rng := rand.New(rand.NewSource(seed))
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	jobs := make([]*coflow.Job, 0, n)
+	for i := 0; i < n; i++ {
+		b := coflow.NewBuilder(coflow.JobID(i), rng.Float64()*10, &cid, &fid)
+		var handles []int
+		for c := 0; c < 1+rng.Intn(5); c++ {
+			var specs []coflow.FlowSpec
+			for f := 0; f < 1+rng.Intn(4); f++ {
+				specs = append(specs, coflow.FlowSpec{
+					Src:  topo.ServerID(rng.Intn(64)),
+					Dst:  topo.ServerID(rng.Intn(64)),
+					Size: int64(1 + rng.Intn(1e6)),
+				})
+			}
+			h := b.AddCoflow(specs...)
+			for _, p := range handles {
+				if rng.Intn(3) == 0 {
+					b.Depends(h, p)
+				}
+			}
+			handles = append(handles, h)
+		}
+		j, err := b.Build()
+		if err != nil {
+			panic(err) // construction above cannot form cycles
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}

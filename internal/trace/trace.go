@@ -1,0 +1,257 @@
+// Package trace reads and writes workload traces in two formats:
+//
+//  1. The public "coflow-benchmark" format of the Facebook trace the paper
+//     replays (FB2010-1Hr-150-0.txt, released with Varys [4]): a header line
+//     "<numRacks> <numCoflows>" followed by one line per coflow,
+//     "<id> <arrivalMillis> <numMappers> <m1> … <numReducers> <r1:MB> …",
+//     where mappers/reducers are rack numbers and each reducer entry is the
+//     megabytes it receives. The real trace drops straight into the
+//     generators in internal/workload.
+//
+//  2. A native JSON format for full multi-stage jobs (DAGs of coflows with
+//     explicit flows), so generated workloads can be saved and replayed
+//     bit-identically.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gurita/internal/coflow"
+	"gurita/internal/topo"
+)
+
+// ReducerSpec is one reducer of a benchmark-format coflow.
+type ReducerSpec struct {
+	// Rack is the reducer's rack number.
+	Rack int
+	// SizeMB is the total megabytes this reducer receives in the shuffle.
+	SizeMB float64
+}
+
+// CoflowSpec is one line of the benchmark format.
+type CoflowSpec struct {
+	ID            int64
+	ArrivalMillis float64
+	// Mappers lists the rack number of each mapper.
+	Mappers  []int
+	Reducers []ReducerSpec
+}
+
+// TotalBytes returns the coflow's shuffle volume in bytes.
+func (c *CoflowSpec) TotalBytes() int64 {
+	mb := 0.0
+	for _, r := range c.Reducers {
+		mb += r.SizeMB
+	}
+	return int64(mb * 1e6)
+}
+
+// ParseBenchmark reads a coflow-benchmark trace.
+func ParseBenchmark(r io.Reader) (numRacks int, specs []CoflowSpec, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+
+	head, ok := readLine()
+	if !ok {
+		return 0, nil, fmt.Errorf("trace: empty input")
+	}
+	var numCoflows int
+	if _, err := fmt.Sscanf(head, "%d %d", &numRacks, &numCoflows); err != nil {
+		return 0, nil, fmt.Errorf("trace: bad header %q: %w", head, err)
+	}
+	for i := 0; i < numCoflows; i++ {
+		s, ok := readLine()
+		if !ok {
+			return 0, nil, fmt.Errorf("trace: expected %d coflows, got %d", numCoflows, i)
+		}
+		spec, err := parseCoflowLine(s)
+		if err != nil {
+			return 0, nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		specs = append(specs, spec)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, fmt.Errorf("trace: %w", err)
+	}
+	return numRacks, specs, nil
+}
+
+func parseCoflowLine(s string) (CoflowSpec, error) {
+	fields := strings.Fields(s)
+	var spec CoflowSpec
+	if len(fields) < 4 {
+		return spec, fmt.Errorf("too few fields in %q", s)
+	}
+	var err error
+	if spec.ID, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return spec, fmt.Errorf("bad id: %w", err)
+	}
+	if spec.ArrivalMillis, err = strconv.ParseFloat(fields[1], 64); err != nil {
+		return spec, fmt.Errorf("bad arrival: %w", err)
+	}
+	nm, err := strconv.Atoi(fields[2])
+	if err != nil || nm < 0 {
+		return spec, fmt.Errorf("bad mapper count %q", fields[2])
+	}
+	pos := 3
+	if len(fields) < pos+nm+1 {
+		return spec, fmt.Errorf("truncated mapper list")
+	}
+	for i := 0; i < nm; i++ {
+		rack, err := strconv.Atoi(fields[pos+i])
+		if err != nil {
+			return spec, fmt.Errorf("bad mapper rack %q", fields[pos+i])
+		}
+		spec.Mappers = append(spec.Mappers, rack)
+	}
+	pos += nm
+	nr, err := strconv.Atoi(fields[pos])
+	if err != nil || nr < 0 {
+		return spec, fmt.Errorf("bad reducer count %q", fields[pos])
+	}
+	pos++
+	if len(fields) != pos+nr {
+		return spec, fmt.Errorf("expected %d reducers, line has %d fields", nr, len(fields)-pos)
+	}
+	for i := 0; i < nr; i++ {
+		rs, sz, found := strings.Cut(fields[pos+i], ":")
+		if !found {
+			return spec, fmt.Errorf("bad reducer entry %q (want rack:sizeMB)", fields[pos+i])
+		}
+		rack, err := strconv.Atoi(rs)
+		if err != nil {
+			return spec, fmt.Errorf("bad reducer rack %q", rs)
+		}
+		mb, err := strconv.ParseFloat(sz, 64)
+		if err != nil || mb < 0 {
+			return spec, fmt.Errorf("bad reducer size %q", sz)
+		}
+		spec.Reducers = append(spec.Reducers, ReducerSpec{Rack: rack, SizeMB: mb})
+	}
+	return spec, nil
+}
+
+// WriteBenchmark writes specs in the coflow-benchmark format.
+func WriteBenchmark(w io.Writer, numRacks int, specs []CoflowSpec) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", numRacks, len(specs))
+	for _, c := range specs {
+		fmt.Fprintf(bw, "%d %g %d", c.ID, c.ArrivalMillis, len(c.Mappers))
+		for _, m := range c.Mappers {
+			fmt.Fprintf(bw, " %d", m)
+		}
+		fmt.Fprintf(bw, " %d", len(c.Reducers))
+		for _, r := range c.Reducers {
+			fmt.Fprintf(bw, " %d:%g", r.Rack, r.SizeMB)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// --- native multi-stage JSON format ---
+
+// flowJSON mirrors coflow.FlowSpec for serialization.
+type flowJSON struct {
+	Src  int32 `json:"src"`
+	Dst  int32 `json:"dst"`
+	Size int64 `json:"size"`
+}
+
+// coflowJSON is one DAG vertex; DependsOn holds indices into the job's
+// coflow list.
+type coflowJSON struct {
+	Flows     []flowJSON `json:"flows"`
+	DependsOn []int      `json:"depends_on,omitempty"`
+}
+
+// jobJSON is one multi-stage job.
+type jobJSON struct {
+	ID      int64        `json:"id"`
+	Arrival float64      `json:"arrival"`
+	Coflows []coflowJSON `json:"coflows"`
+}
+
+// WriteJobs serializes jobs to the native JSON format (one document).
+func WriteJobs(w io.Writer, jobs []*coflow.Job) error {
+	docs := make([]jobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		idx := make(map[coflow.CoflowID]int, len(j.Coflows))
+		for i, c := range j.Coflows {
+			idx[c.ID] = i
+		}
+		jj := jobJSON{ID: int64(j.ID), Arrival: j.Arrival}
+		for _, c := range j.Coflows {
+			cj := coflowJSON{}
+			for _, f := range c.Flows {
+				cj.Flows = append(cj.Flows, flowJSON{Src: int32(f.Src), Dst: int32(f.Dst), Size: f.Size})
+			}
+			for _, ch := range c.Children {
+				cj.DependsOn = append(cj.DependsOn, idx[ch.ID])
+			}
+			jj.Coflows = append(jj.Coflows, cj)
+		}
+		docs = append(docs, jj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(docs)
+}
+
+// ReadJobs parses the native JSON format back into validated jobs. Coflow
+// and flow IDs are reassigned from fresh counters in document order, so a
+// write/read round trip preserves structure, sizes, and arrivals.
+func ReadJobs(r io.Reader) ([]*coflow.Job, error) {
+	var docs []jobJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&docs); err != nil {
+		return nil, fmt.Errorf("trace: decoding jobs: %w", err)
+	}
+	var cid coflow.CoflowID
+	var fid coflow.FlowID
+	jobs := make([]*coflow.Job, 0, len(docs))
+	for _, jj := range docs {
+		b := coflow.NewBuilder(coflow.JobID(jj.ID), jj.Arrival, &cid, &fid)
+		handles := make([]int, len(jj.Coflows))
+		for i, cj := range jj.Coflows {
+			specs := make([]coflow.FlowSpec, 0, len(cj.Flows))
+			for _, f := range cj.Flows {
+				specs = append(specs, coflow.FlowSpec{
+					Src:  topo.ServerID(f.Src),
+					Dst:  topo.ServerID(f.Dst),
+					Size: f.Size,
+				})
+			}
+			handles[i] = b.AddCoflow(specs...)
+		}
+		for i, cj := range jj.Coflows {
+			for _, d := range cj.DependsOn {
+				if d < 0 || d >= len(handles) {
+					return nil, fmt.Errorf("trace: job %d: dependency index %d out of range", jj.ID, d)
+				}
+				b.Depends(handles[i], handles[d])
+			}
+		}
+		j, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gurita/internal/coflow"
+)
+
+const sampleTrace = `150 3
+1 0 2 10 20 2 5:100 7:50
+2 120 1 3 1 9:1.5
+3 4000 3 1 2 3 2 4:2048 6:0.25
+`
+
+func TestParseBenchmark(t *testing.T) {
+	racks, specs, err := ParseBenchmark(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if racks != 150 {
+		t.Fatalf("racks = %d, want 150", racks)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("coflows = %d, want 3", len(specs))
+	}
+	c := specs[0]
+	if c.ID != 1 || c.ArrivalMillis != 0 {
+		t.Fatalf("spec 0 = %+v", c)
+	}
+	if len(c.Mappers) != 2 || c.Mappers[0] != 10 || c.Mappers[1] != 20 {
+		t.Fatalf("mappers = %v", c.Mappers)
+	}
+	if len(c.Reducers) != 2 || c.Reducers[0] != (ReducerSpec{Rack: 5, SizeMB: 100}) {
+		t.Fatalf("reducers = %v", c.Reducers)
+	}
+	if got := c.TotalBytes(); got != 150e6 {
+		t.Fatalf("TotalBytes = %d, want 150e6", got)
+	}
+	if specs[2].Reducers[1].SizeMB != 0.25 {
+		t.Fatalf("fractional MB lost: %v", specs[2].Reducers[1])
+	}
+}
+
+func TestParseBenchmarkSkipsBlankLines(t *testing.T) {
+	in := "2 1\n\n\n0 10 1 0 1 1:5\n"
+	_, specs, err := ParseBenchmark(strings.NewReader(in))
+	if err != nil || len(specs) != 1 {
+		t.Fatalf("specs=%v err=%v", specs, err)
+	}
+}
+
+func TestParseBenchmarkErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad header":        "abc def\n",
+		"missing coflows":   "10 2\n1 0 1 0 1 1:5\n",
+		"bad id":            "10 1\nxx 0 1 0 1 1:5\n",
+		"bad mapper count":  "10 1\n1 0 z 0 1 1:5\n",
+		"truncated mappers": "10 1\n1 0 5 0 1\n",
+		"bad reducer":       "10 1\n1 0 1 0 1 15\n",
+		"bad reducer size":  "10 1\n1 0 1 0 1 1:xx\n",
+		"negative size":     "10 1\n1 0 1 0 1 1:-5\n",
+		"extra fields":      "10 1\n1 0 1 0 1 1:5 9:9\n",
+		"short line":        "10 1\n1 0\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ParseBenchmark(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBenchmarkRoundTrip(t *testing.T) {
+	racks, specs, err := ParseBenchmark(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchmark(&buf, racks, specs); err != nil {
+		t.Fatal(err)
+	}
+	racks2, specs2, err := ParseBenchmark(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if racks2 != racks || len(specs2) != len(specs) {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range specs {
+		a, b := specs[i], specs2[i]
+		if a.ID != b.ID || a.ArrivalMillis != b.ArrivalMillis ||
+			len(a.Mappers) != len(b.Mappers) || len(a.Reducers) != len(b.Reducers) {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a, b)
+		}
+		for k := range a.Reducers {
+			if a.Reducers[k] != b.Reducers[k] {
+				t.Fatalf("spec %d reducer %d differs", i, k)
+			}
+		}
+	}
+}
+
+func buildJob(t *testing.T) *coflow.Job {
+	t.Helper()
+	b := coflow.NewBuilder(42, 1.5, nil, nil)
+	c1 := b.AddCoflow(
+		coflow.FlowSpec{Src: 0, Dst: 5, Size: 100},
+		coflow.FlowSpec{Src: 1, Dst: 6, Size: 300},
+	)
+	c2 := b.AddCoflow(coflow.FlowSpec{Src: 5, Dst: 9, Size: 50})
+	c3 := b.AddCoflow(coflow.FlowSpec{Src: 6, Dst: 9, Size: 70})
+	b.Depends(c2, c1)
+	b.Depends(c3, c1)
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJobsJSONRoundTrip(t *testing.T) {
+	in := []*coflow.Job{buildJob(t)}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(out))
+	}
+	a, b := in[0], out[0]
+	if a.ID != b.ID || a.Arrival != b.Arrival {
+		t.Fatalf("job header differs: %v vs %v", a, b)
+	}
+	if a.TotalBytes() != b.TotalBytes() || a.NumStages != b.NumStages || len(a.Coflows) != len(b.Coflows) {
+		t.Fatalf("structure differs: %v vs %v", a, b)
+	}
+	for i := range a.Coflows {
+		ca, cb := a.Coflows[i], b.Coflows[i]
+		if ca.Width() != cb.Width() || ca.TotalBytes() != cb.TotalBytes() ||
+			ca.Stage != cb.Stage || len(ca.Children) != len(cb.Children) {
+			t.Fatalf("coflow %d differs: %v vs %v", i, ca, cb)
+		}
+		for k := range ca.Flows {
+			fa, fb := ca.Flows[k], cb.Flows[k]
+			if fa.Src != fb.Src || fa.Dst != fb.Dst || fa.Size != fb.Size {
+				t.Fatalf("flow %d/%d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestReadJobsErrors(t *testing.T) {
+	if _, err := ReadJobs(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Out-of-range dependency index.
+	bad := `[{"id":1,"arrival":0,"coflows":[{"flows":[{"src":0,"dst":1,"size":10}],"depends_on":[7]}]}]`
+	if _, err := ReadJobs(strings.NewReader(bad)); err == nil {
+		t.Error("bad dependency index should fail")
+	}
+	// Cycle.
+	cyc := `[{"id":1,"arrival":0,"coflows":[
+		{"flows":[{"src":0,"dst":1,"size":10}],"depends_on":[1]},
+		{"flows":[{"src":1,"dst":2,"size":10}],"depends_on":[0]}]}]`
+	if _, err := ReadJobs(strings.NewReader(cyc)); err == nil {
+		t.Error("cyclic job should fail")
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+// Statistical sanity tests for the synthesizer: the properties the
+// substitution argument in DESIGN.md §4 rests on (size mix across Table 1,
+// narrow-biased widths, front-loading) must actually hold in the generated
+// workloads.
+
+import (
+	"math"
+	"testing"
+
+	"gurita/internal/metrics"
+)
+
+func TestCategoryMixMatchesWeights(t *testing.T) {
+	weights := [metrics.NumCategories]float64{0.4, 0.3, 0.1, 0.05, 0.05, 0.05, 0.05}
+	jobs, err := Generate(Config{
+		NumJobs:         4000,
+		Seed:            11,
+		Servers:         128,
+		CategoryWeights: weights,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, metrics.NumCategories)
+	for _, j := range jobs {
+		counts[metrics.CategoryOf(j.TotalBytes())-1]++
+	}
+	for i, w := range weights {
+		got := counts[i] / float64(len(jobs))
+		// Multinomial tolerance: 4000 samples → ~3σ ≈ 0.025 at p=0.4.
+		if math.Abs(got-w) > 0.03 {
+			t.Errorf("category %v share = %.3f, want %.3f ± 0.03", metrics.Category(i+1), got, w)
+		}
+	}
+}
+
+func TestWidthsNarrowBiased(t *testing.T) {
+	// The synthesized benchmark trace must be dominated by narrow coflows
+	// with a wide tail, as published for the FB trace.
+	specs := SynthesizeBenchmark(3000, 150, 5)
+	narrow, wide := 0, 0
+	maxMappers := 0
+	for _, s := range specs {
+		if len(s.Mappers) <= 4 {
+			narrow++
+		}
+		if len(s.Mappers) >= 50 {
+			wide++
+		}
+		if len(s.Mappers) > maxMappers {
+			maxMappers = len(s.Mappers)
+		}
+	}
+	if frac := float64(narrow) / float64(len(specs)); frac < 0.4 || frac > 0.6 {
+		t.Errorf("narrow (≤4 mappers) fraction = %.2f, want ≈ 0.5", frac)
+	}
+	if wide == 0 {
+		t.Error("no wide coflows in 3000 samples; the tail is missing")
+	}
+	if maxMappers > 150 {
+		t.Errorf("mapper count %d exceeds the rack count", maxMappers)
+	}
+}
+
+func TestFrontLoadedJobsAreFrontLoaded(t *testing.T) {
+	jobs, err := Generate(Config{
+		NumJobs:             300,
+		Seed:                7,
+		Servers:             64,
+		Structure:           StructureTPCDS,
+		FractionFrontLoaded: 1.0, // force it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		var leaf, later int64
+		for _, c := range j.Coflows {
+			if c.IsLeaf() {
+				leaf += c.TotalBytes()
+			} else {
+				later += c.TotalBytes()
+			}
+		}
+		frac := float64(leaf) / float64(leaf+later)
+		if frac < 0.85 {
+			t.Fatalf("job %d leaf-byte fraction = %.2f, want >= 0.85 (front-loaded)", j.ID, frac)
+		}
+	}
+}
+
+func TestMixedStructureShapeDiversity(t *testing.T) {
+	jobs, err := Generate(Config{NumJobs: 600, Seed: 3, Servers: 64, Structure: StructureMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := make(map[int]int)
+	multiRoot := 0
+	for _, j := range jobs {
+		depths[j.NumStages]++
+		if len(j.Roots()) > 1 {
+			multiRoot++
+		}
+	}
+	if len(depths) < 4 {
+		t.Errorf("only %d distinct depths in mixed workload: %v", len(depths), depths)
+	}
+	if depths[1] == 0 {
+		t.Error("no single-stage jobs")
+	}
+	if multiRoot == 0 {
+		t.Error("no multi-root (W / inverted-V) jobs in 600 samples")
+	}
+	// Production mean depth ≈ 5 with jobs over 10 stages possible; our mixed
+	// generator must at least reach depth 5+.
+	deep := 0
+	for d, n := range depths {
+		if d >= 5 {
+			deep += n
+		}
+	}
+	if deep == 0 {
+		t.Error("no jobs with >= 5 stages")
+	}
+}
+
+func TestArrivalRateRoughlyPoisson(t *testing.T) {
+	jobs, err := Generate(Config{
+		NumJobs: 2000,
+		Seed:    13,
+		Servers: 32,
+		Arrival: Poisson{Rate: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := jobs[len(jobs)-1].Arrival - jobs[0].Arrival
+	rate := float64(len(jobs)-1) / span
+	if rate < 4.5 || rate > 5.5 {
+		t.Errorf("empirical arrival rate = %.2f, want ≈ 5", rate)
+	}
+}
+
+func TestFlowSkewCreatesElephants(t *testing.T) {
+	jobs, err := Generate(Config{
+		NumJobs:  200,
+		Seed:     21,
+		Servers:  128,
+		FlowSkew: 1.0,
+		// Big jobs so widths are > 1 and the skew is visible.
+		CategoryWeights: [metrics.NumCategories]float64{0, 0, 0, 0, 1, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := 0
+	multi := 0
+	for _, j := range jobs {
+		for _, c := range j.Coflows {
+			if c.Width() < 4 {
+				continue
+			}
+			multi++
+			if float64(c.LargestFlow()) > 2*c.MeanFlowSize() {
+				skewed++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-flow coflows generated")
+	}
+	if frac := float64(skewed) / float64(multi); frac < 0.3 {
+		t.Errorf("only %.2f of wide coflows have an elephant (L > 2·mean)", frac)
+	}
+}

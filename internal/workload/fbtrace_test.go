@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"gurita/internal/trace"
+)
+
+func TestSynthesizeBenchmark(t *testing.T) {
+	specs := SynthesizeBenchmark(200, 150, 1)
+	if len(specs) != 200 {
+		t.Fatalf("coflows = %d, want 200", len(specs))
+	}
+	prev := -1.0
+	for _, s := range specs {
+		if s.ArrivalMillis < prev {
+			t.Fatal("arrivals not nondecreasing")
+		}
+		prev = s.ArrivalMillis
+		if len(s.Mappers) == 0 || len(s.Reducers) == 0 {
+			t.Fatalf("empty endpoints in spec %d", s.ID)
+		}
+		for _, m := range s.Mappers {
+			if m < 0 || m >= 150 {
+				t.Fatalf("mapper rack %d out of range", m)
+			}
+		}
+		for _, r := range s.Reducers {
+			if r.Rack < 0 || r.Rack >= 150 || r.SizeMB <= 0 {
+				t.Fatalf("bad reducer %+v", r)
+			}
+		}
+		if s.TotalBytes() <= 0 {
+			t.Fatalf("spec %d has no bytes", s.ID)
+		}
+	}
+}
+
+func TestSynthesizeBenchmarkDeterministic(t *testing.T) {
+	a := SynthesizeBenchmark(50, 150, 7)
+	b := SynthesizeBenchmark(50, 150, 7)
+	for i := range a {
+		if a[i].TotalBytes() != b[i].TotalBytes() || a[i].ArrivalMillis != b[i].ArrivalMillis {
+			t.Fatalf("spec %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestFromBenchmarkGrafting(t *testing.T) {
+	specs := SynthesizeBenchmark(30, 150, 3)
+	jobs, err := FromBenchmark(specs, 150, GraftConfig{
+		Structure: StructureTPCDS,
+		Servers:   128,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 30 {
+		t.Fatalf("jobs = %d, want 30", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.NumStages != 5 {
+			t.Fatalf("job %d stages = %d, want 5 (TPC-DS)", i, j.NumStages)
+		}
+		// Byte totals approximately preserved (rounding: ≥1 byte per flow).
+		want := specs[i].TotalBytes()
+		got := j.TotalBytes()
+		slack := int64(j.NumFlows()) + int64(float64(want)*0.01)
+		if got < want-slack || got > want+slack {
+			t.Fatalf("job %d bytes = %d, trace coflow = %d", i, got, want)
+		}
+		for _, c := range j.Coflows {
+			for _, f := range c.Flows {
+				if int(f.Src) >= 128 || int(f.Dst) >= 128 || f.Src < 0 || f.Dst < 0 {
+					t.Fatalf("endpoint out of domain: %+v", f)
+				}
+			}
+		}
+	}
+}
+
+func TestFromBenchmarkCapsWidth(t *testing.T) {
+	// A maximally wide trace coflow must be capped by MaxSenders/MaxReducers.
+	spec := trace.CoflowSpec{ID: 1}
+	for i := 0; i < 150; i++ {
+		spec.Mappers = append(spec.Mappers, i)
+	}
+	for i := 0; i < 100; i++ {
+		spec.Reducers = append(spec.Reducers, trace.ReducerSpec{Rack: i, SizeMB: 10})
+	}
+	jobs, err := FromBenchmark([]trace.CoflowSpec{spec}, 150, GraftConfig{
+		Structure:           StructureSingle,
+		Servers:             128,
+		MaxSenders:          8,
+		MaxReducers:         4,
+		FractionFrontLoaded: -1, // treated as 0 by rng comparison
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := jobs[0].Coflows[0].Width(); w != 32 {
+		t.Fatalf("width = %d, want 8×4 = 32", w)
+	}
+}
+
+func TestFromBenchmarkValidation(t *testing.T) {
+	specs := SynthesizeBenchmark(1, 10, 1)
+	if _, err := FromBenchmark(specs, 10, GraftConfig{Servers: 1}); err == nil {
+		t.Error("tiny server domain should fail")
+	}
+	if _, err := FromBenchmark(specs, 0, GraftConfig{Servers: 16}); err == nil {
+		t.Error("zero racks should fail")
+	}
+	bad := []trace.CoflowSpec{{ID: 9}}
+	if _, err := FromBenchmark(bad, 10, GraftConfig{Servers: 16}); err == nil {
+		t.Error("endpoint-less coflow should fail")
+	}
+}
+
+func TestFromBenchmarkBurstyTimeScale(t *testing.T) {
+	specs := SynthesizeBenchmark(10, 150, 2)
+	jobs, err := FromBenchmark(specs, 150, GraftConfig{
+		Servers:   64,
+		TimeScale: 1e-6, // compress to near-simultaneous, as in §V bursty
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := jobs[len(jobs)-1].Arrival
+	if last > 0.1 {
+		t.Fatalf("compressed arrival span = %v, want tiny", last)
+	}
+}

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gurita/internal/metrics"
+)
+
+func TestTemplatesWellFormed(t *testing.T) {
+	templates := []Template{
+		TPCDSQuery42(), FBTao(), Chain(5), WShape(), InvertedV(),
+		BalancedTree(3, 2), SingleStage(), FrontLoad(TPCDSQuery42(), 0.9),
+	}
+	for _, tpl := range templates {
+		sum := 0.0
+		for i, n := range tpl.Nodes {
+			if n.Share <= 0 {
+				t.Errorf("%s node %d share %v, want > 0", tpl.Name, i, n.Share)
+			}
+			sum += n.Share
+			for _, d := range n.Deps {
+				if d < 0 || d >= i {
+					t.Errorf("%s node %d dep %d not children-before-parents", tpl.Name, i, d)
+				}
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s shares sum to %v, want 1", tpl.Name, sum)
+		}
+	}
+}
+
+func TestTemplateDepths(t *testing.T) {
+	tests := []struct {
+		tpl  Template
+		want int
+	}{
+		{TPCDSQuery42(), 5},
+		{FBTao(), 3},
+		{Chain(7), 7},
+		{WShape(), 2},
+		{InvertedV(), 2},
+		{BalancedTree(3, 2), 3},
+		{SingleStage(), 1},
+	}
+	for _, tt := range tests {
+		if got := tt.tpl.Depth(); got != tt.want {
+			t.Errorf("%s depth = %d, want %d", tt.tpl.Name, got, tt.want)
+		}
+	}
+}
+
+func TestFrontLoadConcentratesLeaves(t *testing.T) {
+	fl := FrontLoad(TPCDSQuery42(), 0.9)
+	leaf, later := 0.0, 0.0
+	for _, n := range fl.Nodes {
+		if len(n.Deps) == 0 {
+			leaf += n.Share
+		} else {
+			later += n.Share
+		}
+	}
+	if math.Abs(leaf-0.9) > 1e-9 || math.Abs(later-0.1) > 1e-9 {
+		t.Fatalf("front-loaded shares: leaves %v, later %v; want 0.9/0.1", leaf, later)
+	}
+	// Degenerate inputs fall back without panicking.
+	if got := FrontLoad(SingleStage(), 0.9); len(got.Nodes) != 1 {
+		t.Fatal("single-stage front-load should be a no-op")
+	}
+	FrontLoad(TPCDSQuery42(), 5) // bad frac falls back to default
+}
+
+func TestBalancedTreeShape(t *testing.T) {
+	tpl := BalancedTree(3, 2)
+	// 4 leaves + 2 mid + 1 root.
+	if len(tpl.Nodes) != 7 {
+		t.Fatalf("nodes = %d, want 7", len(tpl.Nodes))
+	}
+	roots := 0
+	dependedOn := make(map[int]bool)
+	for _, n := range tpl.Nodes {
+		for _, d := range n.Deps {
+			dependedOn[d] = true
+		}
+	}
+	for i := range tpl.Nodes {
+		if !dependedOn[i] {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("roots = %d, want 1", roots)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumJobs: 0, Servers: 10}); err == nil {
+		t.Error("zero jobs should fail")
+	}
+	if _, err := Generate(Config{NumJobs: 1, Servers: 1}); err == nil {
+		t.Error("one server should fail")
+	}
+	if _, err := Generate(Config{NumJobs: 1, Servers: 4, FlowSkew: 3}); err == nil {
+		t.Error("bad skew should fail")
+	}
+	if _, err := Generate(Config{NumJobs: 1, Servers: 4, FractionFrontLoaded: -1}); err == nil {
+		t.Error("bad front-load fraction should fail")
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	jobs, err := Generate(Config{NumJobs: 100, Seed: 1, Servers: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 100 {
+		t.Fatalf("jobs = %d, want 100", len(jobs))
+	}
+	prevArrival := -1.0
+	for _, j := range jobs {
+		if j.Arrival < prevArrival {
+			t.Fatal("arrivals not nondecreasing")
+		}
+		prevArrival = j.Arrival
+		if j.TotalBytes() <= 0 || j.NumStages < 1 {
+			t.Fatalf("degenerate job %v", j)
+		}
+		for _, c := range j.Coflows {
+			if c.Width() < 1 {
+				t.Fatalf("empty coflow in job %d", j.ID)
+			}
+			for _, f := range c.Flows {
+				if f.Size < 1 {
+					t.Fatalf("flow size %d in job %d", f.Size, j.ID)
+				}
+				if int(f.Src) >= 128 || int(f.Dst) >= 128 {
+					t.Fatalf("endpoint out of server domain: %v", f)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Config{NumJobs: 50, Seed: 42, Servers: 64, Structure: StructureMixed}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].TotalBytes() != b[i].TotalBytes() || a[i].Arrival != b[i].Arrival ||
+			a[i].NumStages != b[i].NumStages || a[i].NumFlows() != b[i].NumFlows() {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+	c, err := Generate(Config{NumJobs: 50, Seed: 43, Servers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].TotalBytes() != c[i].TotalBytes() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateStructures(t *testing.T) {
+	tests := []struct {
+		s          Structure
+		wantStages int // exact stage count for fixed templates
+	}{
+		{StructureSingle, 1},
+		{StructureFBTao, 3},
+		{StructureTPCDS, 5},
+	}
+	for _, tt := range tests {
+		jobs, err := Generate(Config{NumJobs: 10, Seed: 7, Servers: 32, Structure: tt.s, FractionFrontLoaded: -0}) //nolint
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if j.NumStages != tt.wantStages {
+				t.Fatalf("structure %v: job has %d stages, want %d", tt.s, j.NumStages, tt.wantStages)
+			}
+		}
+	}
+}
+
+func TestGenerateCoversCategories(t *testing.T) {
+	jobs, err := Generate(Config{NumJobs: 2000, Seed: 3, Servers: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[metrics.Category]int)
+	for _, j := range jobs {
+		seen[metrics.CategoryOf(j.TotalBytes())]++
+	}
+	for c := metrics.CategoryI; c <= metrics.CategoryVII; c++ {
+		if seen[c] == 0 {
+			t.Errorf("category %v empty after 2000 jobs", c)
+		}
+	}
+	// Small jobs must dominate, as in the FB trace.
+	if seen[metrics.CategoryI] < seen[metrics.CategoryVII] {
+		t.Error("category I should dominate category VII")
+	}
+}
+
+func TestArrivalProcesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Poisson{Rate: 100}
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		g := p.NextGap(rng)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += g
+	}
+	if mean := sum / 10000; mean < 0.008 || mean > 0.012 {
+		t.Fatalf("poisson mean gap = %v, want ~0.01", mean)
+	}
+	if (Poisson{}).NextGap(rng) != 0 {
+		t.Fatal("zero-rate poisson should give zero gaps")
+	}
+
+	bu := &Bursty{BurstSize: 3, IntraGap: 2e-6, InterGap: 1}
+	var gaps []float64
+	for i := 0; i < 6; i++ {
+		gaps = append(gaps, bu.NextGap(rng))
+	}
+	want := []float64{2e-6, 2e-6, 1, 2e-6, 2e-6, 1}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("bursty gaps = %v, want %v", gaps, want)
+		}
+	}
+
+	if (Uniform{Gap: 5}).NextGap(rng) != 5 {
+		t.Fatal("uniform gap wrong")
+	}
+}
+
+func TestBurstyDefaultsBurstSize(t *testing.T) {
+	b := &Bursty{IntraGap: 1, InterGap: 2}
+	if g := b.NextGap(nil); g != 2 { // burst size 1: every gap is InterGap
+		t.Fatalf("gap = %v, want 2", g)
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	for _, s := range []Structure{StructureSingle, StructureFBTao, StructureTPCDS, StructureMixed, Structure(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+}
+
+func TestSplitWithSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 5, 50} {
+		sizes := splitWithSkew(rng, 1e9, n, 0.8)
+		if len(sizes) != n {
+			t.Fatalf("n=%d: got %d flows", n, len(sizes))
+		}
+		var sum int64
+		for _, s := range sizes {
+			if s < 1 {
+				t.Fatalf("n=%d: flow size %d", n, s)
+			}
+			sum += s
+		}
+		// Totals are preserved within rounding slack of 1 byte per flow.
+		if d := sum - 1e9; d < -int64(n) || d > int64(n) {
+			t.Fatalf("n=%d: total %d, want ~1e9", n, sum)
+		}
+	}
+}
+
+func TestPickServersUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := pickServers(rng, 100, 20)
+	seen := make(map[int32]bool)
+	for _, x := range s {
+		if seen[int32(x)] {
+			t.Fatal("duplicate server in sample")
+		}
+		seen[int32(x)] = true
+	}
+	// Oversubscribed request wraps deterministically.
+	s2 := pickServers(rng, 3, 7)
+	if len(s2) != 7 {
+		t.Fatalf("len = %d, want 7", len(s2))
+	}
+}

@@ -1,0 +1,151 @@
+package gurita
+
+import (
+	"io"
+
+	"gurita/internal/coflow"
+	"gurita/internal/metrics"
+	"gurita/internal/trace"
+	"gurita/internal/workload"
+)
+
+// Workload structure selectors (re-exported).
+const (
+	// StructureSingle replays coflows as single-stage jobs.
+	StructureSingle = workload.StructureSingle
+	// StructureFBTao grafts the Facebook TAO fan-in DAG.
+	StructureFBTao = workload.StructureFBTao
+	// StructureTPCDS grafts the TPC-DS query-42 DAG.
+	StructureTPCDS = workload.StructureTPCDS
+	// StructureMixed draws from the production shape mix of [28].
+	StructureMixed = workload.StructureMixed
+)
+
+// Structure selects a DAG family for generated workloads.
+type Structure = workload.Structure
+
+// Arrival processes (re-exported).
+type (
+	// ArrivalProcess produces inter-arrival gaps.
+	ArrivalProcess = workload.ArrivalProcess
+	// PoissonArrivals with a rate in jobs/second.
+	PoissonArrivals = workload.Poisson
+	// BurstyArrivals models the paper's bursty scenario (2 µs intra-burst
+	// gaps, long quiet periods).
+	BurstyArrivals = workload.Bursty
+	// UniformArrivals with a constant gap.
+	UniformArrivals = workload.Uniform
+	// GraftConfig parameterizes grafting DAGs onto benchmark traces.
+	GraftConfig = workload.GraftConfig
+	// TraceCoflow is one coflow of a benchmark-format trace.
+	TraceCoflow = trace.CoflowSpec
+)
+
+// GenerateWorkload synthesizes a multi-stage workload from distributions
+// matching the published Facebook-trace statistics (sizes spanning Table 1,
+// narrow-biased widths, Poisson or bursty arrivals). Deterministic in
+// Config.Seed.
+func GenerateWorkload(cfg WorkloadConfig) ([]*Job, error) {
+	return workload.Generate(cfg)
+}
+
+// SynthesizeTrace produces a coflow-benchmark-format trace shaped like the
+// Facebook 150-rack trace, for use when the real (non-redistributable)
+// FB2010-1Hr-150-0.txt is unavailable.
+func SynthesizeTrace(numCoflows, numRacks int, seed int64) []TraceCoflow {
+	return workload.SynthesizeBenchmark(numCoflows, numRacks, seed)
+}
+
+// ParseTrace reads a coflow-benchmark trace (e.g. the real Facebook trace).
+func ParseTrace(r io.Reader) (numRacks int, coflows []TraceCoflow, err error) {
+	return trace.ParseBenchmark(r)
+}
+
+// WriteTrace writes coflows in the coflow-benchmark format.
+func WriteTrace(w io.Writer, numRacks int, coflows []TraceCoflow) error {
+	return trace.WriteBenchmark(w, numRacks, coflows)
+}
+
+// GraftTrace builds multi-stage jobs from trace coflows by replicating each
+// coflow across the nodes of a DAG template (§V: "Each DAG structure is
+// made up of coflows that are exact replications of jobs taken from the
+// original trace").
+func GraftTrace(coflows []TraceCoflow, numRacks int, cfg GraftConfig) ([]*Job, error) {
+	return workload.FromBenchmark(coflows, numRacks, cfg)
+}
+
+// WriteJobs serializes jobs in the native JSON workload format.
+func WriteJobs(w io.Writer, jobs []*Job) error { return trace.WriteJobs(w, jobs) }
+
+// ReadJobs parses the native JSON workload format.
+func ReadJobs(r io.Reader) ([]*Job, error) { return trace.ReadJobs(r) }
+
+// CriticalPathLength returns the weight of a job's heaviest leaf-to-root
+// path with per-coflow weight CCT ≈ largestFlow/rate.
+func CriticalPathLength(j *Job, rate float64) float64 {
+	return coflow.CriticalPathLength(j, coflow.CCTWeight(rate))
+}
+
+// CriticalCoflows returns the IDs of coflows on at least one critical path.
+func CriticalCoflows(j *Job, rate float64) map[CoflowID]bool {
+	return coflow.CriticalSet(j, coflow.CCTWeight(rate))
+}
+
+// --- metrics re-exports ---
+
+// Table 1 categories.
+const (
+	CategoryI   = metrics.CategoryI
+	CategoryII  = metrics.CategoryII
+	CategoryIII = metrics.CategoryIII
+	CategoryIV  = metrics.CategoryIV
+	CategoryV   = metrics.CategoryV
+	CategoryVI  = metrics.CategoryVI
+	CategoryVII = metrics.CategoryVII
+	// NumCategories is 7.
+	NumCategories = metrics.NumCategories
+)
+
+// CategoryOf places a job's total bytes into a Table 1 category.
+func CategoryOf(totalBytes int64) Category { return metrics.CategoryOf(totalBytes) }
+
+// Summarize computes JCT statistics.
+func Summarize(values []float64) Summary { return metrics.Summarize(values) }
+
+// JCTs extracts per-job completion times from a result.
+func JCTs(r *Result) []float64 { return metrics.JCTs(r) }
+
+// Improvement is the paper's factor: baseline average JCT over target's
+// (>1 ⇒ target faster).
+func Improvement(baseline, target *Result) float64 { return metrics.Improvement(baseline, target) }
+
+// PairedImprovement is the mean of per-job JCT ratios across two runs of
+// the identical workload — every job weighted equally (Figure 5's
+// aggregate).
+func PairedImprovement(baseline, target *Result) float64 {
+	return metrics.PairedImprovement(baseline, target)
+}
+
+// ImprovementByCategory computes per-category improvement factors
+// (Figures 6–8).
+func ImprovementByCategory(baseline, target *Result) map[Category]float64 {
+	return metrics.ImprovementByCategory(baseline, target)
+}
+
+// RenderTable renders a fixed-width text table.
+func RenderTable(header []string, rows [][]string) string { return metrics.Table(header, rows) }
+
+// WriteResultJSON serializes a run's results (per-job rows, optionally
+// per-coflow rows) for external analysis and plotting tools.
+func WriteResultJSON(w io.Writer, r *Result, includeCoflows bool) error {
+	return metrics.WriteResultJSON(w, r, includeCoflows)
+}
+
+// UtilizationCollector samples per-tier fabric load through Scenario.Probe.
+type UtilizationCollector = metrics.UtilizationCollector
+
+// NewUtilizationCollector builds a collector for one fabric; pass its Probe
+// method as Scenario.Probe.
+func NewUtilizationCollector(t *Topology) *UtilizationCollector {
+	return metrics.NewUtilizationCollector(t)
+}
