@@ -1,0 +1,238 @@
+package gurita
+
+import (
+	"context"
+	"fmt"
+
+	"gurita/internal/metrics"
+	"gurita/internal/runner"
+)
+
+// This file is the campaign layer: declarative scheduler × workload ×
+// topology × seed grids executed in parallel by internal/runner, with
+// per-trial result caching and resume. The figure harness (experiments.go)
+// and the CLIs run their grids through RunCampaign; each trial is an
+// independent deterministic simulation, so campaigns parallelize
+// embarrassingly and cache hits are exact.
+
+// campaignSchema versions the cached trial layout. Bump it whenever
+// TrialSpec semantics, the simulator's deterministic behavior, or the
+// result document change in a way that invalidates old entries.
+const campaignSchema = "gurita-campaign-v1"
+
+// CampaignScenario selects how a trial's workload is generated.
+type CampaignScenario string
+
+const (
+	// CampaignTrace is the trace-driven setup of Figures 5/6/8: a
+	// synthesized 150-rack Facebook-like trace grafted with a DAG structure
+	// on the Scale.FatTreeK-pod fabric.
+	CampaignTrace CampaignScenario = "trace"
+	// CampaignBursty is the bursty large-scale setup of Figures 5/7: jobs
+	// arriving 2 µs apart in bursts on the Scale.BurstyFatTreeK-pod fabric.
+	CampaignBursty CampaignScenario = "bursty"
+)
+
+// TrialSpec declares one campaign trial: everything needed to rebuild and
+// run its simulation from scratch, and nothing else. Specs are canonically
+// JSON-encoded and hashed into the trial's cache key, so two specs with
+// equal fields always share a cache entry. Workload generation is
+// deterministic in Scale.Seed; Scale.Trials is ignored (a spec is exactly
+// one trial — grids expand multi-trial figures into one spec per seed).
+type TrialSpec struct {
+	// Scheduler runs the trial (paired with its data plane as in
+	// Scenario.Run: WRR for Gurita, SPQ for the rest).
+	Scheduler SchedulerKind `json:"scheduler"`
+	// Scenario picks the workload family (default CampaignTrace).
+	Scenario CampaignScenario `json:"scenario"`
+	// Structure selects the DAG family grafted onto the workload.
+	Structure Structure `json:"structure"`
+	// Scale sizes the workload and fabric; see Scale.
+	Scale Scale `json:"scale"`
+	// Queues is the priority-queue count (default 4).
+	Queues int `json:"queues"`
+	// TaskLevelDependencies enables pipelined stage release.
+	TaskLevelDependencies bool `json:"task_level_dependencies,omitempty"`
+	// Topo selects the fabric: "fattree" (default), "leafspine" (k leaves,
+	// k/2 spines, 16 hosts per leaf), or "bigswitch" (k³/4 servers), with k
+	// the scenario's pod count from Scale.
+	Topo string `json:"topo"`
+	// Oversub > 1 tapers the FatTree's switch tiers by that ratio.
+	Oversub float64 `json:"oversub"`
+	// Tick is the scheduler update interval δ in seconds (default 10 ms).
+	Tick float64 `json:"tick,omitempty"`
+	// StageDelay is the optional computation delay between stages.
+	StageDelay float64 `json:"stage_delay,omitempty"`
+	// TCPSlowStart enables the fluid slow-start model.
+	TCPSlowStart bool `json:"tcp_slow_start,omitempty"`
+}
+
+// normalized maps distinct encodings of the same trial onto one canonical
+// spec, so semantically equal trials share one cache key.
+func (t TrialSpec) normalized() TrialSpec {
+	t.Scale.Trials = 0
+	if t.Scenario == "" {
+		t.Scenario = CampaignTrace
+	}
+	if t.Queues == 0 {
+		t.Queues = 4
+	}
+	if t.Topo == "" {
+		t.Topo = "fattree"
+	}
+	if t.Oversub == 0 {
+		t.Oversub = 1
+	}
+	return t
+}
+
+// podCount returns the scenario-appropriate fabric size parameter.
+func (t TrialSpec) podCount() int {
+	if t.Scenario == CampaignBursty {
+		return t.Scale.BurstyFatTreeK
+	}
+	return t.Scale.FatTreeK
+}
+
+// topology builds the trial's fabric.
+func (t TrialSpec) topology() (*Topology, error) {
+	k := t.podCount()
+	switch t.Topo {
+	case "", "fattree":
+		if t.Oversub > 1 {
+			return FatTreeOversub(k, 0, t.Oversub)
+		}
+		return FatTree(k, 0)
+	case "leafspine":
+		return LeafSpine(k, k/2, 16, 0, 0)
+	case "bigswitch":
+		return BigSwitch(k*k*k/4, 0)
+	default:
+		return nil, fmt.Errorf("gurita: unknown campaign topology %q", t.Topo)
+	}
+}
+
+// Build materializes the trial's Scenario: fabric plus generated workload.
+// The result is deterministic in the spec.
+func (t TrialSpec) Build() (Scenario, error) {
+	tp, err := t.topology()
+	if err != nil {
+		return Scenario{}, err
+	}
+	var jobs []*Job
+	switch t.Scenario {
+	case "", CampaignTrace:
+		jobs, err = traceJobs(t.Structure, t.Scale, tp.NumServers())
+	case CampaignBursty:
+		jobs, err = burstyJobs(t.Structure, t.Scale, tp.NumServers())
+	default:
+		return Scenario{}, fmt.Errorf("gurita: unknown campaign scenario %q", t.Scenario)
+	}
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Topology:              tp,
+		Jobs:                  jobs,
+		Queues:                t.Queues,
+		Tick:                  t.Tick,
+		StageDelay:            t.StageDelay,
+		TaskLevelDependencies: t.TaskLevelDependencies,
+		TCPSlowStart:          t.TCPSlowStart,
+	}, nil
+}
+
+// CampaignProgress is a live campaign snapshot: trials done/total, cache
+// hits among them, elapsed wall-clock and an ETA extrapolated from the pace
+// of executed trials.
+type CampaignProgress = runner.Progress
+
+// CampaignStats summarizes a finished campaign: grid size, how many trials
+// actually simulated, and how many were served from the cache.
+type CampaignStats = runner.Stats
+
+// CampaignOptions tunes RunCampaign.
+type CampaignOptions struct {
+	// Workers is the worker-pool size; <= 0 means runtime.NumCPU(). Results
+	// are aggregated in grid order, so the worker count never changes the
+	// output — only the wall-clock time.
+	Workers int
+	// CacheDir, when non-empty, persists each finished trial as a
+	// content-addressed JSON file under this directory and serves repeat
+	// trials from it, which is what makes interrupted campaigns resumable.
+	CacheDir string
+	// Force re-executes trials even on cache hits (entries are rewritten).
+	Force bool
+	// IncludeCoflows carries per-coflow rows through results and the cache
+	// (larger entries; needed only when coflow-level output is consumed).
+	IncludeCoflows bool
+	// Progress, when non-nil, receives a snapshot after every finished
+	// trial (calls are serialized).
+	Progress func(CampaignProgress)
+}
+
+// schema returns the cache schema for these options; coflow-bearing entries
+// are segregated from jobs-only entries so the two never satisfy each
+// other's lookups.
+func (o CampaignOptions) schema() string {
+	if o.IncludeCoflows {
+		return campaignSchema + "+coflows"
+	}
+	return campaignSchema
+}
+
+// RunCampaign executes a grid of trials on a worker pool and returns their
+// results in grid order — results[i] always belongs to specs[i], no matter
+// how execution interleaves — plus campaign statistics. Every returned
+// Result is reconstructed from the trial's result document, so serial,
+// parallel, and cache-served campaigns yield byte-identical data.
+//
+// With CampaignOptions.CacheDir set, finished trials are persisted as they
+// complete and an interrupted campaign (error, SIGINT via ctx) resumes on
+// the next invocation by recomputing only the missing trials. Corrupted or
+// schema-stale cache entries are recomputed and overwritten, never fatal.
+// Cancellation is checked between trials; an in-flight simulation runs to
+// completion (bound it with Scale/Scenario limits, not the context).
+func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) ([]*Result, CampaignStats, error) {
+	norm := make([]TrialSpec, len(specs))
+	for i, s := range specs {
+		norm[i] = s.normalized()
+	}
+	var cache *runner.Cache
+	if opts.CacheDir != "" {
+		var err error
+		cache, err = runner.Open(opts.CacheDir, opts.schema())
+		if err != nil {
+			return nil, CampaignStats{}, err
+		}
+	}
+	exec := func(ctx context.Context, s TrialSpec) (*metrics.ResultDoc, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sc, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.Run(s.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+		doc := metrics.NewResultDoc(res, opts.IncludeCoflows)
+		return &doc, nil
+	}
+	docs, stats, err := runner.Run(ctx, norm, exec, runner.Options{
+		Workers:  opts.Workers,
+		Cache:    cache,
+		Force:    opts.Force,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	results := make([]*Result, len(docs))
+	for i, d := range docs {
+		results[i] = d.Result()
+	}
+	return results, stats, nil
+}

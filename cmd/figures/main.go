@@ -3,18 +3,29 @@
 // GURITA_FULLSCALE=1 (or -full) for the paper-scale configuration
 // (8-pod trace runs; 48-pod, 10000-job bursty runs — expect long runtimes).
 //
+// Simulation grids run through the campaign engine: trials execute on
+// -parallel workers (table output stays byte-identical to a serial run),
+// and with -cache DIR every finished trial is persisted so an interrupted
+// run (Ctrl-C) resumes where it stopped and repeat runs skip straight to
+// aggregation. Progress goes to stderr; tables to stdout.
+//
 // Usage:
 //
 //	figures               # everything, quick scale
 //	figures -fig fig6     # one figure
 //	figures -full         # paper scale
+//	figures -cache .gurita-cache -trials 5    # resumable multi-seed run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	gurita "gurita"
 )
@@ -28,18 +39,32 @@ func main() {
 
 func run() error {
 	var (
-		fig    = flag.String("fig", "all", "which figure: table1, fig2, fig4, fig5, fig6, fig7, fig8, all")
-		full   = flag.Bool("full", false, "paper-scale configuration (same as GURITA_FULLSCALE=1)")
-		csvDir = flag.String("csv", "", "also write each table as <dir>/<name>.csv for plotting")
-		trials = flag.Int("trials", 1, "average each figure over this many seeds")
+		fig      = flag.String("fig", "all", "which figure: table1, fig2, fig4, fig5, fig6, fig7, fig8, all")
+		full     = flag.Bool("full", false, "paper-scale configuration (same as GURITA_FULLSCALE=1)")
+		csvDir   = flag.String("csv", "", "also write each table as <dir>/<name>.csv for plotting")
+		trials   = flag.Int("trials", 1, "average each figure over this many seeds")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (output is identical for any value)")
+		cacheDir = flag.String("cache", "", "persist finished trials under this directory and resume/skip from it")
+		force    = flag.Bool("force", false, "re-run trials even when cached")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the campaign between trials; with -cache, finished
+	// trials are already on disk and the next invocation resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	scale := gurita.ScaleFromEnv()
 	if *full {
 		scale = gurita.PaperScale()
 	}
 	scale.Trials = *trials
+	opts := gurita.CampaignOptions{
+		Workers:  *parallel,
+		CacheDir: *cacheDir,
+		Force:    *force,
+		Progress: progressPrinter(),
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
@@ -75,7 +100,7 @@ func run() error {
 		fmt.Printf("average JCT: %.2f (wide-first) vs %.2f (narrow-first)\n\n", wide, narrow)
 	}
 	if want("fig5") {
-		ft, _, err := gurita.Fig5Improvements(scale)
+		ft, _, err := gurita.Fig5ImprovementsWith(ctx, scale, opts)
 		if err != nil {
 			return err
 		}
@@ -92,7 +117,7 @@ func run() error {
 	}
 	if want("fig6") {
 		for _, st := range structures {
-			ft, _, err := gurita.Fig6TraceCategories(st.s, scale)
+			ft, _, err := gurita.Fig6TraceCategoriesWith(ctx, st.s, scale, opts)
 			if err != nil {
 				return err
 			}
@@ -103,7 +128,7 @@ func run() error {
 	}
 	if want("fig7") {
 		for _, st := range structures {
-			ft, _, err := gurita.Fig7BurstyCategories(st.s, scale)
+			ft, _, err := gurita.Fig7BurstyCategoriesWith(ctx, st.s, scale, opts)
 			if err != nil {
 				return err
 			}
@@ -114,7 +139,7 @@ func run() error {
 	}
 	if want("fig8") {
 		for _, st := range structures {
-			ft, _, err := gurita.Fig8GuritaPlus(st.s, scale)
+			ft, _, err := gurita.Fig8GuritaPlusWith(ctx, st.s, scale, opts)
 			if err != nil {
 				return err
 			}
@@ -124,4 +149,24 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// progressPrinter renders campaign progress as a single self-overwriting
+// stderr line, cleared when the campaign completes so table output stays
+// clean. stdout (the tables) is untouched.
+func progressPrinter() func(gurita.CampaignProgress) {
+	return func(p gurita.CampaignProgress) {
+		line := fmt.Sprintf("campaign: %d/%d trials", p.Done, p.Total)
+		if p.CacheHits > 0 {
+			line += fmt.Sprintf(" (%d cached)", p.CacheHits)
+		}
+		line += fmt.Sprintf("  elapsed %s", p.Elapsed.Round(time.Second))
+		if p.ETA > 0 {
+			line += fmt.Sprintf("  ETA %s", p.ETA.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r%-70s", line)
+		if p.Done == p.Total {
+			fmt.Fprintf(os.Stderr, "\r%70s\r", "")
+		}
+	}
 }

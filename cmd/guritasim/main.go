@@ -1,18 +1,30 @@
 // Command guritasim runs one scheduling scenario and prints JCT statistics,
 // overall and per Table 1 size category.
 //
+// Synthetic workloads (the default and -bursty modes) run through the
+// campaign engine: with -scheduler all the per-scheduler runs execute on
+// -parallel workers, and -cache DIR persists every finished run so repeat
+// invocations (and interrupted ones) skip straight to the results. Replayed
+// trace files (-trace) and utilization probes (-util) stay on the direct
+// serial path: the former's workload lives outside the declarative spec,
+// the latter's probe is stateful.
+//
 // Usage:
 //
 //	guritasim -scheduler gurita -structure fb-tao -jobs 100 -k 8 -seed 1
-//	guritasim -scheduler all -structure tpc-ds -bursty
+//	guritasim -scheduler all -structure tpc-ds -bursty -parallel 8 -cache .gurita-cache
 //	guritasim -scheduler pfs -trace FB2010-1Hr-150-0.txt   # real trace replay
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"sort"
+	"time"
 
 	gurita "gurita"
 )
@@ -37,11 +49,17 @@ func run() error {
 		traceFile = flag.String("trace", "", "replay a coflow-benchmark trace file instead of synthesizing")
 		queues    = flag.Int("queues", 4, "priority queues")
 		timeScale = flag.Float64("timescale", 0.1, "arrival compression for trace-like runs")
-		util      = flag.Bool("util", false, "sample and print fabric utilization")
+		util      = flag.Bool("util", false, "sample and print fabric utilization (forces the serial path)")
 		taskDeps  = flag.Bool("taskdeps", false, "task-level DAG release (pipelined stages)")
 		jsonOut   = flag.String("json", "", "write per-job results as JSON to this file")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size for synthetic workloads")
+		cacheDir  = flag.String("cache", "", "persist finished runs under this directory and resume/skip from it")
+		force     = flag.Bool("force", false, "re-run even when cached")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var tp *gurita.Topology
 	var err error
@@ -68,6 +86,73 @@ func run() error {
 	st, err := parseStructure(*structure)
 	if err != nil {
 		return err
+	}
+
+	kinds := []gurita.SchedulerKind{gurita.SchedulerKind(*schedName)}
+	if *schedName == "all" {
+		kinds = gurita.AllKinds()
+	}
+
+	jsonName := func(kind gurita.SchedulerKind) string {
+		if len(kinds) > 1 {
+			return fmt.Sprintf("%s.%s", *jsonOut, kind)
+		}
+		return *jsonOut
+	}
+
+	// Synthetic workloads are fully described by a TrialSpec, so they run
+	// through the campaign engine; trace replays and utilization probes
+	// cannot (external file / stateful probe) and stay serial.
+	if *traceFile == "" && !*util {
+		scale := gurita.Scale{Seed: *seed}
+		scenario := gurita.CampaignTrace
+		if *bursty {
+			scenario = gurita.CampaignBursty
+			scale.BurstyJobs = *jobs
+			scale.BurstyFatTreeK = *k
+			scale.BurstSize = 20
+		} else {
+			scale.TraceCoflows = *jobs
+			scale.FatTreeK = *k
+			scale.MaxSenders = 6
+			scale.MaxReducers = 3
+			scale.TraceTimeScale = *timeScale
+		}
+		specs := make([]gurita.TrialSpec, len(kinds))
+		for i, kind := range kinds {
+			specs[i] = gurita.TrialSpec{
+				Scheduler:             kind,
+				Scenario:              scenario,
+				Structure:             st,
+				Scale:                 scale,
+				Queues:                *queues,
+				TaskLevelDependencies: *taskDeps,
+				Topo:                  *topoKind,
+				Oversub:               *oversub,
+			}
+		}
+		results, _, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
+			Workers:  *parallel,
+			CacheDir: *cacheDir,
+			Force:    *force,
+			// Coflow rows ride along so -json output carries avg_cct exactly
+			// as the serial path writes it.
+			IncludeCoflows: true,
+			Progress:       progressPrinter(),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fabric: %v, jobs: %d, structure: %v\n\n", tp, len(results[0].Jobs), st)
+		for i, kind := range kinds {
+			printResult(results[i])
+			if *jsonOut != "" {
+				if err := writeJSON(jsonName(kind), results[i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
 
 	var workload []*gurita.Job
@@ -116,10 +201,6 @@ func run() error {
 		Queues:                *queues,
 		TaskLevelDependencies: *taskDeps,
 	}
-	kinds := []gurita.SchedulerKind{gurita.SchedulerKind(*schedName)}
-	if *schedName == "all" {
-		kinds = gurita.AllKinds()
-	}
 
 	fmt.Printf("fabric: %v, jobs: %d, structure: %v\n\n", tp, len(workload), st)
 	for _, kind := range kinds {
@@ -139,24 +220,43 @@ func run() error {
 				100*uc.PeakLinkUtilization(), uc.Samples())
 		}
 		if *jsonOut != "" {
-			name := *jsonOut
-			if len(kinds) > 1 {
-				name = fmt.Sprintf("%s.%s", name, kind)
-			}
-			f, err := os.Create(name)
-			if err != nil {
-				return err
-			}
-			if err := gurita.WriteResultJSON(f, res, false); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := writeJSON(jsonName(kind), res); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+func writeJSON(name string, res *gurita.Result) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := gurita.WriteResultJSON(f, res, false); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// progressPrinter renders campaign progress as a self-overwriting stderr
+// line, cleared on completion; stdout stays clean for the result tables.
+func progressPrinter() func(gurita.CampaignProgress) {
+	return func(p gurita.CampaignProgress) {
+		line := fmt.Sprintf("campaign: %d/%d runs", p.Done, p.Total)
+		if p.CacheHits > 0 {
+			line += fmt.Sprintf(" (%d cached)", p.CacheHits)
+		}
+		line += fmt.Sprintf("  elapsed %s", p.Elapsed.Round(time.Second))
+		if p.ETA > 0 {
+			line += fmt.Sprintf("  ETA %s", p.ETA.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r%-70s", line)
+		if p.Done == p.Total {
+			fmt.Fprintf(os.Stderr, "\r%70s\r", "")
+		}
+	}
 }
 
 func parseStructure(s string) (gurita.Structure, error) {

@@ -1,6 +1,7 @@
 package gurita
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"math"
@@ -193,19 +194,25 @@ func TraceScenario(structure Structure, scale Scale) (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
+	jobs, err := traceJobs(structure, scale, tp.NumServers())
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{Topology: tp, Jobs: jobs}, nil
+}
+
+// traceJobs generates the trace-driven workload for a fabric of the given
+// size (shared by TraceScenario and campaign trial specs).
+func traceJobs(structure Structure, scale Scale, servers int) ([]*Job, error) {
 	specs := SynthesizeTrace(scale.TraceCoflows, 150, scale.Seed)
-	jobs, err := GraftTrace(specs, 150, GraftConfig{
+	return GraftTrace(specs, 150, GraftConfig{
 		Structure:   structure,
-		Servers:     tp.NumServers(),
+		Servers:     servers,
 		Seed:        scale.Seed,
 		MaxSenders:  scale.MaxSenders,
 		MaxReducers: scale.MaxReducers,
 		TimeScale:   scale.TraceTimeScale,
 	})
-	if err != nil {
-		return Scenario{}, err
-	}
-	return Scenario{Topology: tp, Jobs: jobs}, nil
 }
 
 // BurstyScenario builds the bursty large-scale scenario of Figure 7 (and
@@ -216,10 +223,20 @@ func BurstyScenario(structure Structure, scale Scale) (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
-	jobs, err := GenerateWorkload(WorkloadConfig{
+	jobs, err := burstyJobs(structure, scale, tp.NumServers())
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{Topology: tp, Jobs: jobs}, nil
+}
+
+// burstyJobs generates the bursty workload for a fabric of the given size
+// (shared by BurstyScenario and campaign trial specs).
+func burstyJobs(structure Structure, scale Scale, servers int) ([]*Job, error) {
+	return GenerateWorkload(WorkloadConfig{
 		NumJobs:         scale.BurstyJobs,
 		Seed:            scale.Seed,
-		Servers:         tp.NumServers(),
+		Servers:         servers,
 		Structure:       structure,
 		CategoryWeights: scale.BurstyCategoryWeights,
 		Arrival: &BurstyArrivals{
@@ -228,10 +245,6 @@ func BurstyScenario(structure Structure, scale Scale) (Scenario, error) {
 			InterGap:  5,
 		},
 	})
-	if err != nil {
-		return Scenario{}, err
-	}
-	return Scenario{Topology: tp, Jobs: jobs}, nil
 }
 
 // Table1 regenerates Table 1: the seven job-size categories.
@@ -322,44 +335,91 @@ func Fig4Blocking() (ft FigureTable, wideFirstAvg, narrowFirstAvg float64) {
 	return ft, wideFirstAvg, narrowFirstAvg
 }
 
+// figureKinds is every scheduler a comparison figure runs: the four
+// baselines plus Gurita itself.
+var figureKinds = []SchedulerKind{KindGurita, KindBaraat, KindPFS, KindStream, KindAalo}
+
+// figureGrid expands a figure's scheduler set into one campaign TrialSpec
+// per (trial seed, scheduler), in deterministic grid order: the trial-major,
+// kind-minor layout figureResults indexes back into.
+func figureGrid(scenario CampaignScenario, structure Structure, scale Scale, kinds []SchedulerKind) []TrialSpec {
+	specs := make([]TrialSpec, 0, scale.trials()*len(kinds))
+	for trial := 0; trial < scale.trials(); trial++ {
+		for _, k := range kinds {
+			specs = append(specs, TrialSpec{
+				Scheduler: k,
+				Scenario:  scenario,
+				Structure: structure,
+				Scale:     scale.withSeed(scale.Seed + int64(trial)),
+			})
+		}
+	}
+	return specs
+}
+
+// figureResults regroups a figureGrid campaign's flat result slice (starting
+// at offset) back into per-trial result maps keyed by scheduler, mirroring
+// what Scenario.RunAll used to return per trial.
+func figureResults(results []*Result, offset int, trials int, kinds []SchedulerKind) []map[SchedulerKind]*Result {
+	out := make([]map[SchedulerKind]*Result, trials)
+	i := offset
+	for trial := 0; trial < trials; trial++ {
+		byKind := make(map[SchedulerKind]*Result, len(kinds))
+		for _, k := range kinds {
+			byKind[k] = results[i]
+			i++
+		}
+		out[trial] = byKind
+	}
+	return out
+}
+
 // Fig5Improvements regenerates Figure 5: Gurita's average-JCT improvement
 // over Baraat, PFS, Stream and Aalo in four scenarios — trace-driven and
 // bursty, each under the FB-Tao ("FB") and TPC-DS ("CD", the Cloudera
 // benchmark) structures. Returns the table and the raw factors keyed
 // scenario → scheduler.
 func Fig5Improvements(scale Scale) (FigureTable, map[string]map[SchedulerKind]float64, error) {
+	return Fig5ImprovementsWith(context.Background(), scale, CampaignOptions{})
+}
+
+// Fig5ImprovementsWith is Fig5Improvements with campaign control: the whole
+// scenario × scheduler × seed grid runs through RunCampaign, so it
+// parallelizes across opts.Workers and resumes from opts.CacheDir.
+func Fig5ImprovementsWith(ctx context.Context, scale Scale, opts CampaignOptions) (FigureTable, map[string]map[SchedulerKind]float64, error) {
 	type sc struct {
-		name  string
-		build func(Scale) (Scenario, error)
+		name      string
+		scenario  CampaignScenario
+		structure Structure
 	}
 	scenarios := []sc{
-		{"FB-t", func(s Scale) (Scenario, error) { return TraceScenario(StructureFBTao, s) }},
-		{"CD-t", func(s Scale) (Scenario, error) { return TraceScenario(StructureTPCDS, s) }},
-		{"FB-b", func(s Scale) (Scenario, error) { return BurstyScenario(StructureFBTao, s) }},
-		{"CD-b", func(s Scale) (Scenario, error) { return BurstyScenario(StructureTPCDS, s) }},
+		{"FB-t", CampaignTrace, StructureFBTao},
+		{"CD-t", CampaignTrace, StructureTPCDS},
+		{"FB-b", CampaignBursty, StructureFBTao},
+		{"CD-b", CampaignBursty, StructureTPCDS},
+	}
+	var specs []TrialSpec
+	for _, s := range scenarios {
+		specs = append(specs, figureGrid(s.scenario, s.structure, scale, figureKinds)...)
+	}
+	results, _, err := RunCampaign(ctx, specs, opts)
+	if err != nil {
+		return FigureTable{}, nil, fmt.Errorf("fig5 campaign: %w", err)
 	}
 	raw := make(map[string]map[SchedulerKind]float64, len(scenarios))
 	ft := FigureTable{
 		Title:  "Figure 5: Gurita's average improvement (baseline avg JCT / Gurita avg JCT)",
 		Header: []string{"scenario", "vs baraat", "vs pfs", "vs stream", "vs aalo"},
 	}
-	for _, s := range scenarios {
+	perScenario := scale.trials() * len(figureKinds)
+	for si, s := range scenarios {
 		acc := newMeanAccum[SchedulerKind]()
-		for trial := 0; trial < scale.trials(); trial++ {
-			trialScale := scale.withSeed(scale.Seed + int64(trial))
-			scenario, err := s.build(trialScale)
-			if err != nil {
-				return FigureTable{}, nil, fmt.Errorf("building %s: %w", s.name, err)
-			}
-			results, err := scenario.RunAll(KindGurita, KindBaraat, KindPFS, KindStream, KindAalo)
-			if err != nil {
-				return FigureTable{}, nil, fmt.Errorf("running %s: %w", s.name, err)
-			}
+		for _, byKind := range figureResults(results, si*perScenario, scale.trials(), figureKinds) {
 			for _, k := range comparisonKinds {
 				// The aggregate is the paired per-job mean ratio: every job
 				// weighted equally, as in a small-job-dominated trace; a
 				// ratio of mean JCTs would be swamped by the multi-TB tail.
-				acc.add(k, PairedImprovement(results[k], results[KindGurita]))
+				acc.add(k, PairedImprovement(byKind[k], byKind[KindGurita]))
 			}
 		}
 		raw[s.name] = acc.means()
@@ -394,24 +454,20 @@ func categoryRows(perSched map[SchedulerKind]map[Category]float64) [][]string {
 }
 
 // figCategories runs the scenario under all comparison schedulers plus
-// Gurita, averaged across the scale's trials, and returns per-category
-// improvements per scheduler.
-func figCategories(build func(Scale) (Scenario, error), scale Scale) (map[SchedulerKind]map[Category]float64, error) {
+// Gurita through one campaign, averaged across the scale's trials, and
+// returns per-category improvements per scheduler.
+func figCategories(ctx context.Context, scenario CampaignScenario, structure Structure, scale Scale, opts CampaignOptions) (map[SchedulerKind]map[Category]float64, error) {
+	results, _, err := RunCampaign(ctx, figureGrid(scenario, structure, scale, figureKinds), opts)
+	if err != nil {
+		return nil, err
+	}
 	accs := make(map[SchedulerKind]*meanAccum[Category], len(comparisonKinds))
 	for _, k := range comparisonKinds {
 		accs[k] = newMeanAccum[Category]()
 	}
-	for trial := 0; trial < scale.trials(); trial++ {
-		scenario, err := build(scale.withSeed(scale.Seed + int64(trial)))
-		if err != nil {
-			return nil, err
-		}
-		results, err := scenario.RunAll(KindGurita, KindBaraat, KindPFS, KindStream, KindAalo)
-		if err != nil {
-			return nil, err
-		}
+	for _, byKind := range figureResults(results, 0, scale.trials(), figureKinds) {
 		for _, k := range comparisonKinds {
-			for c, v := range ImprovementByCategory(results[k], results[KindGurita]) {
+			for c, v := range ImprovementByCategory(byKind[k], byKind[KindGurita]) {
 				accs[k].add(c, v)
 			}
 		}
@@ -426,9 +482,12 @@ func figCategories(build func(Scale) (Scenario, error), scale Scale) (map[Schedu
 // Fig6TraceCategories regenerates Figure 6: per-category improvement in the
 // trace-driven scenario, for the FB-Tao (6.a) and TPC-DS (6.b) structures.
 func Fig6TraceCategories(structure Structure, scale Scale) (FigureTable, map[SchedulerKind]map[Category]float64, error) {
-	per, err := figCategories(func(s Scale) (Scenario, error) {
-		return TraceScenario(structure, s)
-	}, scale)
+	return Fig6TraceCategoriesWith(context.Background(), structure, scale, CampaignOptions{})
+}
+
+// Fig6TraceCategoriesWith is Fig6TraceCategories with campaign control.
+func Fig6TraceCategoriesWith(ctx context.Context, structure Structure, scale Scale, opts CampaignOptions) (FigureTable, map[SchedulerKind]map[Category]float64, error) {
+	per, err := figCategories(ctx, CampaignTrace, structure, scale, opts)
 	if err != nil {
 		return FigureTable{}, nil, err
 	}
@@ -443,9 +502,12 @@ func Fig6TraceCategories(structure Structure, scale Scale) (FigureTable, map[Sch
 // Fig7BurstyCategories regenerates Figure 7: per-category improvement in
 // the bursty large-scale scenario.
 func Fig7BurstyCategories(structure Structure, scale Scale) (FigureTable, map[SchedulerKind]map[Category]float64, error) {
-	per, err := figCategories(func(s Scale) (Scenario, error) {
-		return BurstyScenario(structure, s)
-	}, scale)
+	return Fig7BurstyCategoriesWith(context.Background(), structure, scale, CampaignOptions{})
+}
+
+// Fig7BurstyCategoriesWith is Fig7BurstyCategories with campaign control.
+func Fig7BurstyCategoriesWith(ctx context.Context, structure Structure, scale Scale, opts CampaignOptions) (FigureTable, map[SchedulerKind]map[Category]float64, error) {
+	per, err := figCategories(ctx, CampaignBursty, structure, scale, opts)
 	if err != nil {
 		return FigureTable{}, nil, err
 	}
@@ -462,17 +524,19 @@ func Fig7BurstyCategories(structure Structure, scale Scale) (FigureTable, map[Sc
 // avgJCT(Gurita+)/avgJCT(Gurita) ≤ ~1; the paper reports Gurita within
 // 0.15% of GuritaPlus at worst.
 func Fig8GuritaPlus(structure Structure, scale Scale) (FigureTable, map[Category]float64, error) {
+	return Fig8GuritaPlusWith(context.Background(), structure, scale, CampaignOptions{})
+}
+
+// Fig8GuritaPlusWith is Fig8GuritaPlus with campaign control.
+func Fig8GuritaPlusWith(ctx context.Context, structure Structure, scale Scale, opts CampaignOptions) (FigureTable, map[Category]float64, error) {
+	kinds := []SchedulerKind{KindGurita, KindGuritaPlus}
+	results, _, err := RunCampaign(ctx, figureGrid(CampaignTrace, structure, scale, kinds), opts)
+	if err != nil {
+		return FigureTable{}, nil, err
+	}
 	acc := newMeanAccum[Category]()
-	for trial := 0; trial < scale.trials(); trial++ {
-		scenario, err := TraceScenario(structure, scale.withSeed(scale.Seed+int64(trial)))
-		if err != nil {
-			return FigureTable{}, nil, err
-		}
-		results, err := scenario.RunAll(KindGurita, KindGuritaPlus)
-		if err != nil {
-			return FigureTable{}, nil, err
-		}
-		for c, v := range ImprovementByCategory(results[KindGuritaPlus], results[KindGurita]) {
+	for _, byKind := range figureResults(results, 0, scale.trials(), kinds) {
+		for c, v := range ImprovementByCategory(byKind[KindGuritaPlus], byKind[KindGurita]) {
 			acc.add(c, v)
 		}
 	}

@@ -5,24 +5,29 @@ import (
 	"fmt"
 	"io"
 
+	"gurita/internal/coflow"
 	"gurita/internal/sim"
 )
 
-// resultJSON is the stable on-disk schema for a simulation result; it
-// decouples external tooling from the sim package's internal layout.
-type resultJSON struct {
-	Scheduler      string       `json:"scheduler"`
-	AvgJCT         float64      `json:"avg_jct"`
-	AvgCCT         float64      `json:"avg_cct"`
-	EndTime        float64      `json:"end_time"`
-	Events         int64        `json:"events"`
-	TotalBytes     int64        `json:"total_bytes"`
-	MaxActiveFlows int          `json:"max_active_flows"`
-	Jobs           []jobJSON    `json:"jobs"`
-	Coflows        []coflowJSON `json:"coflows,omitempty"`
+// ResultDoc is the stable on-disk schema for a simulation result; it
+// decouples external tooling — and the campaign runner's result cache —
+// from the sim package's internal layout. It round-trips: NewResultDoc
+// captures a finished run, Result reconstructs an equivalent sim.Result
+// (Category is derived from TotalBytes and is not read back).
+type ResultDoc struct {
+	Scheduler      string      `json:"scheduler"`
+	AvgJCT         float64     `json:"avg_jct"`
+	AvgCCT         float64     `json:"avg_cct"`
+	EndTime        float64     `json:"end_time"`
+	Events         int64       `json:"events"`
+	TotalBytes     int64       `json:"total_bytes"`
+	MaxActiveFlows int         `json:"max_active_flows"`
+	Jobs           []JobDoc    `json:"jobs"`
+	Coflows        []CoflowDoc `json:"coflows,omitempty"`
 }
 
-type jobJSON struct {
+// JobDoc is one finished job row.
+type JobDoc struct {
 	ID         int64   `json:"id"`
 	Arrival    float64 `json:"arrival"`
 	Finished   float64 `json:"finished"`
@@ -33,7 +38,8 @@ type jobJSON struct {
 	NumCoflows int     `json:"num_coflows"`
 }
 
-type coflowJSON struct {
+// CoflowDoc is one finished coflow row.
+type CoflowDoc struct {
 	ID       int64   `json:"id"`
 	JobID    int64   `json:"job_id"`
 	Stage    int     `json:"stage"`
@@ -44,21 +50,21 @@ type coflowJSON struct {
 	Width    int     `json:"width"`
 }
 
-// WriteResultJSON serializes a run's results for external analysis tools.
-// includeCoflows controls whether the (potentially large) per-coflow rows
-// are emitted alongside the per-job rows.
-func WriteResultJSON(w io.Writer, r *sim.Result, includeCoflows bool) error {
-	doc := resultJSON{
+// NewResultDoc captures a run in the export schema. includeCoflows controls
+// whether the (potentially large) per-coflow rows are emitted alongside the
+// per-job rows; AvgCCT is recorded either way.
+func NewResultDoc(r *sim.Result, includeCoflows bool) ResultDoc {
+	doc := ResultDoc{
 		Scheduler:      r.Scheduler,
 		AvgJCT:         Summarize(JCTs(r)).Mean,
+		AvgCCT:         r.AvgCCT(),
 		EndTime:        r.EndTime,
 		Events:         r.Events,
 		TotalBytes:     r.TotalBytes,
 		MaxActiveFlows: r.MaxActiveFlows,
 	}
-	doc.AvgCCT = r.AvgCCT()
 	for _, j := range r.Jobs {
-		doc.Jobs = append(doc.Jobs, jobJSON{
+		doc.Jobs = append(doc.Jobs, JobDoc{
 			ID:         int64(j.JobID),
 			Arrival:    j.Arrival,
 			Finished:   j.Finished,
@@ -71,7 +77,7 @@ func WriteResultJSON(w io.Writer, r *sim.Result, includeCoflows bool) error {
 	}
 	if includeCoflows {
 		for _, c := range r.Coflows {
-			doc.Coflows = append(doc.Coflows, coflowJSON{
+			doc.Coflows = append(doc.Coflows, CoflowDoc{
 				ID:       int64(c.CoflowID),
 				JobID:    int64(c.JobID),
 				Stage:    c.Stage,
@@ -83,10 +89,66 @@ func WriteResultJSON(w io.Writer, r *sim.Result, includeCoflows bool) error {
 			})
 		}
 	}
+	return doc
+}
+
+// Result reconstructs a sim.Result from the document. Per-job rows carry
+// everything the aggregation pipeline consumes (JCTs, paired improvements,
+// Table 1 categories); coflow rows are restored only if the document was
+// written with them.
+func (d *ResultDoc) Result() *sim.Result {
+	r := &sim.Result{
+		Scheduler:      d.Scheduler,
+		EndTime:        d.EndTime,
+		Events:         d.Events,
+		TotalBytes:     d.TotalBytes,
+		MaxActiveFlows: d.MaxActiveFlows,
+	}
+	for _, j := range d.Jobs {
+		r.Jobs = append(r.Jobs, sim.JobResult{
+			JobID:      coflow.JobID(j.ID),
+			Arrival:    j.Arrival,
+			Finished:   j.Finished,
+			JCT:        j.JCT,
+			TotalBytes: j.TotalBytes,
+			NumStages:  j.NumStages,
+			NumCoflows: j.NumCoflows,
+		})
+	}
+	for _, c := range d.Coflows {
+		r.Coflows = append(r.Coflows, sim.CoflowResult{
+			CoflowID: coflow.CoflowID(c.ID),
+			JobID:    coflow.JobID(c.JobID),
+			Stage:    c.Stage,
+			Started:  c.Started,
+			Finished: c.Finished,
+			CCT:      c.CCT,
+			Bytes:    c.Bytes,
+			Width:    c.Width,
+		})
+	}
+	return r
+}
+
+// WriteResultJSON serializes a run's results for external analysis tools.
+// includeCoflows controls whether the (potentially large) per-coflow rows
+// are emitted alongside the per-job rows.
+func WriteResultJSON(w io.Writer, r *sim.Result, includeCoflows bool) error {
+	doc := NewResultDoc(r, includeCoflows)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("metrics: encoding result: %w", err)
 	}
 	return nil
+}
+
+// ReadResultJSON parses a document written by WriteResultJSON back into a
+// sim.Result (see ResultDoc.Result for what is restored).
+func ReadResultJSON(r io.Reader) (*sim.Result, error) {
+	var doc ResultDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("metrics: decoding result: %w", err)
+	}
+	return doc.Result(), nil
 }

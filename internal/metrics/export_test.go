@@ -67,3 +67,71 @@ func TestWriteResultJSON(t *testing.T) {
 		t.Fatal("coflows present despite includeCoflows=false")
 	}
 }
+
+// TestResultDocRoundTrip: write → read reconstructs a result whose rows and
+// recomputed aggregates are bit-identical (float64s survive JSON exactly via
+// shortest-round-trip formatting), which the campaign cache relies on.
+func TestResultDocRoundTrip(t *testing.T) {
+	r := &sim.Result{
+		Scheduler:      "pfs",
+		EndTime:        1.0 / 3.0,
+		Events:         42,
+		TotalBytes:     123456789,
+		MaxActiveFlows: 3,
+		Jobs: []sim.JobResult{
+			{JobID: 7, Arrival: 0.1, Finished: 0.7, JCT: 0.6000000000000001, TotalBytes: 9e6, NumStages: 2, NumCoflows: 3},
+			{JobID: 8, Arrival: 0.2, Finished: 1.0 / 7.0, JCT: 1e-9, TotalBytes: 5e9, NumStages: 1, NumCoflows: 1},
+		},
+		Coflows: []sim.CoflowResult{
+			{CoflowID: 11, JobID: 7, Stage: 1, Started: 0.1, Finished: 0.30000000000000004, CCT: 0.2, Bytes: 100, Width: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, r, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheduler != r.Scheduler || got.EndTime != r.EndTime || got.Events != r.Events ||
+		got.TotalBytes != r.TotalBytes || got.MaxActiveFlows != r.MaxActiveFlows {
+		t.Fatalf("header mismatch: %+v vs %+v", got, r)
+	}
+	for i := range r.Jobs {
+		if got.Jobs[i] != r.Jobs[i] {
+			t.Fatalf("job %d = %+v, want %+v", i, got.Jobs[i], r.Jobs[i])
+		}
+	}
+	for i := range r.Coflows {
+		if got.Coflows[i] != r.Coflows[i] {
+			t.Fatalf("coflow %d = %+v, want %+v", i, got.Coflows[i], r.Coflows[i])
+		}
+	}
+	// Re-serializing the reconstruction is byte-identical — the determinism
+	// guarantee cached campaigns provide.
+	var buf2 bytes.Buffer
+	if err := WriteResultJSON(&buf2, got, true); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteResultJSON(&buf, r, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-serialization differs:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+
+	// A jobs-only doc reconstructs without coflows.
+	var buf3 bytes.Buffer
+	if err := WriteResultJSON(&buf3, r, false); err != nil {
+		t.Fatal(err)
+	}
+	slim, err := ReadResultJSON(&buf3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slim.Coflows) != 0 || len(slim.Jobs) != 2 {
+		t.Fatalf("jobs-only reconstruction: %d coflows, %d jobs", len(slim.Coflows), len(slim.Jobs))
+	}
+}

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the on-disk result store: one JSON file per finished trial,
+// content-addressed by the trial's Key and fanned out over 256 two-hex-digit
+// subdirectories (<dir>/ab/abcdef….json) to keep directories small at
+// paper-campaign scale.
+//
+// Robustness over cleverness: a cache entry is trusted only if its envelope
+// parses, its schema string matches the cache's, and its recorded key
+// matches its filename. Anything else — a truncated write from a crash, a
+// hand-edited file, an entry from an older schema — is silently a miss and
+// gets recomputed and overwritten. Writes go through a temp file plus rename
+// so a concurrent reader (or a kill -9) never observes a half-written entry.
+type Cache struct {
+	dir    string
+	schema string
+}
+
+// entry is the on-disk envelope around a cached result. Spec is stored
+// verbatim so humans (and external tooling) can inspect what produced a
+// result without reversing the hash.
+type entry struct {
+	Schema string          `json:"schema"`
+	Key    string          `json:"key"`
+	Spec   json.RawMessage `json:"spec"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Open creates (if needed) and returns the cache rooted at dir. The schema
+// string versions the entry contents: entries written under a different
+// schema are treated as misses, never as errors.
+func Open(dir, schema string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: cache dir must not be empty")
+	}
+	if schema == "" {
+		return nil, fmt.Errorf("runner: cache schema must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: creating cache dir: %w", err)
+	}
+	return &Cache{dir: dir, schema: schema}, nil
+}
+
+// Schema returns the schema version this cache validates entries against.
+func (c *Cache) Schema() string { return c.schema }
+
+// Dir returns the cache root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result JSON for key. Every failure mode — missing
+// file, unreadable file, truncated or corrupt JSON, schema or key mismatch,
+// empty result — is reported as a plain miss.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	if len(key) < 3 {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != c.schema || e.Key != key || len(e.Result) == 0 || string(e.Result) == "null" {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Put persists a finished trial atomically: the envelope is written to a
+// temp file in the entry's own directory and renamed into place, so readers
+// see either the old entry, the new entry, or a miss — never a torn write.
+func (c *Cache) Put(key string, spec, result json.RawMessage) error {
+	if len(key) < 3 {
+		return fmt.Errorf("runner: cache key %q too short", key)
+	}
+	data, err := json.MarshalIndent(entry{
+		Schema: c.schema,
+		Key:    key,
+		Spec:   spec,
+		Result: result,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding cache entry: %w", err)
+	}
+	final := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("runner: creating cache shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), "."+key[:8]+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: creating cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: closing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: committing cache entry: %w", err)
+	}
+	return nil
+}
+
+// Len walks the cache and counts valid-looking entry files (by name only;
+// entries are fully validated on Get). Intended for tooling and tests.
+func (c *Cache) Len() int {
+	n := 0
+	_ = filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,254 @@
+// Package runner is the campaign engine: it executes a declarative grid of
+// independent, deterministic trials on a worker pool and aggregates the
+// results in grid order, regardless of completion order.
+//
+// The package is deliberately generic — it knows nothing about simulations.
+// A campaign is a slice of specs (any JSON-marshalable value) plus an exec
+// function; the facade (gurita.RunCampaign) supplies the glue that turns a
+// spec into a simulator run. Because every trial is pure (output a function
+// of spec alone), each one gets a content-addressed key — the SHA-256 of its
+// canonical spec JSON plus a schema version — and finished results can be
+// persisted in a Cache keyed by it. Re-running the same grid, after a crash,
+// a Ctrl-C, or on a later day, skips every cache hit and recomputes only
+// what is missing; Options.Force is the escape hatch.
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Key returns the content-addressed cache key of a spec: the hex SHA-256 of
+// the schema version and the spec's canonical JSON encoding. Go's
+// encoding/json is deterministic for structs (declaration field order), so
+// equal specs always hash equally; any semantic change to spec layout or
+// trial execution must bump the schema string to invalidate old entries.
+func Key(schema string, spec any) (string, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("runner: marshaling spec for key: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(schema))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Progress is a snapshot of a running campaign, delivered to
+// Options.Progress after every finished trial.
+type Progress struct {
+	// Done trials out of Total (cache hits included).
+	Done, Total int
+	// CacheHits among the Done trials.
+	CacheHits int
+	// Elapsed wall-clock time since Run started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the average pace of
+	// executed (non-cached) trials; 0 until the first trial executes.
+	ETA time.Duration
+}
+
+// Stats summarizes a finished (or interrupted) campaign.
+type Stats struct {
+	// Total trials in the grid.
+	Total int
+	// Executed is how many trials actually ran (cache misses).
+	Executed int
+	// CacheHits is how many trials were served from the cache.
+	CacheHits int
+	// Elapsed is the campaign wall-clock time.
+	Elapsed time.Duration
+}
+
+// Options tunes a campaign run.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means runtime.NumCPU().
+	Workers int
+	// Cache persists finished trials; nil disables caching.
+	Cache *Cache
+	// Force ignores existing cache entries (results are still written back,
+	// overwriting them).
+	Force bool
+	// Progress, when non-nil, is called after every finished trial. It may
+	// be called concurrently from worker goroutines in submission order of
+	// completion; implementations must be safe for serialized-by-mutex use
+	// (the runner already serializes calls).
+	Progress func(Progress)
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// Run executes every spec through exec on a pool of Options.Workers
+// goroutines and returns the results in spec order — position i of the
+// output is always the result of specs[i], so aggregation downstream is
+// deterministic no matter how execution interleaves.
+//
+// With a Cache, each spec's key is looked up first; hits are decoded into R
+// and skip exec, misses execute and are persisted as they finish (one file
+// per trial, written atomically), so an interrupted campaign loses at most
+// the trials in flight. R must round-trip through encoding/json for caching
+// to be transparent.
+//
+// The first exec error, cache-write error, or context cancellation stops the
+// pool: no new trials start, in-flight trials finish (exec is not
+// preemptible), and the error is returned. Already-completed trials remain
+// in the cache, which is what makes campaigns resumable.
+func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context, spec S) (R, error), opts Options) ([]R, Stats, error) {
+	start := time.Now()
+	stats := Stats{Total: len(specs)}
+	results := make([]R, len(specs))
+	if len(specs) == 0 {
+		return results, stats, ctx.Err()
+	}
+
+	// Key every spec up front: a spec that cannot be hashed is a programming
+	// error better reported before any work starts.
+	keys := make([]string, len(specs))
+	if opts.Cache != nil {
+		for i, s := range specs {
+			k, err := Key(opts.Cache.Schema(), s)
+			if err != nil {
+				return nil, stats, err
+			}
+			keys[i] = k
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex // guards stats counters, firstErr, progress calls
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finish := func(cached bool) {
+		mu.Lock()
+		if cached {
+			stats.CacheHits++
+		} else {
+			stats.Executed++
+		}
+		if opts.Progress != nil {
+			done := stats.CacheHits + stats.Executed
+			elapsed := time.Since(start)
+			var eta time.Duration
+			if stats.Executed > 0 {
+				perTrial := elapsed / time.Duration(stats.Executed)
+				remaining := len(specs) - done
+				eta = perTrial * time.Duration(remaining) / time.Duration(opts.workers())
+			}
+			opts.Progress(Progress{
+				Done:      done,
+				Total:     len(specs),
+				CacheHits: stats.CacheHits,
+				Elapsed:   elapsed,
+				ETA:       eta,
+			})
+		}
+		mu.Unlock()
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if ctx.Err() != nil {
+					return
+				}
+				res, cached, err := runOne(ctx, specs[i], keys[i], exec, opts)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = res
+				finish(cached)
+			}
+		}()
+	}
+feed:
+	for i := range specs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	stats.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// runOne resolves a single trial: cache lookup, then execution plus
+// write-back on a miss.
+func runOne[S, R any](ctx context.Context, spec S, key string, exec func(context.Context, S) (R, error), opts Options) (res R, cached bool, err error) {
+	if opts.Cache != nil && !opts.Force {
+		if raw, ok := opts.Cache.Get(key); ok {
+			if err := json.Unmarshal(raw, &res); err == nil {
+				return res, true, nil
+			}
+			// An entry that passed the envelope check but does not decode
+			// into R is treated like any other corrupt entry: a miss.
+		}
+	}
+	res, err = exec(ctx, spec)
+	if err != nil {
+		return res, false, fmt.Errorf("runner: trial %s: %w", shortKey(key), err)
+	}
+	if opts.Cache != nil {
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			return res, false, fmt.Errorf("runner: marshaling spec: %w", err)
+		}
+		resultJSON, err := json.Marshal(res)
+		if err != nil {
+			return res, false, fmt.Errorf("runner: marshaling result: %w", err)
+		}
+		if err := opts.Cache.Put(key, specJSON, resultJSON); err != nil {
+			return res, false, err
+		}
+	}
+	return res, false, nil
+}
+
+// shortKey abbreviates a cache key for error messages; a spec without a
+// cache has no key.
+func shortKey(key string) string {
+	if key == "" {
+		return "(uncached)"
+	}
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -1,0 +1,92 @@
+package gurita_test
+
+// BenchmarkRunnerParallelism measures the campaign engine's scaling on a
+// small Figure 5-style grid (two scenarios × five schedulers × two seeds =
+// 20 independent trials). Trials are embarrassingly parallel deterministic
+// simulations, so wall-clock should shrink near-linearly with workers up to
+// the core count; the workers=1 sub-benchmark is the serial baseline.
+// Numbers are recorded in EXPERIMENTS.md.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	gurita "gurita"
+)
+
+// runnerBenchGrid is the Fig. 5-style grid: trace + bursty scenarios under
+// the full comparison scheduler set, two seeds each.
+func runnerBenchGrid() []gurita.TrialSpec {
+	scale := gurita.QuickScale()
+	scale.TraceCoflows = 40
+	scale.BurstyJobs = 40
+	scale.BurstSize = 10
+	kinds := []gurita.SchedulerKind{
+		gurita.KindPFS, gurita.KindBaraat, gurita.KindStream, gurita.KindAalo, gurita.KindGurita,
+	}
+	var specs []gurita.TrialSpec
+	for _, scenario := range []gurita.CampaignScenario{gurita.CampaignTrace, gurita.CampaignBursty} {
+		for _, kind := range kinds {
+			for seed := int64(1); seed <= 2; seed++ {
+				s := scale
+				s.Seed = seed
+				specs = append(specs, gurita.TrialSpec{
+					Scheduler: kind,
+					Scenario:  scenario,
+					Structure: gurita.StructureFBTao,
+					Scale:     s,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func BenchmarkRunnerParallelism(b *testing.B) {
+	specs := runnerBenchGrid()
+	ctx := context.Background()
+	var serialNsPerOp float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, stats, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(specs) || stats.Executed != len(specs) {
+					b.Fatalf("campaign ran %d/%d trials", stats.Executed, len(specs))
+				}
+			}
+			b.ReportMetric(float64(len(specs))*float64(b.N)*1e9/float64(b.Elapsed().Nanoseconds()), "trials/s")
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				serialNsPerOp = nsPerOp
+			} else if serialNsPerOp > 0 {
+				b.ReportMetric(serialNsPerOp/nsPerOp, "speedup-vs-serial")
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerWarmCache measures the fully cached path: every trial is a
+// cache hit, so the campaign reduces to reading and decoding 20 JSON files.
+func BenchmarkRunnerWarmCache(b *testing.B) {
+	specs := runnerBenchGrid()
+	ctx := context.Background()
+	dir := b.TempDir()
+	if _, _, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{CacheDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Executed != 0 {
+			b.Fatalf("warm cache executed %d simulations", stats.Executed)
+		}
+	}
+}
