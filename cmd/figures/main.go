@@ -28,6 +28,7 @@ import (
 	"time"
 
 	gurita "gurita"
+	"gurita/internal/prof"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		fig      = flag.String("fig", "all", "which figure: table1, fig2, fig4, fig5, fig6, fig7, fig8, all")
 		full     = flag.Bool("full", false, "paper-scale configuration (same as GURITA_FULLSCALE=1)")
@@ -46,8 +47,22 @@ func run() error {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (output is identical for any value)")
 		cacheDir = flag.String("cache", "", "persist finished trials under this directory and resume/skip from it")
 		force    = flag.Bool("force", false, "re-run trials even when cached")
+		// -exectrace matches guritasim, where plain -trace means trace replay.
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	// Ctrl-C cancels the campaign between trials; with -cache, finished
 	// trials are already on disk and the next invocation resumes.

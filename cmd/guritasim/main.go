@@ -27,6 +27,7 @@ import (
 	"time"
 
 	gurita "gurita"
+	"gurita/internal/prof"
 )
 
 func main() {
@@ -36,7 +37,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		schedName = flag.String("scheduler", "gurita", `scheduler: gurita, gurita+, pfs, baraat, stream, aalo, or "all"`)
 		structure = flag.String("structure", "fb-tao", "job DAG structure: single, fb-tao, tpc-ds, mixed")
@@ -55,14 +56,28 @@ func run() error {
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size for synthetic workloads")
 		cacheDir  = flag.String("cache", "", "persist finished runs under this directory and resume/skip from it")
 		force     = flag.Bool("force", false, "re-run even when cached")
+		// -trace is taken by trace replay, so the runtime/trace flag is
+		// -exectrace here (and, for symmetry, in cmd/figures too).
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *execTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	var tp *gurita.Topology
-	var err error
 	switch *topoKind {
 	case "fattree":
 		if *oversub > 1 {

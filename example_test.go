@@ -123,10 +123,11 @@ func (allTop) OnJobArrival(*gurita.JobState)        {}
 func (allTop) OnCoflowStart(*gurita.CoflowState)    {}
 func (allTop) OnCoflowComplete(*gurita.CoflowState) {}
 func (allTop) OnJobComplete(*gurita.JobState)       {}
-func (allTop) AssignQueues(_ float64, flows []*gurita.FlowState) {
-	for _, f := range flows {
+func (allTop) AssignQueues(_ float64, _, added, dirty []*gurita.FlowState) []*gurita.FlowState {
+	for _, f := range added {
 		f.SetQueue(0)
 	}
+	return dirty
 }
 
 // ExampleNewUtilizationCollector samples fabric load during a run.

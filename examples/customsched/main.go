@@ -29,16 +29,30 @@ func (s *sjf) OnCoflowStart(*gurita.CoflowState)    {}
 func (s *sjf) OnCoflowComplete(*gurita.CoflowState) {}
 func (s *sjf) OnJobComplete(*gurita.JobState)       {}
 
-func (s *sjf) AssignQueues(_ float64, flows []*gurita.FlowState) {
-	for _, f := range flows {
-		q := 0
-		for _, t := range s.thresholds {
-			if f.Coflow.Job.BytesSent > t {
-				q++
-			}
-		}
-		f.SetQueue(q)
+// AssignQueues keys on live byte counters, so targets can move at any
+// event: assign newcomers, then sweep with compare-and-set and report any
+// pre-existing flow whose queue changed.
+func (s *sjf) AssignQueues(_ float64, flows, added, dirty []*gurita.FlowState) []*gurita.FlowState {
+	for _, f := range added {
+		f.SetQueue(s.targetQueue(f))
 	}
+	for _, f := range flows {
+		if q := s.targetQueue(f); q != f.Queue() {
+			f.SetQueue(q)
+			dirty = append(dirty, f)
+		}
+	}
+	return dirty
+}
+
+func (s *sjf) targetQueue(f *gurita.FlowState) int {
+	q := 0
+	for _, t := range s.thresholds {
+		if f.Coflow.Job.BytesSent > t {
+			q++
+		}
+	}
+	return q
 }
 
 func main() {

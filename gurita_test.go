@@ -140,10 +140,11 @@ func (roundRobin) OnJobArrival(*gurita.JobState)        {}
 func (roundRobin) OnCoflowStart(*gurita.CoflowState)    {}
 func (roundRobin) OnCoflowComplete(*gurita.CoflowState) {}
 func (roundRobin) OnJobComplete(*gurita.JobState)       {}
-func (roundRobin) AssignQueues(_ float64, flows []*gurita.FlowState) {
-	for _, f := range flows {
+func (roundRobin) AssignQueues(_ float64, _, added, dirty []*gurita.FlowState) []*gurita.FlowState {
+	for _, f := range added {
 		f.SetQueue(int(f.Coflow.Job.Job.ID) % 4)
 	}
+	return dirty
 }
 
 func TestTraceRoundTripPublic(t *testing.T) {

@@ -95,6 +95,14 @@ type Gurita struct {
 
 	jobs   map[coflow.JobID]*jobInfo
 	active []*sim.CoflowState
+
+	// psiC/psiJ are the current blocking-effect maps. They are recomputed
+	// only when a coordination round ran or the active structure changed
+	// (structureDirty, set by the lifecycle hooks); between those points
+	// every Ψ input is constant, so targets cannot move.
+	psiC           map[coflow.CoflowID]float64
+	psiJ           map[coflow.JobID]float64
+	structureDirty bool
 }
 
 // New builds the practical Gurita scheduler for the given number of
@@ -122,6 +130,8 @@ func New(cfg Config, queues int) (*Gurita, error) {
 		thresholds: th,
 		agg:        hr.New(cfg.Delta),
 		jobs:       make(map[coflow.JobID]*jobInfo),
+		psiC:       make(map[coflow.CoflowID]float64),
+		psiJ:       make(map[coflow.JobID]float64),
 	}, nil
 }
 
@@ -153,15 +163,18 @@ func (g *Gurita) OnJobArrival(js *sim.JobState) {
 		ji.criticalSet = coflow.CriticalSet(js.Job, coflow.CCTWeight(g.env.Topo.LinkCapacity(0)))
 	}
 	g.jobs[js.Job.ID] = ji
+	g.structureDirty = true
 }
 
 // OnCoflowStart implements sim.Scheduler.
 func (g *Gurita) OnCoflowStart(cs *sim.CoflowState) {
 	g.active = append(g.active, cs)
+	g.structureDirty = true
 }
 
 // OnCoflowComplete implements sim.Scheduler.
 func (g *Gurita) OnCoflowComplete(cs *sim.CoflowState) {
+	g.structureDirty = true
 	for i, x := range g.active {
 		if x == cs {
 			g.active = append(g.active[:i], g.active[i+1:]...)
@@ -182,6 +195,7 @@ func (g *Gurita) OnCoflowComplete(cs *sim.CoflowState) {
 // OnJobComplete implements sim.Scheduler.
 func (g *Gurita) OnJobComplete(js *sim.JobState) {
 	delete(g.jobs, js.Job.ID)
+	g.structureDirty = true
 }
 
 // psi computes the (critical-path-discounted) blocking effect of one active
@@ -249,32 +263,56 @@ func (g *Gurita) psi(cs *sim.CoflowState) float64 {
 // out-of-order rule applies: an in-flight flow's priority may only be
 // demoted, never promoted (only newly generated flows benefit from a job's
 // improved priority); GuritaPlus adjusts both ways instantly.
-func (g *Gurita) AssignQueues(now float64, flows []*sim.FlowState) {
+//
+// Every Ψ input — HR observations, AVA windows, stage counters, the active
+// set itself — changes only at a coordination round or a lifecycle event
+// (structureDirty), so the Ψ maps are rebuilt and the flows swept only then;
+// between those points only newly admitted flows need assigning from the
+// standing maps.
+func (g *Gurita) AssignQueues(now float64, flows, added, dirty []*sim.FlowState) []*sim.FlowState {
+	refreshed := false
 	if !g.cfg.Oracle {
-		g.agg.Refresh(now, g.active)
+		refreshed = g.agg.Refresh(now, g.active)
 	}
-
-	// Ψ per active coflow and Σ per job.
-	psiC := make(map[coflow.CoflowID]float64, len(g.active))
-	psiJ := make(map[coflow.JobID]float64, len(g.jobs))
-	for _, cs := range g.active {
-		p := g.psi(cs)
-		psiC[cs.Coflow.ID] = p
-		psiJ[cs.Job.Job.ID] += p
-	}
-
-	for _, f := range flows {
-		cs := f.Coflow
-		jobQ := sched.QueueFor(psiJ[cs.Job.Job.ID], g.thresholds)
-		ownQ := sched.QueueFor(psiC[cs.Coflow.ID], g.thresholds)
-		target := jobQ
-		if ownQ > target {
-			target = ownQ
+	if refreshed || g.structureDirty {
+		g.structureDirty = false
+		// Ψ per active coflow and Σ per job.
+		clear(g.psiC)
+		clear(g.psiJ)
+		for _, cs := range g.active {
+			p := g.psi(cs)
+			g.psiC[cs.Coflow.ID] = p
+			g.psiJ[cs.Job.Job.ID] += p
 		}
-		if !g.cfg.Oracle && target < f.Queue() {
-			// Reordering rule: no in-flight promotion.
-			continue
+		for _, f := range flows {
+			target := g.targetQueue(f)
+			if !g.cfg.Oracle && target < f.Queue() {
+				// Reordering rule: no in-flight promotion.
+				continue
+			}
+			if target != f.Queue() {
+				f.SetQueue(target)
+				dirty = append(dirty, f)
+			}
 		}
-		f.SetQueue(target)
+		return dirty
 	}
+	for _, f := range added {
+		// New flows start in queue 0, so the reordering rule (no in-flight
+		// promotion) can never block their first assignment.
+		f.SetQueue(g.targetQueue(f))
+	}
+	return dirty
+}
+
+// targetQueue is the LBEF queue for one flow under the standing Ψ maps: the
+// worse of its job-level and coflow-level demotion.
+func (g *Gurita) targetQueue(f *sim.FlowState) int {
+	cs := f.Coflow
+	jobQ := sched.QueueFor(g.psiJ[cs.Job.Job.ID], g.thresholds)
+	ownQ := sched.QueueFor(g.psiC[cs.Coflow.ID], g.thresholds)
+	if ownQ > jobQ {
+		return ownQ
+	}
+	return jobQ
 }

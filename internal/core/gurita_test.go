@@ -172,7 +172,7 @@ func TestNoInflightPromotion(t *testing.T) {
 	// Manually demote, then let Gurita compute a better (lower) queue: the
 	// flow must stay demoted.
 	fs.SetQueue(3)
-	g.AssignQueues(1.0, []*sim.FlowState{fs})
+	g.AssignQueues(1.0, []*sim.FlowState{fs}, nil, nil)
 	if fs.Queue() != 3 {
 		t.Fatalf("in-flight flow promoted from 3 to %d", fs.Queue())
 	}
@@ -186,7 +186,7 @@ func TestNoInflightPromotion(t *testing.T) {
 	gp.OnJobArrival(js)
 	gp.OnCoflowStart(cs)
 	fs.SetQueue(3)
-	gp.AssignQueues(1.0, []*sim.FlowState{fs})
+	gp.AssignQueues(1.0, []*sim.FlowState{fs}, nil, nil)
 	if fs.Queue() == 3 {
 		t.Fatal("oracle should promote instantly")
 	}
@@ -219,7 +219,7 @@ func TestFreshCoflowHighestPriority(t *testing.T) {
 	cs.Flows = []*sim.FlowState{fs}
 	g.OnJobArrival(js)
 	// Note: no OnCoflowStart → the aggregator never sees it.
-	g.AssignQueues(0, []*sim.FlowState{fs})
+	g.AssignQueues(0, []*sim.FlowState{fs}, nil, nil)
 	if fs.Queue() != 0 {
 		t.Fatalf("unobserved coflow queue = %d, want 0", fs.Queue())
 	}

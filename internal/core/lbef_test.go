@@ -91,7 +91,7 @@ func TestDemotionByOwnBlockingEffect(t *testing.T) {
 	cs := h.activate(t, 0, 0)
 
 	// Nothing observed: queue 0.
-	h.g.AssignQueues(0, flowsOf(cs))
+	h.g.AssignQueues(0, flowsOf(cs), nil, nil)
 	if q := cs.Flows[0].Queue(); q != 0 {
 		t.Fatalf("fresh queue = %d, want 0", q)
 	}
@@ -99,14 +99,14 @@ func TestDemotionByOwnBlockingEffect(t *testing.T) {
 	// 50 MB per flow: Ψ ≈ ω(1)·L(50e6)·W(10)·γ(0.5) = 250 MB → past the
 	// 100 MB threshold, not past 1 GB → queue 2.
 	h.activate(t, 0, 50e6)
-	h.g.AssignQueues(1, flowsOf(cs))
+	h.g.AssignQueues(1, flowsOf(cs), nil, nil)
 	if q := cs.Flows[0].Queue(); q != 2 {
 		t.Fatalf("mid-size queue = %d, want 2", q)
 	}
 
 	// 500 MB per flow: Ψ ≈ 2.5 GB → past 1 GB → queue 3.
 	h.activate(t, 0, 450e6)
-	h.g.AssignQueues(2, flowsOf(cs))
+	h.g.AssignQueues(2, flowsOf(cs), nil, nil)
 	if q := cs.Flows[0].Queue(); q != 3 {
 		t.Fatalf("fat queue = %d, want 3", q)
 	}
@@ -156,7 +156,7 @@ func TestJobLevelSumDemotesSiblings(t *testing.T) {
 	var all []*sim.FlowState
 	all = append(all, fat.Flows...)
 	all = append(all, thin.Flows...)
-	g.AssignQueues(1, all)
+	g.AssignQueues(1, all, nil, nil)
 	// Fat coflow: Ψ ≈ 1·100e6·10·0.5 = 500 MB → queue 2. The thin sibling's
 	// own Ψ is negligible, but the job-level sum carries it to queue 2 too.
 	if q := fat.Flows[0].Queue(); q != 2 {
@@ -214,7 +214,7 @@ func TestCriticalDiscountAppliedViaAVA(t *testing.T) {
 	// Activate the second with 300 MB observed (≥ average → critical).
 	// AssignQueues triggers the HR reporting round psi reads from.
 	second := h.activate(t, 1, 300e6)
-	h.g.AssignQueues(1, second.Flows)
+	h.g.AssignQueues(1, second.Flows, nil, nil)
 	withDiscount := h.g.psi(second)
 
 	// The same scheduler with the critical path rule disabled.
@@ -223,7 +223,7 @@ func TestCriticalDiscountAppliedViaAVA(t *testing.T) {
 	f2 := h2.activate(t, 0, 200e6)
 	h2.g.OnCoflowComplete(f2)
 	s2 := h2.activate(t, 1, 300e6)
-	h2.g.AssignQueues(1, s2.Flows)
+	h2.g.AssignQueues(1, s2.Flows, nil, nil)
 	without := h2.g.psi(s2)
 
 	if withDiscount >= without {
@@ -261,7 +261,7 @@ func TestOracleUsesStaticStructure(t *testing.T) {
 	js.Coflows = []*sim.CoflowState{cs}
 	g.OnJobArrival(js)
 	g.OnCoflowStart(cs)
-	g.AssignQueues(0, cs.Flows)
+	g.AssignQueues(0, cs.Flows, nil, nil)
 	// True L=1 GB, W=10 → Ψ in the GBs → lowest queue immediately, no
 	// observation required.
 	if q := cs.Flows[0].Queue(); q != 3 {

@@ -19,10 +19,11 @@ func (fairSched) OnCoflowStart(*sim.CoflowState) {
 }
 func (fairSched) OnCoflowComplete(*sim.CoflowState) {}
 func (fairSched) OnJobComplete(*sim.JobState)       {}
-func (fairSched) AssignQueues(_ float64, fl []*sim.FlowState) {
-	for _, f := range fl {
+func (fairSched) AssignQueues(_ float64, _, added, dirty []*sim.FlowState) []*sim.FlowState {
+	for _, f := range added {
 		f.SetQueue(0)
 	}
+	return dirty
 }
 
 func TestUtilizationCollectorEndToEnd(t *testing.T) {

@@ -9,6 +9,14 @@
 // queues, and per-flow caps. Within one priority tier the allocation is
 // max-min fair (progressive filling / water-filling), which is the standard
 // flow-level approximation of many TCP flows sharing links.
+//
+// The allocator is delta-driven: callers Register flows once, report
+// changes with Update, retire flows with Unregister, and call Reallocate to
+// refresh rates. Reallocate re-solves only from the lowest priority tier a
+// delta touched — under SPQ, tiers above it are provably unaffected — while
+// producing rates bit-identical to a from-scratch solve (see Reallocate).
+// The batch Allocate entry point is retained as a thin wrapper and as the
+// reference implementation the equivalence tests compare against.
 package netmod
 
 import (
@@ -48,6 +56,7 @@ func (m Mode) String() string {
 type FlowDemand struct {
 	// Path is the sequence of directed links the flow traverses. An empty
 	// path denotes a host-local transfer that never touches the fabric.
+	// The path must not change while the flow is registered.
 	Path []topo.LinkID
 	// Queue is the priority tier (0 = highest). Values outside [0, queues)
 	// are clamped.
@@ -59,23 +68,56 @@ type FlowDemand struct {
 	Rate float64
 
 	frozen bool
+
+	// Delta-engine bookkeeping (valid while registered).
+	registered bool
+	tier       int     // clamped Queue; -1 for host-local flows
+	tierIdx    int     // index into Allocator.byQueue[tier] (or local)
+	capSeen    float64 // MaxRate at the last Register/Update
 }
 
-// Allocator computes per-flow rates. It pre-sizes its scratch state for one
-// topology and is reused across allocation instants; it is not safe for
-// concurrent use.
+// Snapshot returns a copy of the demand carrying only its inputs (path,
+// queue, cap) with clean allocator bookkeeping — the form a reference batch
+// Allocate expects when cross-checking an incrementally maintained set.
+func (f *FlowDemand) Snapshot() FlowDemand {
+	return FlowDemand{Path: f.Path, Queue: f.Queue, MaxRate: f.MaxRate}
+}
+
+// Allocator computes per-flow rates. It pre-sizes its state for one topology
+// and is reused across allocation instants; it is not safe for concurrent
+// use.
 type Allocator struct {
 	mode   Mode
 	queues int
 	eta    float64 // target utilization used when deriving WRR weights
 
-	capacity  func(topo.LinkID) float64
-	residual  []float64
-	count     []int32
-	touched   []bool
-	used      []topo.LinkID
-	byQueue   [][]*FlowDemand
-	wrrShares []float64
+	capacity func(topo.LinkID) float64
+	residual []float64
+	count    []int32
+
+	// Persistent registries maintained by Register/Unregister/Update.
+	used    []topo.LinkID  // links crossed by >= 1 registered flow
+	usedIdx []int32        // position of a link in used; -1 when absent
+	linkRef []int32        // per-link registered-flow crossing count
+	byQueue [][]*FlowDemand
+	local   []*FlowDemand // registered host-local flows (empty paths)
+
+	// tierRes[q][l] snapshots the residual capacity of link l at the start
+	// of tier q's water-fill during the last solve. Restoring tierRes[q]
+	// reproduces exactly the link state a from-scratch solve would present
+	// to tier q, which is what makes the partial re-solve bit-exact.
+	tierRes [][]float64
+	// dirtyMin is the lowest tier touched by a delta since the last
+	// Reallocate; == queues when no delta is pending.
+	dirtyMin int
+
+	// Reusable scratch (no per-Reallocate allocation).
+	wrrShares  []float64
+	wrrWeights []float64
+	pool       []float64
+	spill      []*FlowDemand
+	touched    []topo.LinkID // links crossed by the current water-fill's flows
+	work       []*FlowDemand // unfrozen working set, compacted between rounds
 }
 
 // Option configures an Allocator.
@@ -98,16 +140,28 @@ func NewAllocator(t *topo.Topology, queues int, mode Mode, opts ...Option) (*All
 	if mode != ModeSPQ && mode != ModeWRR {
 		return nil, fmt.Errorf("netmod: unknown mode %v", mode)
 	}
+	n := t.NumLinks()
 	a := &Allocator{
-		mode:      mode,
-		queues:    queues,
-		eta:       0.95,
-		capacity:  t.LinkCapacity,
-		residual:  make([]float64, t.NumLinks()),
-		count:     make([]int32, t.NumLinks()),
-		touched:   make([]bool, t.NumLinks()),
-		byQueue:   make([][]*FlowDemand, queues),
-		wrrShares: make([]float64, queues),
+		mode:       mode,
+		queues:     queues,
+		eta:        0.95,
+		capacity:   t.LinkCapacity,
+		residual:   make([]float64, n),
+		count:      make([]int32, n),
+		usedIdx:    make([]int32, n),
+		linkRef:    make([]int32, n),
+		byQueue:    make([][]*FlowDemand, queues),
+		tierRes:    make([][]float64, queues),
+		dirtyMin:   queues,
+		wrrShares:  make([]float64, queues),
+		wrrWeights: make([]float64, queues),
+		pool:       make([]float64, n),
+	}
+	for i := range a.usedIdx {
+		a.usedIdx[i] = -1
+	}
+	for q := range a.tierRes {
+		a.tierRes[q] = make([]float64, n)
 	}
 	for _, o := range opts {
 		o(a)
@@ -128,7 +182,224 @@ func (a *Allocator) Mode() Mode { return a.mode }
 // typical 10G capacities.
 const epsRate = 1e-3 // bytes/second
 
-// Allocate assigns Rate to every flow in flows. Rates satisfy:
+// clampQueue maps an arbitrary Queue value into [0, queues).
+func (a *Allocator) clampQueue(q int) int {
+	if q < 0 {
+		return 0
+	}
+	if q >= a.queues {
+		return a.queues - 1
+	}
+	return q
+}
+
+// Register adds a flow to the allocator's working set. Host-local flows
+// (empty path) receive their rate immediately and never dirty the fabric;
+// fabric flows mark their tier dirty. Registering an already-registered
+// flow is a no-op.
+func (a *Allocator) Register(f *FlowDemand) {
+	if f.registered {
+		return
+	}
+	f.registered = true
+	f.capSeen = f.MaxRate
+	if len(f.Path) == 0 {
+		// Host-local transfer: the fabric does not constrain it.
+		f.tier = -1
+		f.tierIdx = len(a.local)
+		a.local = append(a.local, f)
+		f.Rate = f.MaxRate
+		if f.Rate == 0 {
+			f.Rate = a.capacity(0)
+		}
+		f.frozen = true
+		return
+	}
+	f.Rate = 0
+	f.frozen = false
+	t := a.clampQueue(f.Queue)
+	f.tier = t
+	f.tierIdx = len(a.byQueue[t])
+	a.byQueue[t] = append(a.byQueue[t], f)
+	for _, l := range f.Path {
+		if a.linkRef[l] == 0 {
+			a.usedIdx[l] = int32(len(a.used))
+			a.used = append(a.used, l)
+			// A link no registered flow crossed carries no load at any
+			// tier, so its residual entering every tier is its capacity.
+			c := a.capacity(l)
+			for q := range a.tierRes {
+				a.tierRes[q][l] = c
+			}
+		}
+		a.linkRef[l]++
+	}
+	if t < a.dirtyMin {
+		a.dirtyMin = t
+	}
+}
+
+// Unregister removes a flow from the working set. Unregistering a flow that
+// is not registered is a no-op.
+func (a *Allocator) Unregister(f *FlowDemand) {
+	if !f.registered {
+		return
+	}
+	f.registered = false
+	if f.tier < 0 {
+		a.removeLocal(f)
+		return
+	}
+	a.removeFromTier(f)
+	for _, l := range f.Path {
+		a.linkRef[l]--
+		if a.linkRef[l] == 0 {
+			i := a.usedIdx[l]
+			last := len(a.used) - 1
+			moved := a.used[last]
+			a.used[i] = moved
+			a.usedIdx[moved] = i
+			a.used = a.used[:last]
+			a.usedIdx[l] = -1
+		}
+	}
+	if f.tier < a.dirtyMin {
+		a.dirtyMin = f.tier
+	}
+}
+
+// Update notifies the allocator that a registered flow's Queue or MaxRate
+// changed. Path changes are not supported: Unregister and Register instead.
+// Calling Update on a flow whose fields did not change is a cheap no-op, so
+// callers may over-report.
+func (a *Allocator) Update(f *FlowDemand) {
+	if !f.registered {
+		return
+	}
+	if f.tier < 0 {
+		if f.MaxRate != f.capSeen {
+			f.capSeen = f.MaxRate
+			f.Rate = f.MaxRate
+			if f.Rate == 0 {
+				f.Rate = a.capacity(0)
+			}
+		}
+		return
+	}
+	if t := a.clampQueue(f.Queue); t != f.tier {
+		old := f.tier
+		a.removeFromTier(f)
+		f.tier = t
+		f.tierIdx = len(a.byQueue[t])
+		a.byQueue[t] = append(a.byQueue[t], f)
+		if old < a.dirtyMin {
+			a.dirtyMin = old
+		}
+		if t < a.dirtyMin {
+			a.dirtyMin = t
+		}
+	}
+	if f.MaxRate != f.capSeen {
+		f.capSeen = f.MaxRate
+		if f.tier < a.dirtyMin {
+			a.dirtyMin = f.tier
+		}
+	}
+}
+
+// removeFromTier swap-removes a fabric flow from its tier registry.
+func (a *Allocator) removeFromTier(f *FlowDemand) {
+	fl := a.byQueue[f.tier]
+	last := len(fl) - 1
+	moved := fl[last]
+	fl[f.tierIdx] = moved
+	moved.tierIdx = f.tierIdx
+	fl[last] = nil
+	a.byQueue[f.tier] = fl[:last]
+}
+
+// removeLocal swap-removes a host-local flow from the local registry.
+func (a *Allocator) removeLocal(f *FlowDemand) {
+	last := len(a.local) - 1
+	moved := a.local[last]
+	a.local[f.tierIdx] = moved
+	moved.tierIdx = f.tierIdx
+	a.local[last] = nil
+	a.local = a.local[:last]
+}
+
+// Dirty reports whether any delta since the last Reallocate requires rates
+// to be recomputed.
+func (a *Allocator) Dirty() bool { return a.dirtyMin < a.queues }
+
+// Reset unregisters every flow, returning the allocator to its initial
+// state. The next Reallocate after new registrations runs a full solve.
+func (a *Allocator) Reset() {
+	for q := range a.byQueue {
+		for i, f := range a.byQueue[q] {
+			f.registered = false
+			a.byQueue[q][i] = nil
+		}
+		a.byQueue[q] = a.byQueue[q][:0]
+	}
+	for i, f := range a.local {
+		f.registered = false
+		a.local[i] = nil
+	}
+	a.local = a.local[:0]
+	for _, l := range a.used {
+		a.linkRef[l] = 0
+		a.usedIdx[l] = -1
+	}
+	a.used = a.used[:0]
+	a.dirtyMin = 0
+}
+
+// Reallocate recomputes rates after deltas. Under SPQ it restores the link
+// residuals snapshotted at the start of the lowest dirty tier and re-runs
+// the water-fill for that tier and every one below it; higher tiers keep
+// their rates. This is bit-identical to a from-scratch solve: a tier's
+// water-fill depends only on its own flow set and on the residual capacity
+// higher tiers left behind, and both are unchanged for tiers above the
+// lowest delta (progressive filling itself is iteration-order independent,
+// so re-solving a suffix of tiers replays exactly the arithmetic the batch
+// path would perform). Under WRR every delta forces a full re-solve, because
+// the demand-share weights couple all tiers. No-op when nothing is dirty.
+func (a *Allocator) Reallocate() {
+	if a.dirtyMin >= a.queues {
+		return
+	}
+	switch a.mode {
+	case ModeSPQ:
+		start := a.dirtyMin
+		res := a.tierRes[start]
+		for _, l := range a.used {
+			a.residual[l] = res[l]
+		}
+		for q := start; q < a.queues; q++ {
+			if q > start {
+				snap := a.tierRes[q]
+				for _, l := range a.used {
+					snap[l] = a.residual[l]
+				}
+			}
+			fl := a.byQueue[q]
+			for _, f := range fl {
+				f.Rate = 0
+				f.frozen = false
+			}
+			a.registerCounts(fl)
+			a.waterfill(fl)
+		}
+	case ModeWRR:
+		a.reallocateWRR()
+	}
+	a.dirtyMin = a.queues
+}
+
+// Allocate assigns Rate to every flow in flows, replacing any previously
+// registered working set — the batch entry point, equivalent to Reset,
+// Register for every flow, and one full Reallocate. Rates satisfy:
 //
 //   - per-link conservation: the sum of rates crossing any link never
 //     exceeds its capacity;
@@ -137,70 +408,50 @@ const epsRate = 1e-3 // bytes/second
 //     guarantees spill over (work conserving);
 //   - within a tier, max-min fairness subject to MaxRate caps.
 func (a *Allocator) Allocate(flows []*FlowDemand) {
-	// Reset scratch state from the previous round.
-	for _, l := range a.used {
-		a.residual[l] = 0
-		a.count[l] = 0
-		a.touched[l] = false
-	}
-	a.used = a.used[:0]
-	for q := range a.byQueue {
-		a.byQueue[q] = a.byQueue[q][:0]
-	}
-
+	a.Reset()
 	for _, f := range flows {
-		f.Rate = 0
-		f.frozen = false
-		q := f.Queue
-		if q < 0 {
-			q = 0
-		} else if q >= a.queues {
-			q = a.queues - 1
-		}
-		if len(f.Path) == 0 {
-			// Host-local transfer: the fabric does not constrain it.
-			f.Rate = f.MaxRate
-			if f.Rate == 0 {
-				f.Rate = a.capacity(0)
-			}
-			f.frozen = true
-			continue
-		}
-		a.byQueue[q] = append(a.byQueue[q], f)
-		for _, l := range f.Path {
-			if !a.touched[l] {
-				a.touched[l] = true
-				a.residual[l] = a.capacity(l)
-				a.used = append(a.used, l)
-			}
-		}
+		// The batch contract predates registration: the input is the whole
+		// working set, whatever state the structs carry (e.g. snapshots of
+		// demands registered elsewhere).
+		f.registered = false
+		a.Register(f)
 	}
-
-	switch a.mode {
-	case ModeSPQ:
-		for q := 0; q < a.queues; q++ {
-			a.registerCounts(a.byQueue[q])
-			a.waterfill(a.byQueue[q])
-		}
-	case ModeWRR:
-		a.allocateWRR(flows)
-	}
+	a.Reallocate()
+	// An empty flow set registers nothing, leaving Reset's forced dirty
+	// marker in place; clear it so Dirty() stays accurate.
+	a.dirtyMin = a.queues
 }
 
-// allocateWRR implements the two-phase WRR emulation: phase one gives each
-// tier its guaranteed weight share of every link; phase two pools the
-// leftovers and water-fills across all still-unsatisfied flows, making the
-// discipline work conserving like a real WRR scheduler.
-func (a *Allocator) allocateWRR(flows []*FlowDemand) {
-	shares := a.demandShares(flows)
-	weights := StarvationWeights(shares, a.eta)
+// reallocateWRR implements the two-phase WRR emulation from the persistent
+// registries: phase one gives each tier its guaranteed weight share of every
+// link; phase two pools the leftovers and water-fills across all still-
+// unsatisfied flows, making the discipline work conserving like a real WRR
+// scheduler.
+func (a *Allocator) reallocateWRR() {
+	for _, l := range a.used {
+		a.residual[l] = a.capacity(l)
+	}
+	total := 0.0
+	for q := range a.byQueue {
+		for _, f := range a.byQueue[q] {
+			f.Rate = 0
+			f.frozen = false
+		}
+		a.wrrShares[q] = float64(len(a.byQueue[q]))
+		total += a.wrrShares[q]
+	}
+	if total > 0 {
+		for q := range a.wrrShares {
+			a.wrrShares[q] /= total
+		}
+	}
+	weights := starvationWeightsInto(a.wrrWeights, a.wrrShares, a.eta)
 
 	// Phase 1: per-tier guaranteed share. We shrink each touched link's
 	// residual to the tier's slice, run the water-fill, then return what the
 	// tier did not consume to the common pool.
-	pool := make(map[topo.LinkID]float64, len(a.used))
 	for _, l := range a.used {
-		pool[l] = a.residual[l]
+		a.pool[l] = a.residual[l]
 		a.residual[l] = 0
 	}
 	for q := 0; q < a.queues; q++ {
@@ -208,100 +459,89 @@ func (a *Allocator) allocateWRR(flows []*FlowDemand) {
 			continue
 		}
 		for _, l := range a.used {
-			a.residual[l] = pool[l] * weights[q]
+			a.residual[l] = a.pool[l] * weights[q]
 		}
 		a.registerCounts(a.byQueue[q])
 		a.waterfill(a.byQueue[q])
 		for _, l := range a.used {
 			// Whatever the tier left of its slice returns to the pool as
 			// "unguaranteed" capacity, shrinking the pool by what was used.
-			pool[l] -= pool[l]*weights[q] - a.residual[l]
+			a.pool[l] -= a.pool[l]*weights[q] - a.residual[l]
 			a.residual[l] = 0
 		}
 	}
 
 	// Phase 2: spill leftover capacity to every flow not yet at its cap.
 	for _, l := range a.used {
-		a.residual[l] = pool[l]
+		a.residual[l] = a.pool[l]
 	}
-	spill := make([]*FlowDemand, 0, len(flows))
-	for _, f := range flows {
-		if len(f.Path) == 0 {
-			continue
+	spill := a.spill[:0]
+	for q := 0; q < a.queues; q++ {
+		for _, f := range a.byQueue[q] {
+			if f.MaxRate > 0 && f.Rate >= f.MaxRate-epsRate {
+				continue
+			}
+			f.frozen = false
+			spill = append(spill, f)
 		}
-		if f.MaxRate > 0 && f.Rate >= f.MaxRate-epsRate {
-			continue
-		}
-		f.frozen = false
-		spill = append(spill, f)
 	}
 	a.registerCounts(spill)
 	a.waterfill(spill)
+	for i := range spill {
+		spill[i] = nil
+	}
+	a.spill = spill[:0]
 }
 
-// demandShares estimates each tier's share of total offered load, used to
-// derive WRR weights. The proxy for offered load is the number of active
-// flows per tier; receivers can observe it (open connections) without any
-// knowledge of flow sizes, consistent with the paper's information model.
-func (a *Allocator) demandShares(flows []*FlowDemand) []float64 {
-	for q := range a.wrrShares {
-		a.wrrShares[q] = 0
-	}
-	total := 0.0
-	for _, f := range flows {
-		if len(f.Path) == 0 {
-			continue
-		}
-		q := f.Queue
-		if q < 0 {
-			q = 0
-		} else if q >= a.queues {
-			q = a.queues - 1
-		}
-		a.wrrShares[q]++
-		total++
-	}
-	if total > 0 {
-		for q := range a.wrrShares {
-			a.wrrShares[q] /= total
-		}
-	}
-	return a.wrrShares
-}
-
-// registerCounts records how many unfrozen flows cross each link.
+// registerCounts records how many unfrozen flows cross each link and
+// rebuilds a.touched — the links crossed by at least one of them, which are
+// the only links the water-fill rounds need to visit.
 func (a *Allocator) registerCounts(fl []*FlowDemand) {
 	for _, l := range a.used {
 		a.count[l] = 0
 	}
+	touched := a.touched[:0]
 	for _, f := range fl {
 		if f.frozen {
 			continue
 		}
 		for _, l := range f.Path {
+			if a.count[l] == 0 {
+				touched = append(touched, l)
+			}
 			a.count[l]++
 		}
 	}
+	a.touched = touched
 }
 
 // waterfill runs progressive filling over fl against the current residual
 // capacities: all unfrozen flows' rates rise together; a flow freezes when a
-// link on its path saturates or it reaches MaxRate. Counts must have been
-// registered with registerCounts. Residuals are decremented in place.
+// link on its path saturates or it reaches MaxRate. Counts (and the touched
+// link list) must have been registered with registerCounts. Residuals are
+// decremented in place.
+//
+// The rounds iterate a compacted working set: frozen flows are swap-removed
+// and only links in a.touched are scanned. Both are bit-exact rewrites of
+// the naive full scans — the round's water level d is a pure min
+// (order-independent), rate increments and count decrements commute, and a
+// round's freeze decisions read only residuals fixed before the freeze
+// sweep — so only the iteration sets shrink, never the arithmetic.
 func (a *Allocator) waterfill(fl []*FlowDemand) {
-	active := 0
+	work := a.work[:0]
 	for _, f := range fl {
 		if !f.frozen {
-			active++
+			work = append(work, f)
 		}
 	}
+	n0 := len(work)
 	// Each round saturates at least one link or caps at least one flow, so
 	// rounds are bounded; the guard protects against float corner cases.
 	maxRounds := len(a.used) + len(fl) + 2
-	for round := 0; active > 0 && round < maxRounds; round++ {
+	for round := 0; len(work) > 0 && round < maxRounds; round++ {
 		// The water level can rise by the smallest per-link fair share...
 		d := -1.0
-		for _, l := range a.used {
+		for _, l := range a.touched {
 			if a.count[l] == 0 {
 				continue
 			}
@@ -311,8 +551,8 @@ func (a *Allocator) waterfill(fl []*FlowDemand) {
 			}
 		}
 		// ...or until the nearest per-flow cap, whichever is smaller.
-		for _, f := range fl {
-			if f.frozen || f.MaxRate <= 0 {
+		for _, f := range work {
+			if f.MaxRate <= 0 {
 				continue
 			}
 			if room := f.MaxRate - f.Rate; d < 0 || room < d {
@@ -323,13 +563,10 @@ func (a *Allocator) waterfill(fl []*FlowDemand) {
 			break // no constrained links and no caps: nothing bounds rates
 		}
 		if d > 0 {
-			for _, f := range fl {
-				if f.frozen {
-					continue
-				}
+			for _, f := range work {
 				f.Rate += d
 			}
-			for _, l := range a.used {
+			for _, l := range a.touched {
 				if a.count[l] > 0 {
 					a.residual[l] -= d * float64(a.count[l])
 					if a.residual[l] < 0 {
@@ -338,11 +575,11 @@ func (a *Allocator) waterfill(fl []*FlowDemand) {
 				}
 			}
 		}
-		// Freeze flows that hit a saturated link or their cap.
-		for _, f := range fl {
-			if f.frozen {
-				continue
-			}
+		// Freeze flows that hit a saturated link or their cap. The swapped-in
+		// tail flow is re-examined at index i, so every surviving flow is
+		// checked exactly once per round.
+		for i := 0; i < len(work); i++ {
+			f := work[i]
 			capped := f.MaxRate > 0 && f.Rate >= f.MaxRate-epsRate
 			saturated := false
 			if !capped {
@@ -355,11 +592,20 @@ func (a *Allocator) waterfill(fl []*FlowDemand) {
 			}
 			if capped || saturated {
 				f.frozen = true
-				active--
 				for _, l := range f.Path {
 					a.count[l]--
 				}
+				work[i] = work[len(work)-1]
+				work = work[:len(work)-1]
+				i--
 			}
 		}
 	}
+	// Drop the demand pointers the scratch buffer picked up this call so a
+	// later Unregister does not leave them reachable.
+	stale := work[:n0]
+	for i := range stale {
+		stale[i] = nil
+	}
+	a.work = stale[:0]
 }

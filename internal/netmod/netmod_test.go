@@ -421,3 +421,33 @@ func BenchmarkAllocateWRR(b *testing.B) {
 		a.Allocate(fl)
 	}
 }
+
+// The delta benchmarks measure what the simulator actually pays per event:
+// one flow changes queue among 500 standing registrations, and Reallocate
+// re-solves only the dirty tier suffix (SPQ) or the coupled WRR system.
+func BenchmarkReallocateDeltaSPQ(b *testing.B) { benchReallocateDelta(b, ModeSPQ) }
+func BenchmarkReallocateDeltaWRR(b *testing.B) { benchReallocateDelta(b, ModeWRR) }
+
+func benchReallocateDelta(b *testing.B, mode Mode) {
+	ft, _ := topo.NewFatTree(8, 1.25e9)
+	a, _ := NewAllocator(ft, 4, mode)
+	rng := rand.New(rand.NewSource(5))
+	var fl []*FlowDemand
+	for i := 0; i < 500; i++ {
+		src := topo.ServerID(rng.Intn(ft.NumServers()))
+		dst := topo.ServerID(rng.Intn(ft.NumServers()))
+		fl = append(fl, &FlowDemand{Path: ft.Path(src, dst, rng.Uint64()), Queue: rng.Intn(4)})
+	}
+	for _, f := range fl {
+		a.Register(f)
+	}
+	a.Reallocate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := fl[i%len(fl)]
+		f.Queue = (f.Queue + 1) % 4
+		a.Update(f)
+		a.Reallocate()
+	}
+}

@@ -67,10 +67,16 @@ func SPQWaitingTimes(rho []float64) []float64 {
 // to high-priority traffic — consistent with the paper's observation that
 // pure-SPQ Stream edges out Gurita only on the smallest bursty jobs.
 func StarvationWeights(shares []float64, eta float64) []float64 {
+	return starvationWeightsInto(make([]float64, len(shares)), shares, eta)
+}
+
+// starvationWeightsInto is StarvationWeights writing into w (len(shares)),
+// so the hot allocation path can reuse one buffer across rounds.
+func starvationWeightsInto(w, shares []float64, eta float64) []float64 {
 	if eta <= 0 || eta >= 1 {
 		eta = 0.95
 	}
-	w := WRRWeights(shares, eta)
+	w = wrrWeightsInto(w, shares, eta)
 	top := -1
 	for k, s := range shares {
 		if s > 0 {
@@ -79,7 +85,7 @@ func StarvationWeights(shares []float64, eta float64) []float64 {
 		}
 	}
 	if top < 0 {
-		return w // no demand: WRRWeights already returned uniform
+		return w // no demand: wrrWeightsInto already returned uniform
 	}
 	for k := range w {
 		w[k] *= 1 - eta
@@ -89,9 +95,16 @@ func StarvationWeights(shares []float64, eta float64) []float64 {
 }
 
 func WRRWeights(shares []float64, eta float64) []float64 {
-	weights := make([]float64, len(shares))
+	return wrrWeightsInto(make([]float64, len(shares)), shares, eta)
+}
+
+// wrrWeightsInto is WRRWeights writing into weights (len(shares)).
+func wrrWeightsInto(weights, shares []float64, eta float64) []float64 {
 	if len(shares) == 0 {
 		return weights
+	}
+	for k := range weights {
+		weights[k] = 0
 	}
 	if eta <= 0 || eta >= 1 {
 		eta = 0.95

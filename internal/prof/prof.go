@@ -1,0 +1,90 @@
+// Package prof wires the standard runtime profilers behind the -cpuprofile,
+// -memprofile, and -exectrace flags shared by the command binaries, so that
+// hot paths in the allocator and event loop can be profiled on any scenario
+// the CLIs can express.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins CPU profiling and execution tracing as requested (empty paths
+// disable the corresponding collector) and returns a stop function that ends
+// them and writes the heap profile. The stop function must run before the
+// process exits, or the profiles are truncated/empty.
+func Start(cpuProfile, memProfile, execTrace string) (func() error, error) {
+	var cpuFile, traceFile *os.File
+
+	fail := func(err error) (func() error, error) {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		return nil, err
+	}
+
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		cpuFile = f
+	}
+	if execTrace != "" {
+		f, err := os.Create(execTrace)
+		if err != nil {
+			return fail(fmt.Errorf("exectrace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("exectrace: %w", err))
+		}
+		traceFile = f
+	}
+
+	stop := func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("exectrace: %w", err)
+			}
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("memprofile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}

@@ -105,21 +105,44 @@ func (*Aalo) OnJobComplete(*sim.JobState) {}
 // AssignQueues implements sim.Scheduler: the priority of a coflow's flows is
 // its accumulated bytes discretized by the thresholds — live bytes with
 // free coordination (the paper's setting), or coordinator-round-stale bytes
-// when CoordinationInterval is set.
-func (a *Aalo) AssignQueues(now float64, flows []*sim.FlowState) {
+// when CoordinationInterval is set. With live bytes the target can move at
+// any event, so every call sweeps with compare-and-set; with delayed
+// coordination targets only move at reporting rounds, so between rounds only
+// newly admitted flows need assigning.
+func (a *Aalo) AssignQueues(now float64, flows, added, dirty []*sim.FlowState) []*sim.FlowState {
 	if a.agg == nil {
-		for _, f := range flows {
+		for _, f := range added {
 			f.SetQueue(QueueFor(f.Coflow.BytesSent, a.thresholds))
 		}
-		return
-	}
-	a.agg.Refresh(now, a.active)
-	for _, f := range flows {
-		obs, ok := a.agg.Coflow(f.Coflow.Coflow.ID)
-		if !ok {
-			f.SetQueue(0)
-			continue
+		for _, f := range flows {
+			if q := QueueFor(f.Coflow.BytesSent, a.thresholds); q != f.Queue() {
+				f.SetQueue(q)
+				dirty = append(dirty, f)
+			}
 		}
-		f.SetQueue(QueueFor(obs.Bytes, a.thresholds))
+		return dirty
 	}
+	if a.agg.Refresh(now, a.active) {
+		for _, f := range flows {
+			if q := a.targetQueue(f); q != f.Queue() {
+				f.SetQueue(q)
+				dirty = append(dirty, f)
+			}
+		}
+		return dirty
+	}
+	for _, f := range added {
+		f.SetQueue(a.targetQueue(f))
+	}
+	return dirty
+}
+
+// targetQueue maps a flow's coflow observation to a queue; coflows not yet
+// seen by a coordination round keep the highest priority.
+func (a *Aalo) targetQueue(f *sim.FlowState) int {
+	obs, ok := a.agg.Coflow(f.Coflow.Coflow.ID)
+	if !ok {
+		return 0
+	}
+	return QueueFor(obs.Bytes, a.thresholds)
 }

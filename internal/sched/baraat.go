@@ -57,12 +57,20 @@ type Baraat struct {
 
 	// completedSizes is kept sorted for quantile lookups.
 	completedSizes []float64
+
+	// rank is per-call scratch (light jobs' FIFO positions), persistent to
+	// avoid rebuilding a map on every event.
+	rank map[coflow.JobID]int
 }
 
 // NewBaraat builds a Baraat scheduler.
 func NewBaraat(cfg BaraatConfig) *Baraat {
 	cfg.applyDefaults()
-	return &Baraat{cfg: cfg, heavy: make(map[coflow.JobID]bool)}
+	return &Baraat{
+		cfg:   cfg,
+		heavy: make(map[coflow.JobID]bool),
+		rank:  make(map[coflow.JobID]int),
+	}
 }
 
 var _ sim.Scheduler = (*Baraat)(nil)
@@ -113,33 +121,48 @@ func (b *Baraat) heavyThreshold() float64 {
 	return b.completedSizes[idx]
 }
 
-// AssignQueues implements sim.Scheduler.
-func (b *Baraat) AssignQueues(_ float64, flows []*sim.FlowState) {
+// AssignQueues implements sim.Scheduler. A job's FIFO rank and heavy mark
+// depend on continuously advancing byte counters, so targets are recomputed
+// every call; changed flows are found with a compare-and-set sweep (no
+// allocation — the rank scratch map persists across calls).
+func (b *Baraat) AssignQueues(_ float64, flows, added, dirty []*sim.FlowState) []*sim.FlowState {
 	threshold := b.heavyThreshold()
 	lowest := b.env.Queues - 1
 
 	// Update heavy marks and compute each light job's FIFO rank.
-	rank := make(map[coflow.JobID]int, len(b.fifo))
+	clear(b.rank)
 	r := 0
 	for _, j := range b.fifo {
 		if b.heavy[j.Job.ID] || j.BytesSent > threshold {
 			b.heavy[j.Job.ID] = true
 			continue
 		}
-		rank[j.Job.ID] = r
+		b.rank[j.Job.ID] = r
 		r++
 	}
 
-	for _, f := range flows {
-		id := f.Coflow.Job.Job.ID
-		if b.heavy[id] {
-			f.SetQueue(lowest)
-			continue
-		}
-		q := rank[id]
-		if q > lowest {
-			q = lowest
-		}
-		f.SetQueue(q)
+	for _, f := range added {
+		f.SetQueue(b.targetQueue(f, lowest))
 	}
+	for _, f := range flows {
+		if q := b.targetQueue(f, lowest); q != f.Queue() {
+			f.SetQueue(q)
+			dirty = append(dirty, f)
+		}
+	}
+	return dirty
+}
+
+// targetQueue is the FIFO-LM queue for one flow's job under the current
+// ranks and heavy marks.
+func (b *Baraat) targetQueue(f *sim.FlowState, lowest int) int {
+	id := f.Coflow.Job.Job.ID
+	if b.heavy[id] {
+		return lowest
+	}
+	q := b.rank[id]
+	if q > lowest {
+		q = lowest
+	}
+	return q
 }

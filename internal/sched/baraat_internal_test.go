@@ -54,12 +54,13 @@ func TestBaraatFIFOShrinks(t *testing.T) {
 	b.OnJobArrival(j2)
 
 	fs := mkFlow(t, j2)
-	b.AssignQueues(0, []*sim.FlowState{fs})
+	fl := []*sim.FlowState{fs}
+	b.AssignQueues(0, fl, fl, nil)
 	if fs.Queue() != 1 {
 		t.Fatalf("second job queue = %d, want 1 (behind the head)", fs.Queue())
 	}
 	b.OnJobComplete(j1)
-	b.AssignQueues(1, []*sim.FlowState{fs})
+	b.AssignQueues(1, fl, nil, nil)
 	if fs.Queue() != 0 {
 		t.Fatalf("after head completes queue = %d, want 0", fs.Queue())
 	}

@@ -84,16 +84,32 @@ func (m *MCS) OnCoflowComplete(c *sim.CoflowState) {
 func (*MCS) OnJobComplete(*sim.JobState) {}
 
 // AssignQueues implements sim.Scheduler: queue by observed W×L against the
-// exponential thresholds.
-func (m *MCS) AssignQueues(now float64, flows []*sim.FlowState) {
-	m.agg.Refresh(now, m.active)
-	for _, f := range flows {
-		obs, ok := m.agg.Coflow(f.Coflow.Coflow.ID)
-		if !ok {
-			f.SetQueue(0)
-			continue
+// exponential thresholds. Targets derive solely from the aggregator
+// snapshot, which only changes when a reporting round runs: between rounds
+// every pre-existing flow keeps its queue and only newly admitted flows need
+// assigning.
+func (m *MCS) AssignQueues(now float64, flows, added, dirty []*sim.FlowState) []*sim.FlowState {
+	if m.agg.Refresh(now, m.active) {
+		for _, f := range flows {
+			if q := m.targetQueue(f); q != f.Queue() {
+				f.SetQueue(q)
+				dirty = append(dirty, f)
+			}
 		}
-		score := float64(obs.Width) * obs.Largest
-		f.SetQueue(QueueFor(score, m.thresholds))
+		return dirty
 	}
+	for _, f := range added {
+		f.SetQueue(m.targetQueue(f))
+	}
+	return dirty
+}
+
+// targetQueue maps a flow's coflow observation to a queue; coflows not yet
+// seen by a reporting round start at the highest priority.
+func (m *MCS) targetQueue(f *sim.FlowState) int {
+	obs, ok := m.agg.Coflow(f.Coflow.Coflow.ID)
+	if !ok {
+		return 0
+	}
+	return QueueFor(float64(obs.Width)*obs.Largest, m.thresholds)
 }

@@ -33,9 +33,11 @@ func (*PFS) OnCoflowComplete(*sim.CoflowState) {}
 func (*PFS) OnJobComplete(*sim.JobState) {}
 
 // AssignQueues places every flow in the top queue; max-min water-filling
-// within one queue is exactly per-flow fair sharing.
-func (*PFS) AssignQueues(_ float64, flows []*sim.FlowState) {
-	for _, f := range flows {
+// within one queue is exactly per-flow fair sharing. Only newly admitted
+// flows need assigning — a flow placed in queue 0 never moves.
+func (*PFS) AssignQueues(_ float64, _, added, dirty []*sim.FlowState) []*sim.FlowState {
+	for _, f := range added {
 		f.SetQueue(0)
 	}
+	return dirty
 }

@@ -83,17 +83,32 @@ func (s *Stream) OnCoflowComplete(c *sim.CoflowState) {
 // OnJobComplete implements sim.Scheduler.
 func (*Stream) OnJobComplete(*sim.JobState) {}
 
-// AssignQueues implements sim.Scheduler.
-func (s *Stream) AssignQueues(now float64, flows []*sim.FlowState) {
-	s.agg.Refresh(now, s.active)
-	for _, f := range flows {
-		obs, ok := s.agg.Job(f.Coflow.Job.Job.ID)
-		if !ok {
-			// Not yet seen by a reporting round: newly arrived flows start
-			// at the highest priority.
-			f.SetQueue(0)
-			continue
+// AssignQueues implements sim.Scheduler. Queue targets derive solely from
+// the aggregator snapshot, which only changes when a reporting round runs:
+// between rounds every pre-existing flow keeps its queue and only newly
+// admitted flows need assigning.
+func (s *Stream) AssignQueues(now float64, flows, added, dirty []*sim.FlowState) []*sim.FlowState {
+	if s.agg.Refresh(now, s.active) {
+		for _, f := range flows {
+			if q := s.targetQueue(f); q != f.Queue() {
+				f.SetQueue(q)
+				dirty = append(dirty, f)
+			}
 		}
-		f.SetQueue(QueueFor(obs.Bytes, s.thresholds))
+		return dirty
 	}
+	for _, f := range added {
+		f.SetQueue(s.targetQueue(f))
+	}
+	return dirty
+}
+
+// targetQueue maps a flow's job TBS observation to a queue; jobs not yet
+// seen by a reporting round start at the highest priority.
+func (s *Stream) targetQueue(f *sim.FlowState) int {
+	obs, ok := s.agg.Job(f.Coflow.Job.Job.ID)
+	if !ok {
+		return 0
+	}
+	return QueueFor(obs.Bytes, s.thresholds)
 }

@@ -23,10 +23,27 @@ import (
 type Varys struct {
 	env    sim.Env
 	active []*sim.CoflowState
+
+	// Per-call scratch, persistent so AssignQueues allocates nothing in
+	// steady state.
+	order   []sebfRank
+	queueOf map[coflow.CoflowID]int
+	perPort map[topo.ServerID]float64
+}
+
+// sebfRank pairs a coflow with its effective bottleneck for sorting.
+type sebfRank struct {
+	id    coflow.CoflowID
+	gamma float64
 }
 
 // NewVarys builds the SEBF oracle scheduler.
-func NewVarys() *Varys { return &Varys{} }
+func NewVarys() *Varys {
+	return &Varys{
+		queueOf: make(map[coflow.CoflowID]int),
+		perPort: make(map[topo.ServerID]float64),
+	}
+}
 
 var _ sim.Scheduler = (*Varys)(nil)
 
@@ -60,18 +77,18 @@ func (*Varys) OnJobComplete(*sim.JobState) {}
 // gamma computes the effective bottleneck time of a coflow from exact
 // remaining bytes (clairvoyance).
 func (v *Varys) gamma(c *sim.CoflowState) float64 {
-	perPort := make(map[topo.ServerID]float64)
+	clear(v.perPort)
 	for _, f := range c.Flows {
 		if f.Done {
 			continue
 		}
-		perPort[f.Flow.Src] += f.Remaining
+		v.perPort[f.Flow.Src] += f.Remaining
 		// Egress ports tracked separately from ingress by offsetting; a
 		// server's NIC is full duplex.
-		perPort[-1-f.Flow.Dst] += f.Remaining
+		v.perPort[-1-f.Flow.Dst] += f.Remaining
 	}
 	worst := 0.0
-	for _, bytes := range perPort {
+	for _, bytes := range v.perPort {
 		if bytes > worst {
 			worst = bytes
 		}
@@ -83,15 +100,13 @@ func (v *Varys) gamma(c *sim.CoflowState) float64 {
 	return worst / cap
 }
 
-// AssignQueues implements sim.Scheduler.
-func (v *Varys) AssignQueues(_ float64, flows []*sim.FlowState) {
-	type ranked struct {
-		id    coflow.CoflowID
-		gamma float64
-	}
-	order := make([]ranked, 0, len(v.active))
+// AssignQueues implements sim.Scheduler. Γ shrinks continuously with
+// remaining bytes, so the SEBF order is re-derived every call; changed flows
+// are found with a compare-and-set sweep.
+func (v *Varys) AssignQueues(_ float64, flows, added, dirty []*sim.FlowState) []*sim.FlowState {
+	order := v.order[:0]
 	for _, c := range v.active {
-		order = append(order, ranked{c.Coflow.ID, v.gamma(c)})
+		order = append(order, sebfRank{c.Coflow.ID, v.gamma(c)})
 	}
 	sort.Slice(order, func(a, b int) bool {
 		if order[a].gamma != order[b].gamma {
@@ -100,15 +115,23 @@ func (v *Varys) AssignQueues(_ float64, flows []*sim.FlowState) {
 		return order[a].id < order[b].id // deterministic tie-break
 	})
 	lowest := v.env.Queues - 1
-	queueOf := make(map[coflow.CoflowID]int, len(order))
+	clear(v.queueOf)
 	for i, r := range order {
 		q := i
 		if q > lowest {
 			q = lowest
 		}
-		queueOf[r.id] = q
+		v.queueOf[r.id] = q
+	}
+	v.order = order[:0]
+	for _, f := range added {
+		f.SetQueue(v.queueOf[f.Coflow.Coflow.ID])
 	}
 	for _, f := range flows {
-		f.SetQueue(queueOf[f.Coflow.Coflow.ID])
+		if q := v.queueOf[f.Coflow.Coflow.ID]; q != f.Queue() {
+			f.SetQueue(q)
+			dirty = append(dirty, f)
+		}
 	}
+	return dirty
 }

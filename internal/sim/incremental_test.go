@@ -1,0 +1,118 @@
+package sim_test
+
+// End-to-end equivalence of the delta-driven allocation path: every shipping
+// policy replays a realistic workload with Config.VerifyIncremental set, so
+// the engine re-solves the whole network with the batch allocator after each
+// incremental reallocation and fails on the first rate that differs. A pass
+// means the incremental path reproduced the batch reference byte-for-byte
+// across the entire event trajectory, scheduler dirty-reporting included.
+// (The allocator-level property test in internal/netmod covers random churn
+// directly against the Register/Unregister/Update API.)
+
+import (
+	"testing"
+
+	"gurita/internal/core"
+	"gurita/internal/metrics"
+	"gurita/internal/netmod"
+	"gurita/internal/sched"
+	"gurita/internal/sim"
+	"gurita/internal/topo"
+	"gurita/internal/workload"
+)
+
+func TestIncrementalMatchesBatchEndToEnd(t *testing.T) {
+	tp, err := topo.NewBigSwitch(24, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		mode  netmod.Mode
+		build func(t *testing.T) sim.Scheduler
+	}{
+		{"pfs-spq", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler { return sched.NewPFS() }},
+		{"pfs-wrr", netmod.ModeWRR, func(t *testing.T) sim.Scheduler { return sched.NewPFS() }},
+		{"baraat", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler { return sched.NewBaraat(sched.BaraatConfig{}) }},
+		{"stream", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewStream(sched.StreamConfig{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"aalo-live", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewAalo(sched.AaloConfig{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"aalo-delayed", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewAalo(sched.AaloConfig{CoordinationInterval: 0.02}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"mcs", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewMCS(sched.MCSConfig{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"varys", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler { return sched.NewVarys() }},
+		{"gurita-wrr", netmod.ModeWRR, func(t *testing.T) sim.Scheduler {
+			s, err := core.New(core.Config{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"gurita+-wrr", netmod.ModeWRR, func(t *testing.T) sim.Scheduler {
+			s, err := core.NewPlus(core.Config{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+
+	for i, c := range cases {
+		c := c
+		seed := int64(i + 1)
+		t.Run(c.name, func(t *testing.T) {
+			jobs, err := workload.Generate(workload.Config{
+				NumJobs: 25,
+				Seed:    seed,
+				Servers: tp.NumServers(),
+				Arrival: workload.Poisson{Rate: 20},
+				// Small-to-mid categories keep event counts (and the O(n)
+				// batch cross-check per event) test-sized.
+				CategoryWeights: [metrics.NumCategories]float64{0.5, 0.3, 0.2},
+				MeanFlowSize:    16e6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := sim.New(sim.Config{
+				Topology:          tp,
+				Mode:              c.mode,
+				Tick:              0.01,
+				VerifyIncremental: true,
+			}, c.build(t), jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Jobs) != len(jobs) {
+				t.Fatalf("completed %d of %d jobs", len(res.Jobs), len(jobs))
+			}
+		})
+	}
+}

@@ -22,7 +22,7 @@ func (s *chaoticSched) OnJobArrival(*JobState)        {}
 func (s *chaoticSched) OnCoflowStart(*CoflowState)    {}
 func (s *chaoticSched) OnCoflowComplete(*CoflowState) {}
 func (s *chaoticSched) OnJobComplete(*JobState)       {}
-func (s *chaoticSched) AssignQueues(_ float64, fl []*FlowState) {
+func (s *chaoticSched) AssignQueues(_ float64, fl, _, dirty []*FlowState) []*FlowState {
 	s.calls++
 	for i, f := range fl {
 		switch (s.calls + i) % 4 {
@@ -35,7 +35,11 @@ func (s *chaoticSched) AssignQueues(_ float64, fl []*FlowState) {
 		default:
 			f.SetQueue(3)
 		}
+		// Queues oscillate every call, so report everything as dirty
+		// (over-reporting is allowed by the contract).
+		dirty = append(dirty, f)
 	}
+	return dirty
 }
 
 // lazySched never assigns queues at all (zero-value queue 0 everywhere).
@@ -47,7 +51,7 @@ func (lazySched) OnJobArrival(*JobState)             {}
 func (lazySched) OnCoflowStart(*CoflowState)         {}
 func (lazySched) OnCoflowComplete(*CoflowState)      {}
 func (lazySched) OnJobComplete(*JobState)            {}
-func (lazySched) AssignQueues(float64, []*FlowState) {}
+func (lazySched) AssignQueues(_ float64, _, _, dirty []*FlowState) []*FlowState { return dirty }
 
 func hostileWorkload(t *testing.T) []*coflow.Job {
 	t.Helper()

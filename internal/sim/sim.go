@@ -69,10 +69,13 @@ func (f *FlowState) Active() bool { return f.started && !f.Done }
 // MarkStarted records that the flow was admitted into the network at the
 // given time. The engine calls this internally; external drivers building
 // runtime states by hand (scheduler unit tests, alternative frontends) must
-// call it for the flow to count as an open connection.
+// call it (once per flow) for the flow to count as an open connection.
 func (f *FlowState) MarkStarted(now float64) {
 	f.started = true
 	f.Started = now
+	if f.Coflow != nil {
+		f.Coflow.activeFlows++
+	}
 }
 
 // Queue returns the currently assigned priority queue.
@@ -100,19 +103,15 @@ type CoflowState struct {
 
 	Started  float64
 	Finished float64
+
+	// activeFlows counts flows with Active() == true, maintained on flow
+	// start and finish so ObservedWidth is O(1) for the reporting rounds.
+	activeFlows int
 }
 
 // ObservedWidth returns the number of flows currently transmitting — the
 // receiver-side "open connections" estimate of the horizontal dimension.
-func (c *CoflowState) ObservedWidth() int {
-	n := 0
-	for _, f := range c.Flows {
-		if f.Active() {
-			n++
-		}
-	}
-	return n
-}
+func (c *CoflowState) ObservedWidth() int { return c.activeFlows }
 
 // ObservedLargest returns the largest per-flow bytes received so far — the
 // receiver-side estimate of the vertical dimension L.
@@ -171,9 +170,18 @@ type Env struct {
 }
 
 // Scheduler is a scheduling policy. The engine calls the On* notifications
-// as the workload unfolds and AssignQueues before every rate allocation;
-// AssignQueues must set Demand.Queue on every flow in flows (0 = highest
-// priority). Implementations must be deterministic.
+// as the workload unfolds and AssignQueues before every rate allocation.
+//
+// AssignQueues sets priority queues (Demand.Queue, 0 = highest): it must
+// assign a queue to every flow in added — the flows admitted since the
+// previous call — and may reassign any other flow in flows. Every
+// pre-existing flow whose queue the call changed must be appended to dirty
+// and the resulting slice returned. Flows outside added and the returned
+// slice are assumed to keep the queue they already had; that contract is
+// what lets the engine skip rate recomputation when an event changed
+// nothing. Appending a flow whose queue was rewritten with the same value is
+// allowed (the engine diffs cheaply); omitting a real change corrupts the
+// incremental allocation. Implementations must be deterministic.
 type Scheduler interface {
 	Name() string
 	Init(env Env)
@@ -181,7 +189,7 @@ type Scheduler interface {
 	OnCoflowStart(c *CoflowState)
 	OnCoflowComplete(c *CoflowState)
 	OnJobComplete(j *JobState)
-	AssignQueues(now float64, flows []*FlowState)
+	AssignQueues(now float64, flows, added, dirty []*FlowState) []*FlowState
 }
 
 // DependencyMode selects the granularity at which DAG precedence releases
@@ -252,6 +260,12 @@ type Config struct {
 	// InitWindow is the initial congestion window in bytes (default 15 kB,
 	// ≈ 10 segments).
 	InitWindow float64
+	// VerifyIncremental cross-checks every incremental reallocation against
+	// a from-scratch batch solve over the same flows and aborts the run on
+	// the first rate that is not bit-identical. A test/debug knob: it
+	// re-solves everything at every dirty event, forfeiting the incremental
+	// speedup.
+	VerifyIncremental bool
 }
 
 func (c *Config) applyDefaults() {
@@ -361,9 +375,18 @@ type Simulator struct {
 	queue eventq.Queue
 	now   float64
 
-	jobs    []*JobState
-	active  []*FlowState
-	demands []*netmod.FlowDemand
+	jobs   []*JobState
+	active []*FlowState
+	// added collects flows admitted since the last AssignQueues call; dirty
+	// is the reusable buffer handed to the scheduler for change reports.
+	added []*FlowState
+	dirty []*FlowState
+
+	// Batch-reference cross-check state (Config.VerifyIncremental).
+	verify     *netmod.Allocator
+	verifyBuf  []netmod.FlowDemand
+	verifyPtrs []*netmod.FlowDemand
+	verifyErr  error
 
 	// Task-level dependency wiring (Config.Dependency == DepTask):
 	// dependents maps a child flow to the parent flows it feeds;
@@ -413,6 +436,13 @@ func New(cfg Config, sched Scheduler, jobs []*coflow.Job) (*Simulator, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	s := &Simulator{cfg: cfg, sched: sched, alloc: alloc}
+	if cfg.VerifyIncremental {
+		s.verify, err = netmod.NewAllocator(cfg.Topology, cfg.Queues, cfg.Mode,
+			netmod.WithUtilization(cfg.Utilization))
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	if cfg.Dependency == DepTask {
 		s.dependents = make(map[coflow.FlowID][]*FlowState)
 		s.feedersLeft = make(map[coflow.FlowID]int)
@@ -526,6 +556,9 @@ func (s *Simulator) Run() (*Result, error) {
 			s.queue.Pop().Fire()
 		}
 		s.reallocate()
+		if s.verifyErr != nil {
+			return nil, s.verifyErr
+		}
 	}
 
 	s.result.Scheduler = s.sched.Name()
@@ -622,7 +655,9 @@ func (s *Simulator) startFlow(fs *FlowState) {
 		topo.ECMPHash(fl.Src, fl.Dst, uint64(fl.ID)))
 	fs.Demand.MaxRate = s.cfg.MaxFlowRate
 	s.active = append(s.active, fs)
-	s.demands = append(s.demands, &fs.Demand)
+	// Registration with the allocator happens at the next reallocate, after
+	// the scheduler has assigned the flow's queue.
+	s.added = append(s.added, fs)
 	s.result.TotalBytes += fl.Size
 	if len(s.active) > s.result.MaxActiveFlows {
 		s.result.MaxActiveFlows = len(s.active)
@@ -641,6 +676,7 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 	fs.Done = true
 	fs.Finished = s.now
 	fs.Remaining = 0
+	s.alloc.Unregister(&fs.Demand)
 
 	// Swap-remove from the active set.
 	i := fs.activeIdx
@@ -648,8 +684,6 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 	s.active[i] = s.active[last]
 	s.active[i].activeIdx = i
 	s.active = s.active[:last]
-	s.demands[i] = s.demands[last]
-	s.demands = s.demands[:last]
 	fs.activeIdx = -1
 
 	// Task-level release: parent flows fed solely by completed child flows
@@ -669,6 +703,7 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 	}
 
 	cs := fs.Coflow
+	cs.activeFlows--
 	cs.RemainingFlows--
 	if cs.RemainingFlows > 0 {
 		return
@@ -740,7 +775,14 @@ func indexOf(cs []*coflow.Coflow, c *coflow.Coflow) int {
 }
 
 // reallocate refreshes priorities and rates, finishes any flows that are
-// already done, and schedules the next completion event.
+// already done, and schedules the next completion event. Rates are
+// recomputed only when the event actually changed the demand set — a flow
+// was admitted or retired, a queue moved, or a cap ramped — and then only
+// from the lowest dirty priority tier down (see netmod.Reallocate). The
+// completion scan below always runs: it is O(active), allocation-free, and
+// re-deriving the next completion time from the same Remaining/Rate values
+// every event keeps the event trajectory bit-identical to the batch
+// engine's.
 func (s *Simulator) reallocate() {
 	// Retire flows drained by advanceTo (batch completions at this instant).
 	// finishFlow swap-removes index i (so it is re-examined) and may start
@@ -757,6 +799,7 @@ func (s *Simulator) reallocate() {
 		s.pendingDone = nil
 	}
 	if len(s.active) == 0 {
+		s.added = s.added[:0]
 		return
 	}
 
@@ -771,12 +814,29 @@ func (s *Simulator) reallocate() {
 			} else {
 				cap = s.cfg.MaxFlowRate
 			}
-			f.Demand.MaxRate = cap
+			if f.Demand.MaxRate != cap {
+				f.Demand.MaxRate = cap
+				s.alloc.Update(&f.Demand)
+			}
 		}
 	}
 
-	s.sched.AssignQueues(s.now, s.active)
-	s.alloc.Allocate(s.demands)
+	s.dirty = s.sched.AssignQueues(s.now, s.active, s.added, s.dirty[:0])
+	for _, f := range s.added {
+		if !f.Done {
+			s.alloc.Register(&f.Demand)
+		}
+	}
+	s.added = s.added[:0]
+	for _, f := range s.dirty {
+		s.alloc.Update(&f.Demand)
+	}
+	if s.alloc.Dirty() {
+		s.alloc.Reallocate()
+		if s.verify != nil {
+			s.checkAgainstBatch()
+		}
+	}
 
 	next := -1.0
 	for _, f := range s.active {
@@ -806,6 +866,29 @@ func (s *Simulator) reallocate() {
 		s.cfg.Probe(s.now, s.active)
 	}
 	s.ensureTick()
+}
+
+// checkAgainstBatch re-solves the current demand set with the reference
+// batch allocator on snapshot copies and records an error unless every rate
+// is bit-identical to the incremental result.
+func (s *Simulator) checkAgainstBatch() {
+	s.verifyBuf = s.verifyBuf[:0]
+	s.verifyPtrs = s.verifyPtrs[:0]
+	for _, f := range s.active {
+		s.verifyBuf = append(s.verifyBuf, f.Demand.Snapshot())
+	}
+	for i := range s.verifyBuf {
+		s.verifyPtrs = append(s.verifyPtrs, &s.verifyBuf[i])
+	}
+	s.verify.Allocate(s.verifyPtrs)
+	for i, f := range s.active {
+		if f.Demand.Rate != s.verifyBuf[i].Rate {
+			s.verifyErr = fmt.Errorf(
+				"sim: incremental allocation diverged from batch at t=%v: flow %d (queue %d) rate %v, batch %v",
+				s.now, f.Flow.ID, f.Queue(), f.Demand.Rate, s.verifyBuf[i].Rate)
+			return
+		}
+	}
 }
 
 // slowStartCap returns the rate allowed by a congestion window that started

@@ -21,10 +21,11 @@ func (s *fairSched) OnJobArrival(*JobState)        {}
 func (s *fairSched) OnCoflowStart(*CoflowState)    {}
 func (s *fairSched) OnCoflowComplete(*CoflowState) {}
 func (s *fairSched) OnJobComplete(*JobState)       {}
-func (s *fairSched) AssignQueues(_ float64, fl []*FlowState) {
-	for _, f := range fl {
+func (s *fairSched) AssignQueues(_ float64, _, added, dirty []*FlowState) []*FlowState {
+	for _, f := range added {
 		f.SetQueue(0)
 	}
+	return dirty
 }
 
 var _ Scheduler = (*fairSched)(nil)
@@ -410,8 +411,8 @@ func (s *probeSched) OnJobArrival(*JobState)        {}
 func (s *probeSched) OnCoflowStart(*CoflowState)    {}
 func (s *probeSched) OnCoflowComplete(*CoflowState) {}
 func (s *probeSched) OnJobComplete(*JobState)       {}
-func (s *probeSched) AssignQueues(now float64, fl []*FlowState) {
-	for _, f := range fl {
+func (s *probeSched) AssignQueues(now float64, fl, added, dirty []*FlowState) []*FlowState {
+	for _, f := range added {
 		f.SetQueue(0)
 	}
 	if !s.sampled && now >= s.at && len(fl) > 0 {
@@ -421,6 +422,7 @@ func (s *probeSched) AssignQueues(now float64, fl []*FlowState) {
 		s.largest = c.ObservedLargest()
 		s.mean = c.ObservedMeanFlowSize()
 	}
+	return dirty
 }
 
 // TestPriorityStarvationUnderSPQ: a scheduler that pins one flow to a low
@@ -434,14 +436,15 @@ func (s *pinSched) OnJobArrival(*JobState)        {}
 func (s *pinSched) OnCoflowStart(*CoflowState)    {}
 func (s *pinSched) OnCoflowComplete(*CoflowState) {}
 func (s *pinSched) OnJobComplete(*JobState)       {}
-func (s *pinSched) AssignQueues(_ float64, fl []*FlowState) {
-	for _, f := range fl {
+func (s *pinSched) AssignQueues(_ float64, _, added, dirty []*FlowState) []*FlowState {
+	for _, f := range added {
 		if f.Coflow.Job.Job.ID == s.lowJob {
 			f.SetQueue(3)
 		} else {
 			f.SetQueue(0)
 		}
 	}
+	return dirty
 }
 
 func TestPriorityStarvationUnderSPQ(t *testing.T) {
@@ -526,8 +529,9 @@ func (s *stageTracker) OnCoflowStart(c *CoflowState) {
 }
 func (s *stageTracker) OnCoflowComplete(*CoflowState) {}
 func (s *stageTracker) OnJobComplete(*JobState)       {}
-func (s *stageTracker) AssignQueues(_ float64, fl []*FlowState) {
-	for _, f := range fl {
+func (s *stageTracker) AssignQueues(_ float64, _, added, dirty []*FlowState) []*FlowState {
+	for _, f := range added {
 		f.SetQueue(0)
 	}
+	return dirty
 }
