@@ -3,6 +3,7 @@ package gurita
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"gurita/internal/metrics"
 	"gurita/internal/runner"
@@ -65,6 +66,13 @@ type TrialSpec struct {
 	StageDelay float64 `json:"stage_delay,omitempty"`
 	// TCPSlowStart enables the fluid slow-start model.
 	TCPSlowStart bool `json:"tcp_slow_start,omitempty"`
+	// Faults, when non-nil and non-empty, injects a fault schedule generated
+	// deterministically from this profile on the trial's fabric. The profile
+	// is part of the cache key; fault-free specs keep their pre-fault keys
+	// (the field is omitted from canonical JSON when nil).
+	Faults *FaultProfile `json:"faults,omitempty"`
+	// CheckInvariants asserts engine invariants after every fault instant.
+	CheckInvariants bool `json:"check_invariants,omitempty"`
 }
 
 // normalized maps distinct encodings of the same trial onto one canonical
@@ -82,6 +90,17 @@ func (t TrialSpec) normalized() TrialSpec {
 	}
 	if t.Oversub == 0 {
 		t.Oversub = 1
+	}
+	if t.Faults != nil {
+		if t.Faults.Empty() {
+			t.Faults = nil
+		} else {
+			p := t.Faults.Normalized()
+			if p.Horizon == 0 {
+				p.Horizon = 60
+			}
+			t.Faults = &p
+		}
 	}
 	return t
 }
@@ -131,7 +150,7 @@ func (t TrialSpec) Build() (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
-	return Scenario{
+	sc := Scenario{
 		Topology:              tp,
 		Jobs:                  jobs,
 		Queues:                t.Queues,
@@ -139,7 +158,16 @@ func (t TrialSpec) Build() (Scenario, error) {
 		StageDelay:            t.StageDelay,
 		TaskLevelDependencies: t.TaskLevelDependencies,
 		TCPSlowStart:          t.TCPSlowStart,
-	}, nil
+		CheckInvariants:       t.CheckInvariants,
+	}
+	if t.Faults != nil && !t.Faults.Empty() {
+		schedule, err := t.Faults.Generate(tp)
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Faults = schedule
+	}
+	return sc, nil
 }
 
 // CampaignProgress is a live campaign snapshot: trials done/total, cache
@@ -148,8 +176,13 @@ func (t TrialSpec) Build() (Scenario, error) {
 type CampaignProgress = runner.Progress
 
 // CampaignStats summarizes a finished campaign: grid size, how many trials
-// actually simulated, and how many were served from the cache.
+// actually simulated, how many were served from the cache, and the failure
+// manifest when the campaign degraded gracefully.
 type CampaignStats = runner.Stats
+
+// TrialFailure is one failure-manifest entry of a gracefully degraded
+// campaign (see CampaignOptions.ContinueOnError).
+type TrialFailure = runner.TrialFailure
 
 // CampaignOptions tunes RunCampaign.
 type CampaignOptions struct {
@@ -169,6 +202,19 @@ type CampaignOptions struct {
 	// Progress, when non-nil, receives a snapshot after every finished
 	// trial (calls are serialized).
 	Progress func(CampaignProgress)
+	// TrialTimeout bounds each trial's wall-clock execution; the simulator
+	// polls the deadline between events, so even a pathological trial stops
+	// within milliseconds of it. 0 means unbounded.
+	TrialTimeout time.Duration
+	// Retries re-runs a trial that failed with a transient error (not a
+	// panic, timeout, or cancellation) up to this many extra times with
+	// exponential backoff.
+	Retries int
+	// ContinueOnError keeps the campaign going past failed trials: each one
+	// is recorded in CampaignStats.Failures and its results slot is nil,
+	// while every healthy trial still produces its result. Without it the
+	// first failure aborts the whole campaign.
+	ContinueOnError bool
 }
 
 // schema returns the cache schema for these options; coflow-bearing entries
@@ -191,8 +237,8 @@ func (o CampaignOptions) schema() string {
 // complete and an interrupted campaign (error, SIGINT via ctx) resumes on
 // the next invocation by recomputing only the missing trials. Corrupted or
 // schema-stale cache entries are recomputed and overwritten, never fatal.
-// Cancellation is checked between trials; an in-flight simulation runs to
-// completion (bound it with Scale/Scenario limits, not the context).
+// Cancellation (and CampaignOptions.TrialTimeout) preempts in-flight
+// simulations too: the simulator polls the context between events.
 func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) ([]*Result, CampaignStats, error) {
 	norm := make([]TrialSpec, len(specs))
 	for i, s := range specs {
@@ -214,6 +260,10 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		if err != nil {
 			return nil, err
 		}
+		// The simulator polls the interrupt hook between events, which is
+		// what lets per-trial timeouts and campaign cancellation preempt an
+		// in-flight simulation.
+		sc.Interrupt = ctx.Err
 		res, err := sc.Run(s.Scheduler)
 		if err != nil {
 			return nil, err
@@ -222,17 +272,22 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		return &doc, nil
 	}
 	docs, stats, err := runner.Run(ctx, norm, exec, runner.Options{
-		Workers:  opts.Workers,
-		Cache:    cache,
-		Force:    opts.Force,
-		Progress: opts.Progress,
+		Workers:         opts.Workers,
+		Cache:           cache,
+		Force:           opts.Force,
+		Progress:        opts.Progress,
+		TrialTimeout:    opts.TrialTimeout,
+		Retries:         opts.Retries,
+		ContinueOnError: opts.ContinueOnError,
 	})
 	if err != nil {
 		return nil, stats, err
 	}
 	results := make([]*Result, len(docs))
 	for i, d := range docs {
-		results[i] = d.Result()
+		if d != nil {
+			results[i] = d.Result()
+		}
 	}
 	return results, stats, nil
 }

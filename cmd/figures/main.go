@@ -21,10 +21,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	gurita "gurita"
@@ -38,9 +41,12 @@ func main() {
 	}
 }
 
+// knownFigs is the -fig vocabulary, in output order.
+var knownFigs = []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "failures", "all"}
+
 func run() (err error) {
 	var (
-		fig      = flag.String("fig", "all", "which figure: table1, fig2, fig4, fig5, fig6, fig7, fig8, all")
+		fig      = flag.String("fig", "all", "which figure: "+strings.Join(knownFigs, ", "))
 		full     = flag.Bool("full", false, "paper-scale configuration (same as GURITA_FULLSCALE=1)")
 		csvDir   = flag.String("csv", "", "also write each table as <dir>/<name>.csv for plotting")
 		trials   = flag.Int("trials", 1, "average each figure over this many seeds")
@@ -51,8 +57,34 @@ func run() (err error) {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
+
+		faultRates   = flag.String("faults", "", "comma-separated link-failure rates for the failures sweep (default 0,0.5,1,2,4)")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall-clock bound, e.g. 90s (0 = unbounded)")
+		keepGoing    = flag.Bool("keep-going", false, "degrade gracefully: skip failed trials (reported at the end) instead of aborting")
 	)
 	flag.Parse()
+
+	figOK := false
+	for _, name := range knownFigs {
+		if *fig == name {
+			figOK = true
+			break
+		}
+	}
+	if !figOK {
+		return fmt.Errorf("unknown -fig %q; valid: %s (run 'figures -h' for usage)",
+			*fig, strings.Join(knownFigs, ", "))
+	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be >= 1, got %d (run 'figures -h' for usage)", *trials)
+	}
+	if *trialTimeout < 0 {
+		return fmt.Errorf("-trial-timeout must be >= 0, got %v (run 'figures -h' for usage)", *trialTimeout)
+	}
+	rates, err := parseRates(*faultRates)
+	if err != nil {
+		return err
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *execTrace)
 	if err != nil {
@@ -75,10 +107,12 @@ func run() (err error) {
 	}
 	scale.Trials = *trials
 	opts := gurita.CampaignOptions{
-		Workers:  *parallel,
-		CacheDir: *cacheDir,
-		Force:    *force,
-		Progress: progressPrinter(),
+		Workers:         *parallel,
+		CacheDir:        *cacheDir,
+		Force:           *force,
+		Progress:        progressPrinter(),
+		TrialTimeout:    *trialTimeout,
+		ContinueOnError: *keepGoing,
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -163,7 +197,33 @@ func run() (err error) {
 			}
 		}
 	}
+	if want("failures") {
+		ft, _, err := gurita.ExperimentFailureSweepWith(ctx, scale, opts, rates...)
+		if err != nil {
+			return err
+		}
+		if err := emit("failures", ft); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// parseRates parses the -faults rate list; "" selects the sweep's default.
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("-faults wants comma-separated non-negative rates (failures/s), e.g. \"0,1,2\"; bad entry %q", p)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
 }
 
 // progressPrinter renders campaign progress as a single self-overwriting

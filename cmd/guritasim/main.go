@@ -18,8 +18,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,8 +35,24 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "guritasim:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintln(os.Stderr, "run 'guritasim -h' for flag usage")
+		}
 		os.Exit(1)
 	}
+}
+
+// usageError marks errors caused by bad invocation (invalid flag values,
+// malformed configuration) so main can point at -h; simulation failures
+// print without the hint.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func badUsage(format string, args ...any) error {
+	return &usageError{fmt.Errorf(format, args...)}
 }
 
 func run() (err error) {
@@ -61,8 +79,49 @@ func run() (err error) {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
+
+		faultRate    = flag.Float64("faults", 0, "injected link-failure rate, failures/s across the fabric (0 = perfect fabric)")
+		faultMTTR    = flag.Float64("fault-mttr", 1, "mean time to repair injected faults, seconds")
+		faultSeed    = flag.Int64("fault-seed", 0, "fault-schedule seed (0 = reuse -seed)")
+		checkInv     = flag.Bool("check-invariants", false, "assert engine invariants after every fault instant")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-run wall-clock bound, e.g. 90s or 5m (0 = unbounded)")
 	)
 	flag.Parse()
+
+	switch {
+	case *jobs < 1:
+		return badUsage("-jobs must be >= 1, got %d", *jobs)
+	case *k < 2:
+		return badUsage("-k must be >= 2 (it sizes the fabric), got %d", *k)
+	case *queues < 1:
+		return badUsage("-queues must be >= 1, got %d", *queues)
+	case !(*timeScale > 0) || math.IsInf(*timeScale, 0):
+		return badUsage("-timescale must be a positive compression factor, got %v", *timeScale)
+	case *oversub < 1 || math.IsNaN(*oversub) || math.IsInf(*oversub, 0):
+		return badUsage("-oversub must be a finite ratio >= 1, got %v", *oversub)
+	case *faultRate < 0 || math.IsNaN(*faultRate) || math.IsInf(*faultRate, 0):
+		return badUsage("-faults must be a finite non-negative rate (failures/s), got %v", *faultRate)
+	case !(*faultMTTR > 0) || math.IsInf(*faultMTTR, 0):
+		return badUsage("-fault-mttr must be a positive repair time in seconds, got %v", *faultMTTR)
+	case *trialTimeout < 0:
+		return badUsage("-trial-timeout must be >= 0, got %v", *trialTimeout)
+	}
+	if *schedName != "all" {
+		known := false
+		for _, kind := range gurita.AllKinds() {
+			if gurita.SchedulerKind(*schedName) == kind {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return badUsage("unknown -scheduler %q; valid: %v or \"all\"", *schedName, gurita.AllKinds())
+		}
+	}
+	fSeed := *faultSeed
+	if fSeed == 0 {
+		fSeed = *seed
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *execTrace)
 	if err != nil {
@@ -92,15 +151,17 @@ func run() (err error) {
 	case "bigswitch":
 		tp, err = gurita.BigSwitch(*k**k**k/4, 0)
 	default:
-		return fmt.Errorf("unknown topology %q", *topoKind)
+		return badUsage("unknown -topo %q; valid: fattree, leafspine, bigswitch", *topoKind)
 	}
 	if err != nil {
-		return err
+		// The fabric constructors reject invalid sizes (e.g. odd FatTree k)
+		// with a descriptive error; it is an invocation problem.
+		return &usageError{err}
 	}
 
 	st, err := parseStructure(*structure)
 	if err != nil {
-		return err
+		return badUsage("%v; valid -structure values: single, fb-tao, tpc-ds, mixed", err)
 	}
 
 	kinds := []gurita.SchedulerKind{gurita.SchedulerKind(*schedName)}
@@ -144,6 +205,8 @@ func run() (err error) {
 				TaskLevelDependencies: *taskDeps,
 				Topo:                  *topoKind,
 				Oversub:               *oversub,
+				Faults:                faultProfile(*faultRate, *faultMTTR, fSeed),
+				CheckInvariants:       *checkInv,
 			}
 		}
 		results, _, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
@@ -154,9 +217,13 @@ func run() (err error) {
 			// as the serial path writes it.
 			IncludeCoflows: true,
 			Progress:       progressPrinter(),
+			TrialTimeout:   *trialTimeout,
 		})
 		if err != nil {
 			return err
+		}
+		if *faultRate > 0 {
+			fmt.Printf("faults: %g link failures/s, MTTR %gs, seed %d\n", *faultRate, *faultMTTR, fSeed)
 		}
 		fmt.Printf("fabric: %v, jobs: %d, structure: %v\n\n", tp, len(results[0].Jobs), st)
 		for i, kind := range kinds {
@@ -215,6 +282,15 @@ func run() (err error) {
 		Jobs:                  workload,
 		Queues:                *queues,
 		TaskLevelDependencies: *taskDeps,
+		CheckInvariants:       *checkInv,
+	}
+	if p := faultProfile(*faultRate, *faultMTTR, fSeed); p != nil {
+		sc.Faults, err = p.Generate(tp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("faults: %g link failures/s, MTTR %gs, seed %d (%d events)\n",
+			*faultRate, *faultMTTR, fSeed, len(sc.Faults.Events))
 	}
 
 	fmt.Printf("fabric: %v, jobs: %d, structure: %v\n\n", tp, len(workload), st)
@@ -224,7 +300,13 @@ func run() (err error) {
 			uc = gurita.NewUtilizationCollector(tp)
 			sc.Probe = uc.Probe
 		}
+		runCtx, cancel := ctx, context.CancelFunc(func() {})
+		if *trialTimeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, *trialTimeout)
+		}
+		sc.Interrupt = runCtx.Err
 		res, err := sc.Run(kind)
+		cancel()
 		if err != nil {
 			return err
 		}
@@ -241,6 +323,20 @@ func run() (err error) {
 		}
 	}
 	return nil
+}
+
+// faultProfile builds the CLI's fault profile: Poisson link failures at the
+// given fabric-wide rate with exponential repair. Nil when rate is 0.
+func faultProfile(rate, mttr float64, seed int64) *gurita.FaultProfile {
+	if rate <= 0 {
+		return nil
+	}
+	return &gurita.FaultProfile{
+		Seed:         seed,
+		Horizon:      60,
+		MTTR:         mttr,
+		LinkFailRate: rate,
+	}
 }
 
 func writeJSON(name string, res *gurita.Result) error {

@@ -519,6 +519,92 @@ func Fig7BurstyCategoriesWith(ctx context.Context, structure Structure, scale Sc
 	return ft, per, nil
 }
 
+// failureSweepKinds is the robustness comparison set: the fair-sharing
+// baseline, the centralized and clairvoyant references, and Gurita.
+var failureSweepKinds = []SchedulerKind{KindPFS, KindAalo, KindVarys, KindGurita}
+
+// DefaultFailureRates is the link-failure-rate x-axis (failures/second over
+// the whole fabric) of the failure sweep.
+var DefaultFailureRates = []float64{0, 0.5, 1, 2, 4}
+
+// ExperimentFailureSweep measures scheduling robustness under fabric faults:
+// average JCT as the link-failure rate rises, for PFS, Aalo, Varys and
+// Gurita on the trace-driven FB-Tao scenario. Each trial injects a
+// deterministic fault schedule (Poisson link failures, exponential repair
+// with MTTR 1 s) seeded from the trial seed, with engine invariants checked
+// at every fault instant. rates defaults to DefaultFailureRates.
+func ExperimentFailureSweep(scale Scale, rates ...float64) (FigureTable, map[float64]map[SchedulerKind]float64, error) {
+	return ExperimentFailureSweepWith(context.Background(), scale, CampaignOptions{}, rates...)
+}
+
+// ExperimentFailureSweepWith is ExperimentFailureSweep with campaign
+// control: the rate × seed × scheduler grid runs through RunCampaign, so it
+// parallelizes, caches, and — with opts.ContinueOnError — degrades
+// gracefully, skipping failed trials in the aggregates.
+func ExperimentFailureSweepWith(ctx context.Context, scale Scale, opts CampaignOptions, rates ...float64) (FigureTable, map[float64]map[SchedulerKind]float64, error) {
+	if len(rates) == 0 {
+		rates = DefaultFailureRates
+	}
+	var specs []TrialSpec
+	for _, rate := range rates {
+		for trial := 0; trial < scale.trials(); trial++ {
+			for _, k := range failureSweepKinds {
+				spec := TrialSpec{
+					Scheduler:       k,
+					Scenario:        CampaignTrace,
+					Structure:       StructureFBTao,
+					Scale:           scale.withSeed(scale.Seed + int64(trial)),
+					CheckInvariants: true,
+				}
+				if rate > 0 {
+					spec.Faults = &FaultProfile{
+						Seed:         scale.Seed + int64(trial),
+						Horizon:      60,
+						MTTR:         1,
+						LinkFailRate: rate,
+					}
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	results, _, err := RunCampaign(ctx, specs, opts)
+	if err != nil {
+		return FigureTable{}, nil, fmt.Errorf("failure sweep campaign: %w", err)
+	}
+	ft := FigureTable{
+		Title:  "Failure sweep: average JCT (s) vs link-failure rate (fabric failures/s, MTTR 1 s)",
+		Header: []string{"rate"},
+	}
+	for _, k := range failureSweepKinds {
+		ft.Header = append(ft.Header, string(k))
+	}
+	raw := make(map[float64]map[SchedulerKind]float64, len(rates))
+	i := 0
+	for _, rate := range rates {
+		acc := newMeanAccum[SchedulerKind]()
+		for trial := 0; trial < scale.trials(); trial++ {
+			for _, k := range failureSweepKinds {
+				if res := results[i]; res != nil { // nil = failed trial under ContinueOnError
+					acc.add(k, res.AvgJCT())
+				}
+				i++
+			}
+		}
+		raw[rate] = acc.means()
+		row := []string{fmt.Sprintf("%g", rate)}
+		for _, k := range failureSweepKinds {
+			if n := acc.count[k]; n > 0 {
+				row = append(row, fmtCell(raw[rate][k], acc.stddev(k), n))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		ft.Rows = append(ft.Rows, row)
+	}
+	return ft, raw, nil
+}
+
 // Fig8GuritaPlus regenerates Figure 8: how close practical Gurita gets to
 // the GuritaPlus oracle, per category, trace-driven. Values are
 // avgJCT(Gurita+)/avgJCT(Gurita) ≤ ~1; the paper reports Gurita within

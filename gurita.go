@@ -22,10 +22,12 @@ package gurita
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"gurita/internal/coflow"
 	"gurita/internal/core"
+	"gurita/internal/faults"
 	"gurita/internal/metrics"
 	"gurita/internal/netmod"
 	"gurita/internal/sched"
@@ -75,6 +77,19 @@ type (
 	// critical-path discount, oracle mode).
 	GuritaConfig = core.Config
 
+	// FaultSchedule is a deterministic, time-ordered list of fault events
+	// injected into a run (link/switch failures and repairs, NIC
+	// degradation, control-plane faults). Build one from a FaultProfile,
+	// load it with LoadFaultSchedule, or assemble FaultEvents by hand.
+	FaultSchedule = faults.Schedule
+	// FaultEvent is one entry of a FaultSchedule.
+	FaultEvent = faults.Event
+	// FaultKind names a fault event class.
+	FaultKind = faults.Kind
+	// FaultProfile generates a reproducible FaultSchedule from per-class
+	// Poisson rates, a mean time to repair, and a seed.
+	FaultProfile = faults.Profile
+
 	// WorkloadConfig drives the synthetic workload generator.
 	WorkloadConfig = workload.Config
 	// Category is one of Table 1's seven job-size classes.
@@ -117,6 +132,26 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, hostCapacity, uplinkCapacity fl
 // BigSwitch builds the non-blocking fabric abstraction with n servers.
 func BigSwitch(n int, capacity float64) (*Topology, error) {
 	return topo.NewBigSwitch(n, capacity)
+}
+
+// Fault event kinds, re-exported for assembling FaultSchedules by hand. See
+// the FaultEvent fields each kind consumes.
+const (
+	FaultLinkDown       = faults.LinkDown
+	FaultLinkUp         = faults.LinkUp
+	FaultSwitchDown     = faults.SwitchDown
+	FaultSwitchUp       = faults.SwitchUp
+	FaultNICDegrade     = faults.NICDegrade
+	FaultNICRestore     = faults.NICRestore
+	FaultCtrlDropRounds = faults.CtrlDropRounds
+	FaultCtrlDelay      = faults.CtrlDelay
+	FaultCtrlStaleHost  = faults.CtrlStaleHost
+)
+
+// LoadFaultSchedule reads a JSON fault schedule, as written by
+// FaultSchedule.WriteJSON, from r.
+func LoadFaultSchedule(r io.Reader) (*FaultSchedule, error) {
+	return faults.ReadJSON(r)
 }
 
 // SchedulerKind names a built-in scheduling policy.
@@ -236,6 +271,19 @@ type Scenario struct {
 	// ramp from a 15 kB initial window, doubling per 100 µs RTT. Off by
 	// default (steady-state TCP, as in the paper's simulator).
 	TCPSlowStart bool
+	// Faults injects a deterministic fault schedule into the run: link and
+	// switch failures reroute flows over surviving ECMP paths (or stall them
+	// with bounded retry), NIC degradations scale host capacity, and
+	// control-plane faults starve decentralized schedulers of fresh
+	// observations. Nil or empty leaves the fault-free trajectory untouched.
+	Faults *FaultSchedule
+	// CheckInvariants asserts engine invariants (rate conservation, no lost
+	// flows, no traffic over failed links) after every fault instant.
+	CheckInvariants bool
+	// Interrupt, when non-nil, is polled periodically during the run; a
+	// non-nil return aborts the simulation with that error wrapped. Use it
+	// to honor context deadlines from campaign drivers.
+	Interrupt func() error
 }
 
 // Run executes the scenario under a built-in scheduler, pairing it with its
@@ -263,15 +311,18 @@ func (sc Scenario) RunWith(s Scheduler, wrr bool) (*Result, error) {
 		dep = sim.DepTask
 	}
 	simulator, err := sim.New(sim.Config{
-		Topology:     sc.Topology,
-		Queues:       sc.queues(),
-		Mode:         mode,
-		Tick:         sc.Tick,
-		StageDelay:   sc.StageDelay,
-		MaxEvents:    sc.MaxEvents,
-		Dependency:   dep,
-		Probe:        sc.Probe,
-		TCPSlowStart: sc.TCPSlowStart,
+		Topology:        sc.Topology,
+		Queues:          sc.queues(),
+		Mode:            mode,
+		Tick:            sc.Tick,
+		StageDelay:      sc.StageDelay,
+		MaxEvents:       sc.MaxEvents,
+		Dependency:      dep,
+		Probe:           sc.Probe,
+		TCPSlowStart:    sc.TCPSlowStart,
+		Faults:          sc.Faults,
+		CheckInvariants: sc.CheckInvariants,
+		Interrupt:       sc.Interrupt,
 	}, s, sc.Jobs)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gurita/internal/coflow"
+	"gurita/internal/faults"
 	"gurita/internal/hr"
 	"gurita/internal/sched"
 	"gurita/internal/sim"
@@ -154,6 +155,16 @@ func (g *Gurita) Name() string {
 
 // Init implements sim.Scheduler.
 func (g *Gurita) Init(env sim.Env) { g.env = env }
+
+// OnControlFault implements sim.ControlFaultObserver. GuritaPlus is an
+// oracle — it has no reporting plane to degrade — so control faults only
+// reach the practical variant's HR aggregator.
+func (g *Gurita) OnControlFault(now float64, ev faults.Event) {
+	if g.cfg.Oracle {
+		return
+	}
+	g.agg.OnControlFault(now, ev)
+}
 
 // OnJobArrival implements sim.Scheduler.
 func (g *Gurita) OnJobArrival(js *sim.JobState) {

@@ -1,0 +1,250 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gurita/internal/topo"
+)
+
+func testTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewFatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func fullProfile(seed int64) Profile {
+	return Profile{
+		Seed:           seed,
+		Horizon:        10,
+		MTTR:           0.5,
+		LinkFailRate:   2,
+		SwitchFailRate: 1,
+		NICDegradeRate: 1,
+		DegradeFactor:  0.25,
+		CtrlDropRate:   3,
+		CtrlDelayRate:  1,
+		CtrlDelayMean:  0.1,
+		StaleHostRate:  1,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tp := testTopo(t)
+	a, err := fullProfile(42).Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fullProfile(42).Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same profile generated two different schedules")
+	}
+	c, err := fullProfile(43).Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+func TestGenerateValidAndOrdered(t *testing.T) {
+	tp := testTopo(t)
+	s, err := fullProfile(7).Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("full profile generated no events")
+	}
+	if err := s.Validate(tp); err != nil {
+		t.Fatalf("generated schedule fails its own validation: %v", err)
+	}
+	// Every fault class must be represented at these rates and horizon.
+	seen := map[Kind]bool{}
+	for _, ev := range s.Events {
+		seen[ev.Kind] = true
+	}
+	for _, k := range []Kind{LinkDown, LinkUp, SwitchDown, SwitchUp, NICDegrade,
+		NICRestore, CtrlDropRounds, CtrlDelay, CtrlStaleHost} {
+		if !seen[k] {
+			t.Errorf("no %v event generated", k)
+		}
+	}
+	// Data-plane faults come in down/up pairs: equal counts per class.
+	count := map[Kind]int{}
+	for _, ev := range s.Events {
+		count[ev.Kind]++
+	}
+	for _, pair := range [][2]Kind{{LinkDown, LinkUp}, {SwitchDown, SwitchUp}, {NICDegrade, NICRestore}} {
+		if count[pair[0]] != count[pair[1]] {
+			t.Errorf("%v count %d != %v count %d (unpaired repair)",
+				pair[0], count[pair[0]], pair[1], count[pair[1]])
+		}
+	}
+}
+
+func TestClassIndependence(t *testing.T) {
+	// Disabling one class must not move another class's event times: each
+	// class draws from its own salted PRNG stream.
+	tp := testTopo(t)
+	full, err := fullProfile(9).Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fullProfile(9)
+	p.SwitchFailRate = 0
+	partial, err := p.Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s *Schedule) []Event {
+		var out []Event
+		for _, ev := range s.Events {
+			if ev.Kind != SwitchDown && ev.Kind != SwitchUp {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(full), partial.Events) {
+		t.Fatal("disabling switch failures perturbed other fault classes")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tp := testTopo(t)
+	s, err := fullProfile(5).Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatal("schedule did not survive a JSON round trip")
+	}
+}
+
+func TestReadJSONSortsAndRejects(t *testing.T) {
+	// Out-of-order events are sorted on read.
+	in := `{"events":[{"t":2,"kind":"link-down","link":1},{"t":1,"kind":"ctrl-drop-rounds","count":1}]}`
+	s, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Time != 1 || s.Events[1].Time != 2 {
+		t.Fatalf("events not sorted by time: %+v", s.Events)
+	}
+	for _, bad := range []string{
+		``,
+		`{`,
+		`{"events":[{"t":0,"kind":"no-such-kind"}]}`,
+		`{"events":[{"t":0,"kind":"link-down"}],"extra":1}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadJSON(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tp := testTopo(t)
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"nan time", Event{Time: math.NaN(), Kind: LinkDown, Link: 0}},
+		{"negative time", Event{Time: -1, Kind: LinkDown, Link: 0}},
+		{"link out of range", Event{Time: 0, Kind: LinkDown, Link: topo.LinkID(tp.NumLinks())}},
+		{"negative link", Event{Time: 0, Kind: LinkUp, Link: -1}},
+		{"switch out of range", Event{Time: 0, Kind: SwitchDown, Switch: tp.NumSwitches()}},
+		{"host out of range", Event{Time: 0, Kind: NICDegrade, Host: topo.ServerID(tp.NumServers()), Factor: 0.5}},
+		{"factor zero", Event{Time: 0, Kind: NICDegrade, Host: 0, Factor: 0}},
+		{"factor above one", Event{Time: 0, Kind: NICDegrade, Host: 0, Factor: 1.5}},
+		{"drop count zero", Event{Time: 0, Kind: CtrlDropRounds, Count: 0}},
+		{"delay zero", Event{Time: 0, Kind: CtrlDelay, Duration: 0}},
+		{"stale without duration", Event{Time: 0, Kind: CtrlStaleHost, Host: 0}},
+		{"unknown kind", Event{Time: 0, Kind: Kind(99)}},
+	}
+	for _, c := range cases {
+		s := &Schedule{Events: []Event{c.ev}}
+		if err := s.Validate(tp); err == nil {
+			t.Errorf("%s: Validate accepted invalid event %+v", c.name, c.ev)
+		}
+	}
+	// Out-of-order rejection.
+	s := &Schedule{Events: []Event{
+		{Time: 2, Kind: CtrlDropRounds, Count: 1},
+		{Time: 1, Kind: CtrlDropRounds, Count: 1},
+	}}
+	if err := s.Validate(tp); err == nil {
+		t.Error("Validate accepted out-of-order events")
+	}
+	if err := (*Schedule)(nil).Validate(tp); err != nil {
+		t.Errorf("nil schedule should validate, got %v", err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	tp := testTopo(t)
+	bad := []Profile{
+		{LinkFailRate: -1, Horizon: 10},
+		{LinkFailRate: math.NaN(), Horizon: 10},
+		{LinkFailRate: math.Inf(1), Horizon: 10},
+		{LinkFailRate: 1},              // enabled class, no horizon
+		{LinkFailRate: 1, Horizon: -5}, // negative horizon
+		{LinkFailRate: 1, Horizon: 10, MTTR: math.NaN()},
+		{LinkFailRate: 1, Horizon: 10, DegradeFactor: 2},
+		{NICDegradeRate: 1, Horizon: 10, DegradeFactor: -0.5},
+	}
+	for i, p := range bad {
+		if _, err := p.Generate(tp); err == nil {
+			t.Errorf("profile %d (%+v) should have been rejected", i, p)
+		}
+	}
+	// The zero profile is valid and empty.
+	s, err := Profile{}.Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Empty() {
+		t.Fatal("zero profile should generate an empty schedule")
+	}
+}
+
+func TestKindJSONNames(t *testing.T) {
+	for k, name := range kindNames {
+		b, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("kind %v (%s) did not round-trip, got %v", k, name, back)
+		}
+	}
+	if _, err := Kind(99).MarshalJSON(); err == nil {
+		t.Error("unknown kind should not marshal")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind String() should include the raw value")
+	}
+}

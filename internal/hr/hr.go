@@ -15,7 +15,9 @@ package hr
 
 import (
 	"gurita/internal/coflow"
+	"gurita/internal/faults"
 	"gurita/internal/sim"
+	"gurita/internal/topo"
 )
 
 // CoflowObs is what a head receiver knows about one coflow after a
@@ -60,15 +62,26 @@ type Aggregator struct {
 
 	coflows map[coflow.CoflowID]CoflowObs
 	jobs    map[coflow.JobID]JobObs
+
+	// Control-plane fault state (see DropRounds, Suspend, MarkHostStale).
+	// prevCoflows/prevJobs double-buffer the previous round so stale hosts
+	// can keep serving it; the maps swap every completed round.
+	dropNext     int
+	suspendUntil float64
+	staleHosts   map[topo.ServerID]float64
+	prevCoflows  map[coflow.CoflowID]CoflowObs
+	prevJobs     map[coflow.JobID]JobObs
 }
 
 // New builds an aggregator with reporting interval delta (seconds). A
 // non-positive delta means "report continuously": every Refresh snapshots.
 func New(delta float64) *Aggregator {
 	return &Aggregator{
-		delta:   delta,
-		coflows: make(map[coflow.CoflowID]CoflowObs),
-		jobs:    make(map[coflow.JobID]JobObs),
+		delta:       delta,
+		coflows:     make(map[coflow.CoflowID]CoflowObs),
+		jobs:        make(map[coflow.JobID]JobObs),
+		prevCoflows: make(map[coflow.CoflowID]CoflowObs),
+		prevJobs:    make(map[coflow.JobID]JobObs),
 	}
 }
 
@@ -83,33 +96,128 @@ func (a *Aggregator) Refresh(now float64, active []*sim.CoflowState) bool {
 	if a.hasRound && a.delta > 0 && now-a.last < a.delta {
 		return false
 	}
+	if now < a.suspendUntil {
+		// Control plane delayed: the round that would be due does not run;
+		// readers keep the pre-fault snapshot.
+		return false
+	}
+	if a.dropNext > 0 {
+		// The round's reports were lost in flight: the round slot is
+		// consumed (the next one is a full δ away) but the snapshot stays.
+		a.dropNext--
+		a.last = now
+		a.hasRound = true
+		return false
+	}
 	a.last = now
 	a.hasRound = true
 
-	// Rebuild rather than update in place: completed coflows drop out.
+	// Swap in the previous round's snapshot so stale hosts can keep serving
+	// it, then rebuild: completed coflows drop out.
+	a.coflows, a.prevCoflows = a.prevCoflows, a.coflows
+	a.jobs, a.prevJobs = a.prevJobs, a.jobs
 	for k := range a.coflows {
 		delete(a.coflows, k)
 	}
 	for k := range a.jobs {
 		delete(a.jobs, k)
 	}
+	for h, until := range a.staleHosts {
+		if now >= until {
+			delete(a.staleHosts, h)
+		}
+	}
 	for _, cs := range active {
+		js := cs.Job
+		if h, ok := headReceiver(cs); ok {
+			if until, stale := a.staleHosts[h]; stale && now < until {
+				// Reports from this HR's host are lost: it keeps serving
+				// whatever it knew at the last healthy round (nothing, if it
+				// had never reported).
+				if prev, had := a.prevCoflows[cs.Coflow.ID]; had {
+					a.coflows[cs.Coflow.ID] = prev
+				}
+				if _, set := a.jobs[js.Job.ID]; !set {
+					if prevJob, had := a.prevJobs[js.Job.ID]; had {
+						a.jobs[js.Job.ID] = prevJob
+					}
+				}
+				continue
+			}
+		}
 		a.coflows[cs.Coflow.ID] = CoflowObs{
 			Width:              cs.ObservedWidth(),
 			Largest:            cs.ObservedLargest(),
 			Mean:               cs.ObservedMeanFlowSize(),
 			Bytes:              cs.BytesSent,
 			Stage:              cs.Coflow.Stage,
-			JobCompletedStages: cs.Job.CompletedStages,
+			JobCompletedStages: js.CompletedStages,
 			Done:               cs.Phase == sim.PhaseDone,
 		}
-		js := cs.Job
 		obs := a.jobs[js.Job.ID]
 		obs.Bytes = js.BytesSent
 		obs.CompletedStages = js.CompletedStages
 		a.jobs[js.Job.ID] = obs
 	}
 	return true
+}
+
+// headReceiver returns the server hosting the coflow's head receiver — the
+// first receiver invoked, i.e. the destination of the coflow's first flow.
+func headReceiver(cs *sim.CoflowState) (topo.ServerID, bool) {
+	if len(cs.Flows) == 0 {
+		return 0, false
+	}
+	return cs.Flows[0].Flow.Dst, true
+}
+
+// DropRounds makes the next n due reporting rounds lose their reports: each
+// consumes its round slot but leaves every reader on the previous snapshot.
+// Models dropped priority-refresh rounds in a lossy control plane.
+func (a *Aggregator) DropRounds(n int) {
+	if n > 0 {
+		a.dropNext += n
+	}
+}
+
+// Suspend suppresses reporting rounds before time until (seconds): no round
+// runs and no round slot is consumed, so the first Refresh at or after the
+// deadline snapshots normally. Models a partitioned or pausing control
+// plane. Overlapping suspensions keep the latest deadline.
+func (a *Aggregator) Suspend(until float64) {
+	if until > a.suspendUntil {
+		a.suspendUntil = until
+	}
+}
+
+// MarkHostStale makes reports from host h invisible until the given time:
+// coflows whose head receiver lives on h keep their previous-round
+// observation while the rest of the fabric refreshes normally.
+func (a *Aggregator) MarkHostStale(h topo.ServerID, until float64) {
+	if a.staleHosts == nil {
+		a.staleHosts = make(map[topo.ServerID]float64)
+	}
+	if until > a.staleHosts[h] {
+		a.staleHosts[h] = until
+	}
+}
+
+// OnControlFault applies a control-plane fault event to the aggregator.
+// Schedulers that report through an HR forward sim.ControlFaultObserver
+// callbacks here; events of non-control kinds are ignored.
+func (a *Aggregator) OnControlFault(now float64, ev faults.Event) {
+	switch ev.Kind {
+	case faults.CtrlDropRounds:
+		n := ev.Count
+		if n < 1 {
+			n = 1
+		}
+		a.DropRounds(n)
+	case faults.CtrlDelay:
+		a.Suspend(now + ev.Duration)
+	case faults.CtrlStaleHost:
+		a.MarkHostStale(ev.Host, now+ev.Duration)
+	}
 }
 
 // Coflow returns the last-round observation for a coflow. ok is false when

@@ -92,13 +92,18 @@ type Allocator struct {
 	eta    float64 // target utilization used when deriving WRR weights
 
 	capacity func(topo.LinkID) float64
+	// override holds per-link capacity overrides set by SetLinkCapacity
+	// (failed or degraded links); -1 means "no override, use the topology
+	// capacity". nil until the first override — the fault-free path never
+	// touches it.
+	override []float64
 	residual []float64
 	count    []int32
 
 	// Persistent registries maintained by Register/Unregister/Update.
-	used    []topo.LinkID  // links crossed by >= 1 registered flow
-	usedIdx []int32        // position of a link in used; -1 when absent
-	linkRef []int32        // per-link registered-flow crossing count
+	used    []topo.LinkID // links crossed by >= 1 registered flow
+	usedIdx []int32       // position of a link in used; -1 when absent
+	linkRef []int32       // per-link registered-flow crossing count
 	byQueue [][]*FlowDemand
 	local   []*FlowDemand // registered host-local flows (empty paths)
 
@@ -182,6 +187,66 @@ func (a *Allocator) Mode() Mode { return a.mode }
 // typical 10G capacities.
 const epsRate = 1e-3 // bytes/second
 
+// linkCap returns link l's effective capacity: the override when one is in
+// force, the topology capacity otherwise.
+func (a *Allocator) linkCap(l topo.LinkID) float64 {
+	if a.override != nil {
+		if c := a.override[l]; c >= 0 {
+			return c
+		}
+	}
+	return a.capacity(l)
+}
+
+// SetLinkCapacity overrides link l's capacity to c bytes/second (0 = the
+// link is down) until ClearLinkCapacity. The override takes effect at the
+// next Reallocate: if the link currently carries registered flows the whole
+// fabric is re-solved from the top tier (the changed entering capacity can
+// shift every tier's water level), otherwise only the stored snapshots are
+// refreshed so a later Register sees the new value. Overrides survive Reset
+// and batch Allocate calls — they model the fabric, not the working set.
+func (a *Allocator) SetLinkCapacity(l topo.LinkID, c float64) {
+	if c < 0 {
+		c = 0
+	}
+	if a.override == nil {
+		a.override = make([]float64, len(a.residual))
+		for i := range a.override {
+			a.override[i] = -1
+		}
+	}
+	a.override[l] = c
+	a.capacityChanged(l)
+}
+
+// ClearLinkCapacity removes link l's capacity override.
+func (a *Allocator) ClearLinkCapacity(l topo.LinkID) {
+	if a.override == nil || a.override[l] < 0 {
+		return
+	}
+	a.override[l] = -1
+	a.capacityChanged(l)
+}
+
+// capacityChanged refreshes the per-tier residual snapshots of link l after
+// its effective capacity moved. For a link with registered flows the
+// snapshot entering tier 0 is the capacity itself and every later tier's
+// snapshot is stale, so the next Reallocate re-solves from tier 0 — exactly
+// the arithmetic a from-scratch solve with the new capacity performs. For an
+// unused link the snapshots simply track the capacity a future Register
+// would copy in.
+func (a *Allocator) capacityChanged(l topo.LinkID) {
+	c := a.linkCap(l)
+	if a.linkRef[l] > 0 {
+		a.tierRes[0][l] = c
+		a.dirtyMin = 0
+		return
+	}
+	for q := range a.tierRes {
+		a.tierRes[q][l] = c
+	}
+}
+
 // clampQueue maps an arbitrary Queue value into [0, queues).
 func (a *Allocator) clampQueue(q int) int {
 	if q < 0 {
@@ -210,7 +275,7 @@ func (a *Allocator) Register(f *FlowDemand) {
 		a.local = append(a.local, f)
 		f.Rate = f.MaxRate
 		if f.Rate == 0 {
-			f.Rate = a.capacity(0)
+			f.Rate = a.linkCap(0)
 		}
 		f.frozen = true
 		return
@@ -227,7 +292,7 @@ func (a *Allocator) Register(f *FlowDemand) {
 			a.used = append(a.used, l)
 			// A link no registered flow crossed carries no load at any
 			// tier, so its residual entering every tier is its capacity.
-			c := a.capacity(l)
+			c := a.linkCap(l)
 			for q := range a.tierRes {
 				a.tierRes[q][l] = c
 			}
@@ -281,7 +346,7 @@ func (a *Allocator) Update(f *FlowDemand) {
 			f.capSeen = f.MaxRate
 			f.Rate = f.MaxRate
 			if f.Rate == 0 {
-				f.Rate = a.capacity(0)
+				f.Rate = a.linkCap(0)
 			}
 		}
 		return
@@ -429,7 +494,7 @@ func (a *Allocator) Allocate(flows []*FlowDemand) {
 // scheduler.
 func (a *Allocator) reallocateWRR() {
 	for _, l := range a.used {
-		a.residual[l] = a.capacity(l)
+		a.residual[l] = a.linkCap(l)
 	}
 	total := 0.0
 	for q := range a.byQueue {

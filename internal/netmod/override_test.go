@@ -1,0 +1,148 @@
+package netmod
+
+import (
+	"testing"
+
+	"gurita/internal/topo"
+)
+
+// Capacity-override tests: SetLinkCapacity/ClearLinkCapacity model fabric
+// faults (a down link is capacity 0, a degraded NIC a fraction), so the
+// incremental allocator must track overrides exactly like a from-scratch
+// solve with the changed capacities would, and overrides must outlive Reset
+// and batch Allocate calls — they describe the fabric, not the working set.
+
+func overrideTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	tp, err := topo.NewBigSwitch(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestSetLinkCapacityReallocates(t *testing.T) {
+	tp := overrideTopo(t)
+	a, err := NewAllocator(tp, 4, ModeSPQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &FlowDemand{Path: tp.Path(0, 1, 0), Queue: 0}
+	a.Register(f)
+	a.Reallocate()
+	if f.Rate != 1e9 {
+		t.Fatalf("healthy rate = %v, want 1e9", f.Rate)
+	}
+
+	up := tp.ServerUplink(0)
+	a.SetLinkCapacity(up, 2.5e8)
+	a.Reallocate()
+	if f.Rate != 2.5e8 {
+		t.Fatalf("degraded rate = %v, want 2.5e8", f.Rate)
+	}
+
+	a.SetLinkCapacity(up, 0) // link down
+	a.Reallocate()
+	if f.Rate != 0 {
+		t.Fatalf("down-link rate = %v, want 0", f.Rate)
+	}
+
+	a.ClearLinkCapacity(up)
+	a.Reallocate()
+	if f.Rate != 1e9 {
+		t.Fatalf("restored rate = %v, want 1e9", f.Rate)
+	}
+	// Clearing a link that was never overridden is a no-op.
+	a.ClearLinkCapacity(tp.ServerDownlink(3))
+	a.Reallocate()
+	if f.Rate != 1e9 {
+		t.Fatalf("rate after no-op clear = %v, want 1e9", f.Rate)
+	}
+}
+
+func TestOverrideMatchesBatchSolve(t *testing.T) {
+	// An incrementally maintained allocator with an override must produce
+	// the same rates as a fresh batch solve over a fabric-equivalent
+	// allocator carrying the same override.
+	tp := overrideTopo(t)
+	inc, err := NewAllocator(tp, 4, ModeSPQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []*FlowDemand{
+		{Path: tp.Path(0, 1, 0), Queue: 0},
+		{Path: tp.Path(2, 1, 0), Queue: 0}, // shares dst downlink with the first
+		{Path: tp.Path(3, 2, 0), Queue: 1},
+	}
+	for _, f := range flows {
+		inc.Register(f)
+	}
+	inc.Reallocate()
+	inc.SetLinkCapacity(tp.ServerDownlink(1), 4e8)
+	inc.Reallocate()
+
+	batch, err := NewAllocator(tp, 4, ModeSPQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch.SetLinkCapacity(tp.ServerDownlink(1), 4e8)
+	ref := make([]*FlowDemand, len(flows))
+	for i, f := range flows {
+		snap := f.Snapshot()
+		ref[i] = &snap
+	}
+	batch.Allocate(ref)
+	for i := range flows {
+		if flows[i].Rate != ref[i].Rate {
+			t.Fatalf("flow %d: incremental rate %v != batch rate %v under override",
+				i, flows[i].Rate, ref[i].Rate)
+		}
+	}
+}
+
+func TestOverrideSurvivesReset(t *testing.T) {
+	tp := overrideTopo(t)
+	a, err := NewAllocator(tp, 4, ModeSPQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := tp.ServerUplink(0)
+	a.SetLinkCapacity(up, 1e8)
+
+	f := &FlowDemand{Path: tp.Path(0, 1, 0), Queue: 0}
+	a.Register(f)
+	a.Reallocate()
+	if f.Rate != 1e8 {
+		t.Fatalf("rate = %v, want override 1e8", f.Rate)
+	}
+
+	a.Reset()
+	g := &FlowDemand{Path: tp.Path(0, 1, 0), Queue: 0}
+	a.Register(g)
+	a.Reallocate()
+	if g.Rate != 1e8 {
+		t.Fatalf("rate after Reset = %v, want override 1e8 (overrides model the fabric)", g.Rate)
+	}
+
+	// Batch Allocate resets the working set but keeps the override too.
+	h := &FlowDemand{Path: tp.Path(0, 1, 0), Queue: 0}
+	a.Allocate([]*FlowDemand{h})
+	if h.Rate != 1e8 {
+		t.Fatalf("batch rate = %v, want override 1e8", h.Rate)
+	}
+}
+
+func TestNegativeOverrideClampsToZero(t *testing.T) {
+	tp := overrideTopo(t)
+	a, err := NewAllocator(tp, 4, ModeSPQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &FlowDemand{Path: tp.Path(0, 1, 0), Queue: 0}
+	a.Register(f)
+	a.SetLinkCapacity(tp.ServerUplink(0), -5)
+	a.Reallocate()
+	if f.Rate != 0 {
+		t.Fatalf("rate = %v, want 0 (negative override clamps to down)", f.Rate)
+	}
+}

@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// maxRetryBackoff caps the exponential retry delay so a long retry ladder
+// cannot stall a worker for minutes.
+const maxRetryBackoff = 5 * time.Second
+
+// PanicError is the error a recovered trial panic is converted into. A
+// panicking trial kills only itself, never the campaign: the worker records
+// the panic (with its stack, for the manifest) and moves on when
+// Options.ContinueOnError is set.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("trial panicked: %v", p.Value) }
+
+// TrialFailure is one entry of a campaign's failure manifest: a trial that
+// exhausted its attempts without producing a result. The campaign's healthy
+// trials are unaffected; the failed trial's slot in the results slice keeps
+// the zero value of R.
+type TrialFailure struct {
+	// Index is the trial's position in the spec grid.
+	Index int `json:"index"`
+	// Key is the trial's cache key ("" when the campaign runs uncached).
+	Key string `json:"key,omitempty"`
+	// Err is the final attempt's error text.
+	Err string `json:"err"`
+	// Panicked marks failures caused by a recovered panic.
+	Panicked bool `json:"panicked,omitempty"`
+	// TimedOut marks failures caused by the per-trial timeout.
+	TimedOut bool `json:"timedOut,omitempty"`
+	// Attempts is how many times the trial executed (1 + retries taken).
+	Attempts int `json:"attempts"`
+}
+
+// DefaultTransient is the retry classifier used when Options.Transient is
+// nil: panics, per-trial timeouts, and cancellations are permanent (a
+// deterministic trial that panicked once will panic again); everything else
+// is assumed transient (I/O hiccups, resource exhaustion).
+func DefaultTransient(err error) bool {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return false
+	}
+	return !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)
+}
+
+// infraError marks campaign-infrastructure failures (cache writes, spec
+// marshaling) that must abort the run even under ContinueOnError: losing the
+// cache silently would defeat resumability.
+type infraError struct{ err error }
+
+func (e *infraError) Error() string { return e.err.Error() }
+func (e *infraError) Unwrap() error { return e.err }
+
+// execOnce runs one attempt of a trial with panic recovery and, when
+// timeout > 0, a per-attempt deadline on the context handed to exec. The
+// deadline only works if exec observes its context (the gurita facade polls
+// it through sim.Config.Interrupt); a non-cooperative exec runs to
+// completion and its result is kept.
+func execOnce[S, R any](ctx context.Context, spec S, exec func(context.Context, S) (R, error), timeout time.Duration) (res R, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return exec(ctx, spec)
+}
+
+// attemptTrial runs a trial through the retry ladder: up to 1+Options.Retries
+// attempts, retrying only errors the Transient classifier accepts, with
+// exponential backoff between attempts. Returns the last attempt's outcome
+// and the number of attempts made.
+func attemptTrial[S, R any](ctx context.Context, spec S, exec func(context.Context, S) (R, error), opts Options) (res R, attempts int, err error) {
+	transient := opts.Transient
+	if transient == nil {
+		transient = DefaultTransient
+	}
+	for attempt := 0; ; attempt++ {
+		res, err = execOnce(ctx, spec, exec, opts.TrialTimeout)
+		attempts = attempt + 1
+		if err == nil || attempt >= opts.Retries || !transient(err) || ctx.Err() != nil {
+			return res, attempts, err
+		}
+		backoff := opts.RetryBackoff
+		if backoff <= 0 {
+			backoff = 100 * time.Millisecond
+		}
+		delay := backoff << uint(attempt)
+		if delay > maxRetryBackoff || delay <= 0 {
+			delay = maxRetryBackoff
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return res, attempts, err
+		}
+	}
+}
+
+// failureFor builds the manifest entry for a trial that exhausted its
+// attempts.
+func failureFor(index int, key string, attempts int, err error) TrialFailure {
+	var pe *PanicError
+	return TrialFailure{
+		Index:    index,
+		Key:      key,
+		Err:      err.Error(),
+		Panicked: errors.As(err, &pe),
+		TimedOut: errors.Is(err, context.DeadlineExceeded),
+		Attempts: attempts,
+	}
+}

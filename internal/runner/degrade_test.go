@@ -1,0 +1,277 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Graceful-degradation tests: panicking trials become manifest entries
+// instead of crashing the campaign, per-trial timeouts surface as TimedOut,
+// transient errors retry with bounded backoff, and without ContinueOnError
+// the first failure aborts.
+
+func TestPanicBecomesManifestEntry(t *testing.T) {
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		if s.Seed == 2 {
+			panic("boom at seed 2")
+		}
+		return run(s), nil
+	}
+	res, stats, err := Run(context.Background(), grid(5), exec, Options{
+		Workers:         2,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatalf("campaign should complete despite the panic, got %v", err)
+	}
+	if len(stats.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(stats.Failures))
+	}
+	f := stats.Failures[0]
+	if f.Index != 2 || !f.Panicked || f.TimedOut {
+		t.Fatalf("manifest entry = %+v, want Index 2, Panicked", f)
+	}
+	if !strings.Contains(f.Err, "boom at seed 2") {
+		t.Fatalf("manifest error %q does not carry the panic value", f.Err)
+	}
+	// Healthy trials still produce their results; the failed slot is zero.
+	for i := range res {
+		if i == 2 {
+			if res[i] != (outcome{}) {
+				t.Fatalf("failed slot should be zero, got %+v", res[i])
+			}
+			continue
+		}
+		if want := run(grid(5)[i]); res[i] != want {
+			t.Fatalf("result %d = %+v, want %+v", i, res[i], want)
+		}
+	}
+}
+
+func TestPanicAbortsWithoutContinueOnError(t *testing.T) {
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		if s.Seed == 1 {
+			panic(errors.New("fatal"))
+		}
+		return run(s), nil
+	}
+	_, _, err := Run(context.Background(), grid(3), exec, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("campaign should abort on the first panic without ContinueOnError")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v should unwrap to *PanicError", err)
+	}
+	if pe.Stack == "" {
+		t.Fatal("PanicError should carry the recovered goroutine stack")
+	}
+}
+
+func TestTrialTimeoutBecomesManifestEntry(t *testing.T) {
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		if s.Seed == 1 {
+			// A well-behaved trial observes ctx, as the simulator does via
+			// its Interrupt hook.
+			<-ctx.Done()
+			return outcome{}, ctx.Err()
+		}
+		return run(s), nil
+	}
+	res, stats, err := Run(context.Background(), grid(3), exec, Options{
+		Workers:         1,
+		TrialTimeout:    20 * time.Millisecond,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatalf("campaign should complete despite the timeout, got %v", err)
+	}
+	if len(stats.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(stats.Failures))
+	}
+	f := stats.Failures[0]
+	if f.Index != 1 || !f.TimedOut || f.Panicked {
+		t.Fatalf("manifest entry = %+v, want Index 1, TimedOut", f)
+	}
+	if want := run(grid(3)[2]); res[2] != want {
+		t.Fatalf("trial after the timed-out one = %+v, want %+v", res[2], want)
+	}
+}
+
+func TestTransientErrorsRetry(t *testing.T) {
+	var calls atomic.Int64
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		if s.Seed == 0 && calls.Add(1) <= 2 {
+			return outcome{}, fmt.Errorf("transient hiccup %d", calls.Load())
+		}
+		return run(s), nil
+	}
+	res, stats, err := Run(context.Background(), grid(1), exec, Options{
+		Workers:      1,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("trial should succeed on the third attempt, got %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("exec ran %d times, want 3 (two failures + success)", calls.Load())
+	}
+	if stats.Executed != 1 || len(stats.Failures) != 0 {
+		t.Fatalf("stats = %+v, want one executed trial and no failures", stats)
+	}
+	if want := run(grid(1)[0]); res[0] != want {
+		t.Fatalf("result = %+v, want %+v", res[0], want)
+	}
+}
+
+func TestRetriesExhaustedReportsAttempts(t *testing.T) {
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		return outcome{}, errors.New("always failing")
+	}
+	_, stats, err := Run(context.Background(), grid(1), exec, Options{
+		Workers:         1,
+		Retries:         2,
+		RetryBackoff:    time.Millisecond,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatalf("campaign should degrade, got %v", err)
+	}
+	if len(stats.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(stats.Failures))
+	}
+	if got := stats.Failures[0].Attempts; got != 3 {
+		t.Fatalf("Attempts = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestPanicsAndTimeoutsAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		calls.Add(1)
+		panic("never retry me")
+	}
+	_, stats, err := Run(context.Background(), grid(1), exec, Options{
+		Workers:         1,
+		Retries:         5,
+		RetryBackoff:    time.Millisecond,
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("panicking trial ran %d times, want 1 (panics are not transient)", calls.Load())
+	}
+	if stats.Failures[0].Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1", stats.Failures[0].Attempts)
+	}
+}
+
+func TestCustomTransientClassifier(t *testing.T) {
+	sentinel := errors.New("definitely permanent")
+	var calls atomic.Int64
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		calls.Add(1)
+		return outcome{}, sentinel
+	}
+	_, _, err := Run(context.Background(), grid(1), exec, Options{
+		Workers:         1,
+		Retries:         5,
+		RetryBackoff:    time.Millisecond,
+		Transient:       func(err error) bool { return !errors.Is(err, sentinel) },
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("permanent error retried %d times, want 1 attempt", calls.Load())
+	}
+}
+
+func TestFailureManifestSortedByIndex(t *testing.T) {
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		if s.Seed%2 == 1 {
+			return outcome{}, fmt.Errorf("trial %d failed", s.Seed)
+		}
+		return run(s), nil
+	}
+	_, stats, err := Run(context.Background(), grid(8), exec, Options{
+		Workers:         4,
+		Transient:       func(error) bool { return false },
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Failures) != 4 {
+		t.Fatalf("failures = %d, want 4", len(stats.Failures))
+	}
+	for i := 1; i < len(stats.Failures); i++ {
+		if stats.Failures[i-1].Index >= stats.Failures[i].Index {
+			t.Fatalf("manifest not sorted by index: %+v", stats.Failures)
+		}
+	}
+}
+
+func TestCancellationAbortsEvenWithContinueOnError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		if s.Seed == 0 {
+			cancel()
+			return outcome{}, ctx.Err()
+		}
+		return run(s), nil
+	}
+	_, _, err := Run(ctx, grid(4), exec, Options{
+		Workers:         1,
+		ContinueOnError: true,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (cancellation is not a trial failure)", err)
+	}
+}
+
+func TestDefaultTransientClassification(t *testing.T) {
+	if DefaultTransient(&PanicError{Value: "x"}) {
+		t.Error("panics must not be transient")
+	}
+	if DefaultTransient(context.DeadlineExceeded) {
+		t.Error("timeouts must not be transient")
+	}
+	if DefaultTransient(context.Canceled) {
+		t.Error("cancellation must not be transient")
+	}
+	if !DefaultTransient(errors.New("io glitch")) {
+		t.Error("generic errors default to transient")
+	}
+}
+
+func TestProgressCountsFailures(t *testing.T) {
+	exec := func(ctx context.Context, s trial) (outcome, error) {
+		if s.Seed == 1 {
+			return outcome{}, errors.New("bad trial")
+		}
+		return run(s), nil
+	}
+	var last Progress
+	_, _, err := Run(context.Background(), grid(3), exec, Options{
+		Workers:         1,
+		Transient:       func(error) bool { return false },
+		ContinueOnError: true,
+		Progress:        func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Done != 3 || last.Total != 3 {
+		t.Fatalf("final progress = %+v, want Done 3 of Total 3 (failures count as done)", last)
+	}
+}

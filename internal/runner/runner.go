@@ -18,8 +18,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -59,10 +61,15 @@ type Progress struct {
 type Stats struct {
 	// Total trials in the grid.
 	Total int
-	// Executed is how many trials actually ran (cache misses).
+	// Executed is how many trials actually ran to a result (cache misses).
 	Executed int
 	// CacheHits is how many trials were served from the cache.
 	CacheHits int
+	// Failures is the failure manifest: trials that exhausted their attempts
+	// without a result, in grid order. Only populated under
+	// Options.ContinueOnError — without it the first failure aborts the
+	// campaign and is returned as Run's error instead.
+	Failures []TrialFailure
 	// Elapsed is the campaign wall-clock time.
 	Elapsed time.Duration
 }
@@ -81,6 +88,27 @@ type Options struct {
 	// completion; implementations must be safe for serialized-by-mutex use
 	// (the runner already serializes calls).
 	Progress func(Progress)
+
+	// TrialTimeout bounds each trial attempt's wall-clock time; 0 means no
+	// bound. The deadline is delivered through the context handed to exec,
+	// so exec must observe it (the gurita facade polls it via
+	// sim.Config.Interrupt) for the bound to bite.
+	TrialTimeout time.Duration
+	// Retries is how many extra attempts a trial whose error the Transient
+	// classifier accepts gets before it counts as failed. 0 disables
+	// retrying.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubled per attempt
+	// and capped at 5s. Defaults to 100ms when <= 0.
+	RetryBackoff time.Duration
+	// Transient classifies a trial error as retryable; nil selects
+	// DefaultTransient (panics, timeouts, and cancellations are permanent).
+	Transient func(error) bool
+	// ContinueOnError degrades gracefully: a trial that exhausts its
+	// attempts is recorded in Stats.Failures (zero value left in its results
+	// slot) and the campaign keeps going, so one poisoned trial cannot sink
+	// hours of healthy ones. Without it the first failure aborts the run.
+	ContinueOnError bool
 }
 
 func (o Options) workers() int {
@@ -141,6 +169,26 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 		mu.Unlock()
 		cancel()
 	}
+	progressLocked := func() {
+		if opts.Progress == nil {
+			return
+		}
+		done := stats.CacheHits + stats.Executed + len(stats.Failures)
+		elapsed := time.Since(start)
+		var eta time.Duration
+		if stats.Executed > 0 {
+			perTrial := elapsed / time.Duration(stats.Executed)
+			remaining := len(specs) - done
+			eta = perTrial * time.Duration(remaining) / time.Duration(opts.workers())
+		}
+		opts.Progress(Progress{
+			Done:      done,
+			Total:     len(specs),
+			CacheHits: stats.CacheHits,
+			Elapsed:   elapsed,
+			ETA:       eta,
+		})
+	}
 	finish := func(cached bool) {
 		mu.Lock()
 		if cached {
@@ -148,23 +196,13 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 		} else {
 			stats.Executed++
 		}
-		if opts.Progress != nil {
-			done := stats.CacheHits + stats.Executed
-			elapsed := time.Since(start)
-			var eta time.Duration
-			if stats.Executed > 0 {
-				perTrial := elapsed / time.Duration(stats.Executed)
-				remaining := len(specs) - done
-				eta = perTrial * time.Duration(remaining) / time.Duration(opts.workers())
-			}
-			opts.Progress(Progress{
-				Done:      done,
-				Total:     len(specs),
-				CacheHits: stats.CacheHits,
-				Elapsed:   elapsed,
-				ETA:       eta,
-			})
-		}
+		progressLocked()
+		mu.Unlock()
+	}
+	recordFailure := func(f TrialFailure) {
+		mu.Lock()
+		stats.Failures = append(stats.Failures, f)
+		progressLocked()
 		mu.Unlock()
 	}
 
@@ -178,8 +216,16 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 				if ctx.Err() != nil {
 					return
 				}
-				res, cached, err := runOne(ctx, specs[i], keys[i], exec, opts)
+				res, cached, attempts, err := runOne(ctx, specs[i], keys[i], exec, opts)
 				if err != nil {
+					// A trial failure degrades gracefully under
+					// ContinueOnError; infrastructure failures (cache
+					// writes) and campaign cancellation still abort.
+					var infra *infraError
+					if opts.ContinueOnError && !errors.As(err, &infra) && ctx.Err() == nil {
+						recordFailure(failureFor(i, keys[i], attempts, err))
+						continue
+					}
 					fail(err)
 					return
 				}
@@ -200,6 +246,11 @@ feed:
 	wg.Wait()
 
 	stats.Elapsed = time.Since(start)
+	// Workers append failures in completion order; the manifest reads in
+	// grid order.
+	sort.Slice(stats.Failures, func(i, j int) bool {
+		return stats.Failures[i].Index < stats.Failures[j].Index
+	})
 	if firstErr != nil {
 		return nil, stats, firstErr
 	}
@@ -209,36 +260,36 @@ feed:
 	return results, stats, nil
 }
 
-// runOne resolves a single trial: cache lookup, then execution plus
-// write-back on a miss.
-func runOne[S, R any](ctx context.Context, spec S, key string, exec func(context.Context, S) (R, error), opts Options) (res R, cached bool, err error) {
+// runOne resolves a single trial: cache lookup, then execution (through the
+// panic-recovering retry ladder) plus write-back on a miss.
+func runOne[S, R any](ctx context.Context, spec S, key string, exec func(context.Context, S) (R, error), opts Options) (res R, cached bool, attempts int, err error) {
 	if opts.Cache != nil && !opts.Force {
 		if raw, ok := opts.Cache.Get(key); ok {
 			if err := json.Unmarshal(raw, &res); err == nil {
-				return res, true, nil
+				return res, true, 0, nil
 			}
 			// An entry that passed the envelope check but does not decode
 			// into R is treated like any other corrupt entry: a miss.
 		}
 	}
-	res, err = exec(ctx, spec)
+	res, attempts, err = attemptTrial(ctx, spec, exec, opts)
 	if err != nil {
-		return res, false, fmt.Errorf("runner: trial %s: %w", shortKey(key), err)
+		return res, false, attempts, fmt.Errorf("runner: trial %s: %w", shortKey(key), err)
 	}
 	if opts.Cache != nil {
 		specJSON, err := json.Marshal(spec)
 		if err != nil {
-			return res, false, fmt.Errorf("runner: marshaling spec: %w", err)
+			return res, false, attempts, &infraError{fmt.Errorf("runner: marshaling spec: %w", err)}
 		}
 		resultJSON, err := json.Marshal(res)
 		if err != nil {
-			return res, false, fmt.Errorf("runner: marshaling result: %w", err)
+			return res, false, attempts, &infraError{fmt.Errorf("runner: marshaling result: %w", err)}
 		}
 		if err := opts.Cache.Put(key, specJSON, resultJSON); err != nil {
-			return res, false, err
+			return res, false, attempts, &infraError{err}
 		}
 	}
-	return res, false, nil
+	return res, false, attempts, nil
 }
 
 // shortKey abbreviates a cache key for error messages; a spec without a

@@ -1,0 +1,29 @@
+package sched
+
+import "gurita/internal/faults"
+
+// The HR-coordinated baselines expose their aggregator to the simulator's
+// control-plane fault injection (sim.ControlFaultObserver): dropped or
+// delayed reporting rounds and per-host stale views reach the scheduler
+// through these hooks. Schedulers without a reporting plane (PFS, Varys,
+// Baraat, live-coordination Aalo) ignore control faults — they have no
+// rounds to lose.
+
+// OnControlFault implements sim.ControlFaultObserver.
+func (s *Stream) OnControlFault(now float64, ev faults.Event) {
+	s.agg.OnControlFault(now, ev)
+}
+
+// OnControlFault implements sim.ControlFaultObserver.
+func (m *MCS) OnControlFault(now float64, ev faults.Event) {
+	m.agg.OnControlFault(now, ev)
+}
+
+// OnControlFault implements sim.ControlFaultObserver. Live-coordination
+// Aalo (CoordinationInterval == 0) has no reporting rounds and is immune.
+func (a *Aalo) OnControlFault(now float64, ev faults.Event) {
+	if a.agg == nil {
+		return
+	}
+	a.agg.OnControlFault(now, ev)
+}

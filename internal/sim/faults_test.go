@@ -1,0 +1,414 @@
+package sim_test
+
+// Fault-injection engine tests: chaos across every shipping policy with the
+// invariant checker armed, bit-exact replay determinism, zero-fault identity
+// with the fault-free engine, and pinned stall/reroute/readmit semantics on
+// hand-written schedules (including the eventq tie-break when a fault and a
+// flow completion share a timestamp).
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/core"
+	"gurita/internal/faults"
+	"gurita/internal/metrics"
+	"gurita/internal/netmod"
+	"gurita/internal/sched"
+	"gurita/internal/sim"
+	"gurita/internal/topo"
+	"gurita/internal/workload"
+)
+
+// chaosProfile enables every fault class at rates aggressive enough that a
+// 20-second horizon exercises reroutes, stalls, readmissions, NIC throttling,
+// and all three control-plane fault kinds.
+func chaosProfile(seed int64) faults.Profile {
+	return faults.Profile{
+		Seed:           seed,
+		Horizon:        20,
+		MTTR:           0.3,
+		LinkFailRate:   2,
+		SwitchFailRate: 0.5,
+		NICDegradeRate: 1,
+		DegradeFactor:  0.25,
+		CtrlDropRate:   5,
+		CtrlDelayRate:  2,
+		CtrlDelayMean:  0.05,
+		StaleHostRate:  2,
+	}
+}
+
+func chaosWorkload(t *testing.T, tp *topo.Topology, seed int64) []*coflow.Job {
+	t.Helper()
+	jobs, err := workload.Generate(workload.Config{
+		NumJobs:         25,
+		Seed:            seed,
+		Servers:         tp.NumServers(),
+		Arrival:         workload.Poisson{Rate: 20},
+		CategoryWeights: [metrics.NumCategories]float64{0.5, 0.3, 0.2},
+		MeanFlowSize:    16e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestFaultChaosAllPolicies replays an all-classes fault schedule on a
+// path-diverse FatTree under every shipping policy/mode combination, with
+// both the incremental-vs-batch cross-check and the engine invariant checker
+// armed. A pass means no job or coflow is ever lost, rates stay conserved on
+// the degraded fabric, and the delta allocation path still matches the batch
+// reference bit-for-bit while capacities change under it.
+func TestFaultChaosAllPolicies(t *testing.T) {
+	tp, err := topo.NewFatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		mode  netmod.Mode
+		build func(t *testing.T) sim.Scheduler
+	}{
+		{"pfs-spq", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler { return sched.NewPFS() }},
+		{"pfs-wrr", netmod.ModeWRR, func(t *testing.T) sim.Scheduler { return sched.NewPFS() }},
+		{"baraat", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler { return sched.NewBaraat(sched.BaraatConfig{}) }},
+		{"stream", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewStream(sched.StreamConfig{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"aalo-live", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewAalo(sched.AaloConfig{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"aalo-delayed", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewAalo(sched.AaloConfig{CoordinationInterval: 0.02}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"mcs", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler {
+			s, err := sched.NewMCS(sched.MCSConfig{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"varys", netmod.ModeSPQ, func(t *testing.T) sim.Scheduler { return sched.NewVarys() }},
+		{"gurita-wrr", netmod.ModeWRR, func(t *testing.T) sim.Scheduler {
+			s, err := core.New(core.Config{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"gurita+-wrr", netmod.ModeWRR, func(t *testing.T) sim.Scheduler {
+			s, err := core.NewPlus(core.Config{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+
+	for i, c := range cases {
+		c := c
+		seed := int64(i + 1)
+		t.Run(c.name, func(t *testing.T) {
+			jobs := chaosWorkload(t, tp, seed)
+			profile := chaosProfile(seed)
+			schedule, err := profile.Generate(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(schedule.Events) == 0 {
+				t.Fatal("chaos profile generated no events")
+			}
+			s, err := sim.New(sim.Config{
+				Topology:          tp,
+				Mode:              c.mode,
+				Tick:              0.01,
+				VerifyIncremental: true,
+				Faults:            schedule,
+				CheckInvariants:   true,
+			}, c.build(t), jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Jobs) != len(jobs) {
+				t.Fatalf("completed %d of %d jobs", len(res.Jobs), len(jobs))
+			}
+		})
+	}
+}
+
+// runFaulted runs the given schedule on one scheduler and returns the
+// serialized result document — the byte-level identity tests compare these.
+func runFaulted(t *testing.T, tp *topo.Topology, jobs []*coflow.Job, schedule *faults.Schedule) []byte {
+	t.Helper()
+	s, err := sim.New(sim.Config{
+		Topology:        tp,
+		Mode:            netmod.ModeWRR,
+		Tick:            0.01,
+		Faults:          schedule,
+		CheckInvariants: schedule != nil,
+	}, mustGurita(t), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := metrics.WriteResultJSON(&buf, res, true); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func mustGurita(t *testing.T) sim.Scheduler {
+	t.Helper()
+	s, err := core.New(core.Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFaultReplayDeterminism: the same schedule replays to a byte-identical
+// result document, run after run — fault experiments are exactly as
+// reproducible as fault-free ones.
+func TestFaultReplayDeterminism(t *testing.T) {
+	tp, err := topo.NewFatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := chaosProfile(11).Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runFaulted(t, tp, chaosWorkload(t, tp, 11), schedule)
+	b := runFaulted(t, tp, chaosWorkload(t, tp, 11), schedule)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same fault schedule produced different result documents")
+	}
+}
+
+// TestZeroFaultIdentity: a nil schedule, an empty schedule, and a schedule
+// generated from an all-zero-rates profile leave the trajectory untouched,
+// byte for byte.
+func TestZeroFaultIdentity(t *testing.T) {
+	tp, err := topo.NewBigSwitch(16, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := faults.Profile{Seed: 3, Horizon: 10}.Generate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Empty() {
+		t.Fatal("zero-rate profile should generate an empty schedule")
+	}
+	base := runFaulted(t, tp, chaosWorkload(t, tp, 5), nil)
+	forEmpty := runFaulted(t, tp, chaosWorkload(t, tp, 5), &faults.Schedule{})
+	forZero := runFaulted(t, tp, chaosWorkload(t, tp, 5), empty)
+	if !bytes.Equal(base, forEmpty) {
+		t.Fatal("empty schedule perturbed the fault-free trajectory")
+	}
+	if !bytes.Equal(base, forZero) {
+		t.Fatal("zero-rate profile schedule perturbed the fault-free trajectory")
+	}
+}
+
+// oneFlowJob builds a single-coflow job with one src→dst flow.
+func oneFlowJob(t *testing.T, size int64) []*coflow.Job {
+	t.Helper()
+	b := coflow.NewBuilder(1, 0, nil, nil)
+	b.AddCoflow(coflow.FlowSpec{Src: 0, Dst: 1, Size: size})
+	j, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*coflow.Job{j}
+}
+
+// runOneFlow runs the single-flow workload on a 2-host big switch (1 GB/s)
+// under PFS with the given schedule and returns (result, error).
+func runOneFlow(t *testing.T, schedule *faults.Schedule) (*sim.Result, error) {
+	t.Helper()
+	tp, err := topo.NewBigSwitch(2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		Topology:        tp,
+		Tick:            0.01,
+		Faults:          schedule,
+		CheckInvariants: true,
+	}, sched.NewPFS(), oneFlowJob(t, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run()
+}
+
+// TestFaultCompletionTieBreak pins the event-order contract when a fault and
+// a flow completion share a timestamp: fault events (scheduled at
+// construction) fire first under the queue's FIFO tie-break, but a flow whose
+// bytes fully drained at that very instant completes — it is never stalled by
+// the path sweep. The 1 GB flow on a 1 GB/s link finishes at exactly t=1.0
+// even though its only path fails at exactly t=1.0.
+func TestFaultCompletionTieBreak(t *testing.T) {
+	up := topo.LinkID(0) // uplink of server 0, the flow's only egress
+	res, err := runOneFlow(t, &faults.Schedule{Events: []faults.Event{
+		{Time: 1.0, Kind: faults.LinkDown, Link: up},
+		{Time: 1.5, Kind: faults.LinkUp, Link: up},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 {
+		t.Fatalf("completed %d jobs, want 1", len(res.Jobs))
+	}
+	if got := res.Jobs[0].JCT; math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("JCT = %v, want 1.0 (completion at the fault instant must not stall)", got)
+	}
+}
+
+// TestStallAndReadmit pins stall semantics: a link failure halfway through
+// the transfer freezes the flow (no alternate path on a big switch), and the
+// repair readmits it; the missing bytes transfer after the repair, so the
+// flow finishes at downInstant + repairDelay + remaining/capacity.
+func TestStallAndReadmit(t *testing.T) {
+	up := topo.LinkID(0)
+	res, err := runOneFlow(t, &faults.Schedule{Events: []faults.Event{
+		{Time: 0.5, Kind: faults.LinkDown, Link: up},
+		{Time: 2.0, Kind: faults.LinkUp, Link: up},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 {
+		t.Fatalf("completed %d jobs, want 1", len(res.Jobs))
+	}
+	// 0.5 s at full rate before the failure, 1.5 s stalled, 0.5 s to drain
+	// the remaining half: completion at t=2.5.
+	if got := res.Jobs[0].JCT; math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("JCT = %v, want 2.5 (stall until repair, then drain)", got)
+	}
+}
+
+// TestSwitchDownStalls: failing the single fabric switch takes down every
+// incident link; the flow stalls exactly as with a direct link failure.
+func TestSwitchDownStalls(t *testing.T) {
+	res, err := runOneFlow(t, &faults.Schedule{Events: []faults.Event{
+		{Time: 0.25, Kind: faults.SwitchDown, Switch: 0},
+		{Time: 1.25, Kind: faults.SwitchUp, Switch: 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[0].JCT; math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("JCT = %v, want 2.0 (0.25 sent + 1.0 stalled + 0.75 drain)", got)
+	}
+}
+
+// TestNICDegradeSlowsFlow: degrading the source NIC to a quarter of its
+// capacity stretches the remaining transfer by 4×.
+func TestNICDegradeSlowsFlow(t *testing.T) {
+	res, err := runOneFlow(t, &faults.Schedule{Events: []faults.Event{
+		{Time: 0.5, Kind: faults.NICDegrade, Host: 0, Factor: 0.25},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the bytes at 1 GB/s, the other half at 0.25 GB/s: 0.5 + 2.0.
+	if got := res.Jobs[0].JCT; math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("JCT = %v, want 2.5 (remaining half at quarter rate)", got)
+	}
+}
+
+// TestPermanentPartitionError: a failure that is never repaired must surface
+// as a descriptive error once the schedule is exhausted, not spin or hang.
+func TestPermanentPartitionError(t *testing.T) {
+	up := topo.LinkID(0)
+	_, err := runOneFlow(t, &faults.Schedule{Events: []faults.Event{
+		{Time: 0.5, Kind: faults.LinkDown, Link: up},
+	}})
+	if err == nil {
+		t.Fatal("expected a permanent-partition error, got nil")
+	}
+	if !strings.Contains(err.Error(), "permanently partitioned") {
+		t.Fatalf("error %q does not mention the permanent partition", err)
+	}
+}
+
+// TestFatTreeReroutesAroundLinkFailure: on a path-diverse fabric a failed
+// fabric link is routed around, so the run completes with no repair event at
+// all and the surviving paths carry every flow.
+func TestFatTreeReroutesAroundLinkFailure(t *testing.T) {
+	tp, err := topo.NewFatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tp.NumServers()
+	// Fail one edge→agg fabric link forever; ECMP has an equal-cost
+	// alternative through the other aggregation switch.
+	fabricLink := topo.LinkID(2 * n)
+	jobs := chaosWorkload(t, tp, 9)
+	s, err := sim.New(sim.Config{
+		Topology:        tp,
+		Tick:            0.01,
+		Faults:          &faults.Schedule{Events: []faults.Event{{Time: 0.01, Kind: faults.LinkDown, Link: fabricLink}}},
+		CheckInvariants: true,
+	}, sched.NewPFS(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), len(jobs))
+	}
+}
+
+// TestInterruptAbortsRun: a non-nil Interrupt return aborts the run with
+// that error visible through errors.Is.
+func TestInterruptAbortsRun(t *testing.T) {
+	errStop := errors.New("deadline exceeded (test)")
+	tp, err := topo.NewBigSwitch(8, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		Topology:  tp,
+		Tick:      0.01,
+		Interrupt: func() error { return errStop },
+	}, sched.NewPFS(), chaosWorkload(t, tp, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); !errors.Is(err, errStop) {
+		t.Fatalf("Run() error = %v, want errors.Is(..., errStop)", err)
+	}
+}

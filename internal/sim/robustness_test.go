@@ -45,12 +45,12 @@ func (s *chaoticSched) AssignQueues(_ float64, fl, _, dirty []*FlowState) []*Flo
 // lazySched never assigns queues at all (zero-value queue 0 everywhere).
 type lazySched struct{}
 
-func (lazySched) Name() string                       { return "lazy" }
-func (lazySched) Init(Env)                           {}
-func (lazySched) OnJobArrival(*JobState)             {}
-func (lazySched) OnCoflowStart(*CoflowState)         {}
-func (lazySched) OnCoflowComplete(*CoflowState)      {}
-func (lazySched) OnJobComplete(*JobState)            {}
+func (lazySched) Name() string                                                  { return "lazy" }
+func (lazySched) Init(Env)                                                      {}
+func (lazySched) OnJobArrival(*JobState)                                        {}
+func (lazySched) OnCoflowStart(*CoflowState)                                    {}
+func (lazySched) OnCoflowComplete(*CoflowState)                                 {}
+func (lazySched) OnJobComplete(*JobState)                                       {}
 func (lazySched) AssignQueues(_ float64, _, _, dirty []*FlowState) []*FlowState { return dirty }
 
 func hostileWorkload(t *testing.T) []*coflow.Job {

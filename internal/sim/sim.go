@@ -22,6 +22,7 @@ import (
 
 	"gurita/internal/coflow"
 	"gurita/internal/eventq"
+	"gurita/internal/faults"
 	"gurita/internal/netmod"
 	"gurita/internal/topo"
 )
@@ -266,6 +267,22 @@ type Config struct {
 	// re-solves everything at every dirty event, forfeiting the incremental
 	// speedup.
 	VerifyIncremental bool
+	// Faults replays a deterministic fault schedule inside the run: link
+	// and switch failures, NIC degradation, and control-plane faults (see
+	// internal/faults). Nil or empty leaves the engine's fault-free
+	// trajectory untouched, byte for byte.
+	Faults *faults.Schedule
+	// CheckInvariants asserts engine invariants — per-link rate
+	// conservation, no lost flows, no active flow on a failed link — after
+	// every fault instant, aborting the run on the first violation. A
+	// test/debug knob (O(active·pathlen) per fault event).
+	CheckInvariants bool
+	// Interrupt, when non-nil, is polled every few thousand events; a
+	// non-nil return aborts the run with that error (wrapped, so
+	// errors.Is sees through it). Campaign runners use it to impose
+	// per-trial timeouts without touching determinism: polling frequency
+	// never influences the trajectory, only how promptly an abort lands.
+	Interrupt func() error
 }
 
 func (c *Config) applyDefaults() {
@@ -400,6 +417,28 @@ type Simulator struct {
 	lastProbe   float64
 	probed      bool
 
+	// Fault-injection state (see faults.go). downRef counts why a link is
+	// down (direct failure and/or its switch); degradeF holds NIC capacity
+	// factors; stalled holds flows waiting out a partition.
+	faultsOn       bool
+	ctrlObs        ControlFaultObserver
+	downRef        []int32
+	degradeF       []float64
+	downLinks      int
+	pendingFaults  int
+	faultFired     bool
+	needReroute    bool
+	needReadmit    bool
+	stalled        []*stalledFlow
+	faultErr       error
+	switchLinksBuf []topo.LinkID
+
+	// Flow conservation counters for CheckInvariants.
+	startedFlows  int64
+	finishedFlows int64
+	linkLoad      []float64
+	invTouched    []topo.LinkID
+
 	result Result
 	ran    bool
 }
@@ -507,6 +546,14 @@ func New(cfg Config, sched Scheduler, jobs []*coflow.Job) (*Simulator, error) {
 		}
 		s.jobs = append(s.jobs, js)
 	}
+	// Fault events are scheduled before arrivals: at equal timestamps the
+	// queue's FIFO tie-break then fires faults first — ahead of arrivals
+	// and of every completion/tick event scheduled during the run. This
+	// ordering is part of the replayability contract (pinned by tests in
+	// internal/eventq and here).
+	if err := s.scheduleFaults(); err != nil {
+		return nil, err
+	}
 	// Sort arrival events by time for reproducibility regardless of input
 	// order; ties resolve by job ID.
 	order := make([]*JobState, len(s.jobs))
@@ -543,7 +590,15 @@ func (s *Simulator) Run() (*Result, error) {
 		if events > s.cfg.MaxEvents {
 			return nil, fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v (possible livelock)", s.cfg.MaxEvents, s.now)
 		}
+		if s.cfg.Interrupt != nil && events&4095 == 1 {
+			if err := s.cfg.Interrupt(); err != nil {
+				return nil, fmt.Errorf("sim: run interrupted at t=%v after %d events: %w", s.now, events, err)
+			}
+		}
 		ev := s.queue.Pop()
+		if s.cfg.CheckInvariants && ev.Time < s.now {
+			return nil, fmt.Errorf("sim: invariant violated: clock would move backwards from t=%v to t=%v", s.now, ev.Time)
+		}
 		s.advanceTo(ev.Time)
 		ev.Fire()
 		// Batch every event at this instant before reallocating.
@@ -555,9 +610,26 @@ func (s *Simulator) Run() (*Result, error) {
 			events++
 			s.queue.Pop().Fire()
 		}
+		if s.faultFired {
+			// All same-instant events settled the failure set; now reroute
+			// broken flows and readmit repaired ones, then let reallocate
+			// fold the capacity deltas into fresh rates.
+			s.afterFaults()
+		}
 		s.reallocate()
 		if s.verifyErr != nil {
 			return nil, s.verifyErr
+		}
+		if s.faultFired {
+			s.faultFired = false
+			if s.cfg.CheckInvariants {
+				if err := s.checkInvariants(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if s.faultErr != nil {
+			return nil, s.faultErr
 		}
 	}
 
@@ -649,15 +721,33 @@ func (s *Simulator) startFlow(fs *FlowState) {
 		return
 	}
 	fs.MarkStarted(s.now)
-	fs.activeIdx = len(s.active)
+	s.startedFlows++
 	fl := fs.Flow
-	fs.Demand.Path = s.cfg.Topology.Path(fl.Src, fl.Dst,
-		topo.ECMPHash(fl.Src, fl.Dst, uint64(fl.ID)))
+	hash := topo.ECMPHash(fl.Src, fl.Dst, uint64(fl.ID))
+	admitted := true
+	if s.downLinks > 0 {
+		// Route around the current failure set; with no surviving path the
+		// flow stalls at birth (still an open connection) and retries.
+		path, ok := s.cfg.Topology.SurvivingPath(nil, fl.Src, fl.Dst, hash, s.isLinkDown)
+		if ok {
+			fs.Demand.Path = path
+		} else {
+			admitted = false
+		}
+	} else {
+		fs.Demand.Path = s.cfg.Topology.Path(fl.Src, fl.Dst, hash)
+	}
 	fs.Demand.MaxRate = s.cfg.MaxFlowRate
-	s.active = append(s.active, fs)
-	// Registration with the allocator happens at the next reallocate, after
-	// the scheduler has assigned the flow's queue.
-	s.added = append(s.added, fs)
+	if admitted {
+		fs.activeIdx = len(s.active)
+		s.active = append(s.active, fs)
+		// Registration with the allocator happens at the next reallocate,
+		// after the scheduler has assigned the flow's queue.
+		s.added = append(s.added, fs)
+	} else {
+		fs.Demand.Rate = 0
+		s.stallFlow(fs)
+	}
 	s.result.TotalBytes += fl.Size
 	if len(s.active) > s.result.MaxActiveFlows {
 		s.result.MaxActiveFlows = len(s.active)
@@ -676,6 +766,7 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 	fs.Done = true
 	fs.Finished = s.now
 	fs.Remaining = 0
+	s.finishedFlows++
 	s.alloc.Unregister(&fs.Demand)
 
 	// Swap-remove from the active set.

@@ -1,0 +1,181 @@
+// Fault-tolerance support: enumerating the links incident to a switch (so a
+// switch failure can take down its whole neighborhood) and resolving paths
+// that avoid a set of failed links by probing the remaining equal-cost
+// choices deterministically.
+
+package topo
+
+import "fmt"
+
+// Switch index layout. Switches are numbered per fabric family:
+//
+//	FatTree (h = k/2):
+//	  [0, k*h)          edge switches, global index pod*h + e
+//	  [k*h, 2*k*h)      aggregation switches, global index pod*h + a
+//	  [2*k*h, 2*k*h+h²) core switches, index a*h + i (group a, member i)
+//	BigSwitch:
+//	  0                 the single fabric switch
+//	LeafSpine:
+//	  [0, leaves)               leaf (ToR) switches
+//	  [leaves, leaves+spines)   spine switches
+//
+// The numbering is stable and matches NumSwitches, so a fault schedule can
+// name switches by index alone.
+
+// SwitchLinks returns every directed link incident to switch sw (both
+// directions of every attached cable). The slice is freshly allocated; use
+// AppendSwitchLinks to reuse a buffer.
+func (t *Topology) SwitchLinks(sw int) ([]LinkID, error) {
+	return t.AppendSwitchLinks(nil, sw)
+}
+
+// AppendSwitchLinks appends the directed links incident to switch sw to buf
+// and returns it. It errors when sw is outside [0, NumSwitches).
+func (t *Topology) AppendSwitchLinks(buf []LinkID, sw int) ([]LinkID, error) {
+	if sw < 0 || sw >= t.switches {
+		return buf, fmt.Errorf("topo: switch %d out of range [0, %d)", sw, t.switches)
+	}
+	n := t.servers
+	switch t.kind {
+	case KindBigSwitch:
+		for s := 0; s < n; s++ {
+			buf = append(buf, LinkID(s), LinkID(n+s))
+		}
+		return buf, nil
+	case KindLeafSpine:
+		if sw < t.leaves {
+			l := sw
+			for s := l * t.hostsPerLeaf; s < (l+1)*t.hostsPerLeaf; s++ {
+				buf = append(buf, LinkID(s), LinkID(n+s))
+			}
+			for sp := 0; sp < t.spines; sp++ {
+				buf = append(buf,
+					LinkID(2*n+l*t.spines+sp),                   // leaf -> spine
+					LinkID(2*n+t.leaves*t.spines+l*t.spines+sp), // spine -> leaf
+				)
+			}
+			return buf, nil
+		}
+		sp := sw - t.leaves
+		for l := 0; l < t.leaves; l++ {
+			buf = append(buf,
+				LinkID(2*n+l*t.spines+sp),
+				LinkID(2*n+t.leaves*t.spines+l*t.spines+sp),
+			)
+		}
+		return buf, nil
+	case KindFatTree:
+		h := t.k / 2
+		edges := t.k * h
+		switch {
+		case sw < edges: // edge switch e = pod*h + e_local
+			e := sw
+			for s := e * h; s < (e+1)*h; s++ {
+				buf = append(buf, LinkID(s), LinkID(n+s))
+			}
+			for a := 0; a < h; a++ {
+				buf = append(buf, LinkID(2*n+e*h+a), LinkID(3*n+e*h+a))
+			}
+			return buf, nil
+		case sw < 2*edges: // aggregation switch g = pod*h + a_local
+			g := sw - edges
+			pod, aLocal := g/h, g%h
+			for e := pod * h; e < (pod+1)*h; e++ {
+				buf = append(buf, LinkID(2*n+e*h+aLocal), LinkID(3*n+e*h+aLocal))
+			}
+			for i := 0; i < h; i++ {
+				buf = append(buf, LinkID(4*n+g*h+i), LinkID(5*n+g*h+i))
+			}
+			return buf, nil
+		default: // core switch c = a*h + i: one agg per pod at position a
+			c := sw - 2*edges
+			aLocal, i := c/h, c%h
+			for pod := 0; pod < t.k; pod++ {
+				g := pod*h + aLocal
+				buf = append(buf, LinkID(4*n+g*h+i), LinkID(5*n+g*h+i))
+			}
+			return buf, nil
+		}
+	}
+	return buf, fmt.Errorf("topo: switch links unsupported for kind %v", t.kind)
+}
+
+// SurvivingPath resolves a path from src to dst that avoids every link for
+// which down returns true. Candidates are the fabric's equal-cost paths,
+// probed in a deterministic order starting from the one the ECMP hash would
+// normally select — so with no links down the result is exactly AppendPath's
+// path, and a given (flow, failure set) always resolves to the same route.
+// It reports false when src and dst are partitioned: every candidate path
+// crosses a failed link (in particular when a server's own uplink or
+// downlink is down, which no reroute can avoid).
+func (t *Topology) SurvivingPath(buf []LinkID, src, dst ServerID, hash uint64, down func(LinkID) bool) ([]LinkID, bool) {
+	if src == dst {
+		return buf, true
+	}
+	up, dn := t.ServerUplink(src), t.ServerDownlink(dst)
+	if down(up) || down(dn) {
+		return buf, false
+	}
+	switch t.kind {
+	case KindBigSwitch:
+		return append(buf, up, dn), true
+	case KindLeafSpine:
+		srcLeaf, dstLeaf := int(src)/t.hostsPerLeaf, int(dst)/t.hostsPerLeaf
+		if srcLeaf == dstLeaf {
+			return append(buf, up, dn), true
+		}
+		sp0 := int(hash % uint64(t.spines))
+		for j := 0; j < t.spines; j++ {
+			sp := sp0 + j
+			if sp >= t.spines {
+				sp -= t.spines
+			}
+			lu := LinkID(2*t.servers + srcLeaf*t.spines + sp)
+			ld := LinkID(2*t.servers + t.leaves*t.spines + dstLeaf*t.spines + sp)
+			if down(lu) || down(ld) {
+				continue
+			}
+			return append(buf, up, lu, ld, dn), true
+		}
+		return buf, false
+	case KindFatTree:
+		h := t.k / 2
+		n := t.servers
+		se, de := t.edgeIdx(src), t.edgeIdx(dst)
+		if se == de {
+			return append(buf, up, dn), true
+		}
+		sp, dp := t.pod(src), t.pod(dst)
+		a0 := int(hash % uint64(h))
+		i0 := int((hash / uint64(h)) % uint64(h))
+		for ja := 0; ja < h; ja++ {
+			a := a0 + ja
+			if a >= h {
+				a -= h
+			}
+			eUp := LinkID(2*n + se*h + a) // edge -> agg (src pod)
+			eDn := LinkID(3*n + de*h + a) // agg -> edge (dst pod)
+			if down(eUp) || down(eDn) {
+				continue
+			}
+			if sp == dp {
+				return append(buf, up, eUp, eDn, dn), true
+			}
+			srcAgg, dstAgg := sp*h+a, dp*h+a
+			for ji := 0; ji < h; ji++ {
+				i := i0 + ji
+				if i >= h {
+					i -= h
+				}
+				cUp := LinkID(4*n + srcAgg*h + i) // agg -> core
+				cDn := LinkID(5*n + dstAgg*h + i) // core -> agg (dst pod)
+				if down(cUp) || down(cDn) {
+					continue
+				}
+				return append(buf, up, eUp, cUp, cDn, eDn, dn), true
+			}
+		}
+		return buf, false
+	}
+	return buf, false
+}

@@ -1,0 +1,213 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fabrics returns one instance of every fabric family, sized small enough
+// for exhaustive sweeps.
+func fabrics(t *testing.T) map[string]*Topology {
+	t.Helper()
+	ft, err := NewFatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewBigSwitch(6, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewLeafSpine(4, 2, 3, 1e9, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Topology{"fattree": ft, "bigswitch": bs, "leafspine": ls}
+}
+
+// TestSwitchLinksIncidence checks the structural contract of SwitchLinks on
+// every fabric: the union over all switches covers every link, host links
+// appear under exactly one switch, and switch-to-switch links under exactly
+// two (both endpoints).
+func TestSwitchLinksIncidence(t *testing.T) {
+	for name, tp := range fabrics(t) {
+		t.Run(name, func(t *testing.T) {
+			seen := make(map[LinkID]int)
+			for sw := 0; sw < tp.NumSwitches(); sw++ {
+				links, err := tp.SwitchLinks(sw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dup := make(map[LinkID]bool)
+				for _, l := range links {
+					if l < 0 || int(l) >= tp.NumLinks() {
+						t.Fatalf("switch %d lists out-of-range link %d", sw, l)
+					}
+					if dup[l] {
+						t.Fatalf("switch %d lists link %d twice", sw, l)
+					}
+					dup[l] = true
+					seen[l]++
+				}
+			}
+			if len(seen) != tp.NumLinks() {
+				t.Fatalf("switch incidence covers %d of %d links", len(seen), tp.NumLinks())
+			}
+			n := tp.NumServers()
+			for l, c := range seen {
+				hostLink := int(l) < 2*n
+				if hostLink && c != 1 {
+					t.Errorf("host link %d incident to %d switches, want 1", l, c)
+				}
+				if !hostLink && c != 2 {
+					t.Errorf("fabric link %d incident to %d switches, want 2", l, c)
+				}
+			}
+		})
+	}
+}
+
+func TestSwitchLinksOutOfRange(t *testing.T) {
+	for name, tp := range fabrics(t) {
+		if _, err := tp.SwitchLinks(-1); err == nil {
+			t.Errorf("%s: SwitchLinks(-1) should error", name)
+		}
+		if _, err := tp.SwitchLinks(tp.NumSwitches()); err == nil {
+			t.Errorf("%s: SwitchLinks(NumSwitches) should error", name)
+		}
+	}
+}
+
+// TestSurvivingPathHealthyIdentity: with nothing down, SurvivingPath must
+// resolve to exactly the ECMP path — the fault machinery never perturbs a
+// healthy fabric.
+func TestSurvivingPathHealthyIdentity(t *testing.T) {
+	none := func(LinkID) bool { return false }
+	for name, tp := range fabrics(t) {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			for i := 0; i < 200; i++ {
+				src := ServerID(r.Intn(tp.NumServers()))
+				dst := ServerID(r.Intn(tp.NumServers()))
+				hash := r.Uint64()
+				want := tp.Path(src, dst, hash)
+				got, ok := tp.SurvivingPath(nil, src, dst, hash, none)
+				if !ok {
+					t.Fatalf("healthy fabric reported partition %d->%d", src, dst)
+				}
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("SurvivingPath %d->%d = %v, want ECMP path %v", src, dst, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSurvivingPathAvoidsDownLinks: failing random fabric links must yield
+// either a path that crosses none of them or an explicit partition report.
+func TestSurvivingPathAvoidsDownLinks(t *testing.T) {
+	for name, tp := range fabrics(t) {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(2))
+			for i := 0; i < 200; i++ {
+				down := make(map[LinkID]bool)
+				for j := 0; j < 1+r.Intn(4); j++ {
+					down[LinkID(r.Intn(tp.NumLinks()))] = true
+				}
+				isDown := func(l LinkID) bool { return down[l] }
+				src := ServerID(r.Intn(tp.NumServers()))
+				dst := ServerID(r.Intn(tp.NumServers()))
+				path, ok := tp.SurvivingPath(nil, src, dst, r.Uint64(), isDown)
+				if !ok {
+					continue
+				}
+				for _, l := range path {
+					if down[l] {
+						t.Fatalf("surviving path %d->%d crosses down link %d (down=%v)", src, dst, l, down)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSurvivingPathPartition: a server with its uplink down is unreachable
+// from everywhere, on every fabric.
+func TestSurvivingPathPartition(t *testing.T) {
+	for name, tp := range fabrics(t) {
+		up := tp.ServerUplink(0)
+		isDown := func(l LinkID) bool { return l == up }
+		if _, ok := tp.SurvivingPath(nil, 0, ServerID(tp.NumServers()-1), 0, isDown); ok {
+			t.Errorf("%s: path out of server 0 should be partitioned with its uplink down", name)
+		}
+		// Host-local transfers never touch the fabric.
+		if _, ok := tp.SurvivingPath(nil, 0, 0, 0, isDown); !ok {
+			t.Errorf("%s: host-local transfer must survive any failure set", name)
+		}
+	}
+}
+
+// TestFatTreeRerouteExhaustsECMP: on a FatTree, failing every equal-cost
+// uplink except one forces SurvivingPath onto that last candidate.
+func TestFatTreeRerouteExhaustsECMP(t *testing.T) {
+	tp, err := NewFatTree(4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tp.NumServers()
+	src, dst := ServerID(0), ServerID(n-1) // cross-pod
+	// Edge 0 has h=2 uplinks: 2n+0 (agg 0) and 2n+1 (agg 1). Fail the
+	// agg-0 uplink; every surviving path must climb through agg 1.
+	downLink := LinkID(2 * n)
+	isDown := func(l LinkID) bool { return l == downLink }
+	for hash := uint64(0); hash < 8; hash++ {
+		path, ok := tp.SurvivingPath(nil, src, dst, hash, isDown)
+		if !ok {
+			t.Fatalf("hash %d: cross-pod path should survive one edge uplink failure", hash)
+		}
+		if len(path) != 6 {
+			t.Fatalf("hash %d: cross-pod path has %d hops, want 6", hash, len(path))
+		}
+		if path[1] != LinkID(2*n+1) {
+			t.Fatalf("hash %d: reroute climbed %d, want the surviving uplink %d", hash, path[1], 2*n+1)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewFatTree(3, 0); err == nil {
+		t.Error("odd FatTree k should be rejected")
+	}
+	if _, err := NewFatTree(0, 0); err == nil {
+		t.Error("zero FatTree k should be rejected")
+	}
+	if _, err := NewBigSwitch(0, 0); err == nil {
+		t.Error("zero-server big switch should be rejected")
+	}
+	if _, err := NewLeafSpine(0, 2, 4, 0, 0); err == nil {
+		t.Error("zero-leaf leaf-spine should be rejected")
+	}
+	for _, c := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 0.5} {
+		if _, err := NewFatTree(4, c); err == nil {
+			t.Errorf("NewFatTree capacity %v should be rejected", c)
+		}
+		if _, err := NewBigSwitch(4, c); err == nil {
+			t.Errorf("NewBigSwitch capacity %v should be rejected", c)
+		}
+		if _, err := NewLeafSpine(2, 2, 2, c, 0); err == nil {
+			t.Errorf("NewLeafSpine host capacity %v should be rejected", c)
+		}
+		if _, err := NewLeafSpine(2, 2, 2, 0, c); err == nil {
+			t.Errorf("NewLeafSpine uplink capacity %v should be rejected", c)
+		}
+	}
+	for _, ratio := range []float64{math.NaN(), math.Inf(1), 0.5, -2} {
+		if _, err := NewFatTreeOversub(4, 0, ratio); err == nil {
+			t.Errorf("oversubscription ratio %v should be rejected", ratio)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package topo
 
 import (
 	"fmt"
+	"math"
 )
 
 // ServerID identifies an end host (0..NumServers-1).
@@ -64,6 +65,26 @@ type Topology struct {
 	leaves, spines, hostsPerLeaf int
 }
 
+// checkCapacity validates a construction-time link capacity: it must be a
+// finite, strictly positive number of bytes/second, or exactly 0 to select
+// the default. NaN, ±Inf, negative, and subnormal-tiny values are rejected
+// with a descriptive error rather than silently producing a degenerate
+// fabric (zero-capacity links would stall every flow forever).
+func checkCapacity(name string, c float64) error {
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		return fmt.Errorf("topo: %s must be a finite number of bytes/second, got %v", name, c)
+	}
+	if c < 0 {
+		return fmt.Errorf("topo: %s must be positive (or 0 for the %g B/s default), got %v",
+			name, float64(DefaultLinkCapacity), c)
+	}
+	if c > 0 && c < 1 {
+		return fmt.Errorf("topo: %s of %v B/s is below 1 byte/second; pass 0 for the %g B/s default",
+			name, c, float64(DefaultLinkCapacity))
+	}
+	return nil
+}
+
 // NewFatTree builds a k-pod FatTree with k^3/4 servers. k must be even and
 // at least 2. capacity is the per-link capacity in bytes/second; pass 0 for
 // DefaultLinkCapacity.
@@ -71,8 +92,8 @@ func NewFatTree(k int, capacity float64) (*Topology, error) {
 	if k < 2 || k%2 != 0 {
 		return nil, fmt.Errorf("topo: fat-tree pod count must be even and >= 2, got %d", k)
 	}
-	if capacity < 0 {
-		return nil, fmt.Errorf("topo: negative link capacity %v", capacity)
+	if err := checkCapacity("link capacity", capacity); err != nil {
+		return nil, err
 	}
 	if capacity == 0 {
 		capacity = DefaultLinkCapacity
@@ -99,8 +120,8 @@ func NewFatTree(k int, capacity float64) (*Topology, error) {
 // every edge→agg and agg→core link carries capacity/ratio, as in production
 // fabrics that taper upward (ratio 1 = the canonical non-blocking tree).
 func NewFatTreeOversub(k int, capacity, ratio float64) (*Topology, error) {
-	if ratio < 1 {
-		return nil, fmt.Errorf("topo: oversubscription ratio must be >= 1, got %v", ratio)
+	if math.IsNaN(ratio) || math.IsInf(ratio, 0) || ratio < 1 {
+		return nil, fmt.Errorf("topo: oversubscription ratio must be a finite number >= 1, got %v", ratio)
 	}
 	t, err := NewFatTree(k, capacity)
 	if err != nil {
@@ -120,8 +141,11 @@ func NewLeafSpine(leaves, spines, hostsPerLeaf int, hostCapacity, uplinkCapacity
 		return nil, fmt.Errorf("topo: leaf-spine needs leaves, spines, hostsPerLeaf >= 1, got %d/%d/%d",
 			leaves, spines, hostsPerLeaf)
 	}
-	if hostCapacity < 0 || uplinkCapacity < 0 {
-		return nil, fmt.Errorf("topo: negative capacity")
+	if err := checkCapacity("host link capacity", hostCapacity); err != nil {
+		return nil, err
+	}
+	if err := checkCapacity("uplink capacity", uplinkCapacity); err != nil {
+		return nil, err
 	}
 	if hostCapacity == 0 {
 		hostCapacity = DefaultLinkCapacity
@@ -150,8 +174,8 @@ func NewBigSwitch(n int, capacity float64) (*Topology, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("topo: big switch needs at least 1 server, got %d", n)
 	}
-	if capacity < 0 {
-		return nil, fmt.Errorf("topo: negative link capacity %v", capacity)
+	if err := checkCapacity("link capacity", capacity); err != nil {
+		return nil, err
 	}
 	if capacity == 0 {
 		capacity = DefaultLinkCapacity

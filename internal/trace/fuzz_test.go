@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Hostile-input corpus for the benchmark parser: every entry must come back
+// as a descriptive error — never a panic, never a silently wrong spec. The
+// same seeds feed FuzzParseTrace.
+var hostileInputs = []struct {
+	name string
+	in   string
+}{
+	{"empty", ""},
+	{"blank lines only", "\n\n   \n"},
+	{"non-numeric header", "racks coflows"},
+	{"half header", "150"},
+	{"negative coflow count", "150 -1"},
+	{"huge coflow count no lines", "150 2147483647"},
+	{"missing coflow lines", "150 3\n1 0 1 0 1 0:10"},
+	{"too few fields", "150 1\n1 0 1"},
+	{"bad id", "150 1\nxyz 0 1 0 1 0:10"},
+	{"bad arrival", "150 1\n1 nope 1 0 1 0:10"},
+	{"bad mapper count", "150 1\n1 0 x 0 1 0:10"},
+	{"negative mapper count", "150 1\n1 0 -2 0 1 0:10"},
+	{"huge mapper count", "150 1\n1 0 2147483647 0 1 0:10"},
+	{"bad mapper rack", "150 1\n1 0 1 X 1 0:10"},
+	{"truncated mapper list", "150 1\n1 0 5 0 1"},
+	{"bad reducer count", "150 1\n1 0 1 0 y 0:10"},
+	{"negative reducer count", "150 1\n1 0 1 0 -1 0:10"},
+	{"reducer count overshoots", "150 1\n1 0 1 0 3 0:10"},
+	{"reducer count undershoots", "150 1\n1 0 1 0 1 0:10 1:20"},
+	{"reducer missing colon", "150 1\n1 0 1 0 1 010"},
+	{"reducer bad rack", "150 1\n1 0 1 0 1 z:10"},
+	{"reducer bad size", "150 1\n1 0 1 0 1 0:huge"},
+	{"reducer negative size", "150 1\n1 0 1 0 1 0:-5"},
+	{"reducer double colon", "150 1\n1 0 1 0 1 0:1:2"},
+}
+
+func TestParseBenchmarkHostileInputs(t *testing.T) {
+	for _, c := range hostileInputs {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := ParseBenchmark(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("ParseBenchmark accepted hostile input %q", c.in)
+			}
+			if msg := err.Error(); !strings.HasPrefix(msg, "trace: ") {
+				t.Errorf("error %q not prefixed with the package name", msg)
+			}
+		})
+	}
+}
+
+// FuzzParseTrace asserts the crash-safety contract of the benchmark parser:
+// arbitrary bytes must produce either a parsed trace or an error — never a
+// panic, hang, or inconsistent result. Accepted inputs must additionally
+// survive a write/re-parse round trip with the same structure.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("150 2\n1 0 2 3 4 2 5:10 6:20.5\n2 100 1 0 1 1:0.5\n")
+	f.Add("1 1\n1 0 1 0 1 0:10\n")
+	for _, c := range hostileInputs {
+		f.Add(c.in)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		racks, specs, err := ParseBenchmark(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, s := range specs {
+			if s.TotalBytes() < 0 {
+				t.Fatalf("coflow %d: negative TotalBytes %d", i, s.TotalBytes())
+			}
+		}
+		// Round trip: what the writer emits, the parser accepts identically.
+		var sb strings.Builder
+		if err := WriteBenchmark(&sb, racks, specs); err != nil {
+			t.Fatalf("WriteBenchmark failed on accepted input: %v", err)
+		}
+		racks2, specs2, err := ParseBenchmark(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse of written trace failed: %v", err)
+		}
+		if racks2 != racks || len(specs2) != len(specs) {
+			t.Fatalf("round trip changed shape: %d/%d racks, %d/%d coflows",
+				racks, racks2, len(specs), len(specs2))
+		}
+	})
+}

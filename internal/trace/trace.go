@@ -75,6 +75,9 @@ func ParseBenchmark(r io.Reader) (numRacks int, specs []CoflowSpec, err error) {
 	if _, err := fmt.Sscanf(head, "%d %d", &numRacks, &numCoflows); err != nil {
 		return 0, nil, fmt.Errorf("trace: bad header %q: %w", head, err)
 	}
+	if numRacks < 1 || numCoflows < 0 {
+		return 0, nil, fmt.Errorf("trace: bad header %q: want \"<racks> <coflows>\" with racks >= 1 and coflows >= 0", head)
+	}
 	for i := 0; i < numCoflows; i++ {
 		s, ok := readLine()
 		if !ok {
