@@ -1,0 +1,141 @@
+// Command guritalint is the repo's determinism-and-invariant lint suite:
+// a multichecker over the analyzers in internal/lint (maprange,
+// nondetsource, floatcmp, seedplumb, lintdirective). It makes the
+// determinism contracts that the replay tests enforce dynamically —
+// delta≡batch byte-identity, fault-replay identity, content-addressed
+// cache keys — into static build errors.
+//
+// Two modes:
+//
+//	guritalint [-maprange=false …] [packages]   # standalone; default ./...
+//	go vet -vettool=$(which guritalint) ./...   # vet driver protocol
+//
+// Standalone exits 1 when it finds anything. Under go vet the tool speaks
+// the (unpublished) vet command-line protocol: -flags prints its flag set
+// as JSON, and each package arrives as a vet.cfg whose export data the go
+// command has already compiled; diagnostics go to stderr and exit code 2
+// marks findings, matching x/tools' unitchecker.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gurita/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("guritalint", flag.ContinueOnError)
+	printVersion := fs.String("V", "", "print version and exit (vet protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol)")
+	enabled := map[string]*bool{}
+	for _, an := range lint.Analyzers() {
+		enabled[an.Name] = fs.Bool(an.Name, true, an.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *printVersion != "" {
+		// The go command hashes this line into its action cache key.
+		fmt.Println("guritalint version guritalint-1.0.0")
+		return 0
+	}
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, an := range lint.Analyzers() {
+			out = append(out, jsonFlag{Name: an.Name, Bool: true, Usage: an.Doc})
+		}
+		data, _ := json.Marshal(out)
+		fmt.Println(string(data))
+		return 0
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, an := range lint.Analyzers() {
+		if *enabled[an.Name] {
+			analyzers = append(analyzers, an)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0], analyzers)
+	}
+	return runStandalone(rest, analyzers)
+}
+
+// runStandalone loads the named packages (default ./...) and reports every
+// finding to stderr; exit 1 on findings, 2 on load failure.
+func runStandalone(patterns []string, analyzers []*lint.Analyzer) int {
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "guritalint:", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "guritalint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "guritalint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// runVet analyzes one package described by a go-vet config file.
+func runVet(cfgPath string, analyzers []*lint.Analyzer) int {
+	pkg, cfg, err := lint.LoadVetPackage(cfgPath)
+	if err != nil {
+		if cfg != nil && cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "guritalint:", err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		writeVetx(cfg)
+		return 0
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "guritalint:", err)
+		return 1
+	}
+	// The vetx facts file must exist for the go command's action cache
+	// even though this suite exports no facts.
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func writeVetx(cfg *lint.VetConfig) {
+	if cfg.VetxOutput != "" {
+		_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+}

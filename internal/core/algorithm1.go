@@ -33,13 +33,22 @@ func (g *Gurita) RankLBEF(now float64, active []*sim.CoflowState) []*sim.CoflowS
 	out := make([]*sim.CoflowState, len(active))
 	copy(out, active)
 	sort.SliceStable(out, func(a, b int) bool {
+		// Ordering keys are compared with < / > rather than float
+		// equality: same bits give the same order, and anything that is
+		// neither above nor below falls through to the next tie-break.
 		ja, jb := psiJ[out[a].Job.Job.ID], psiJ[out[b].Job.Job.ID]
-		if ja != jb {
-			return ja < jb
+		if ja < jb {
+			return true
+		}
+		if ja > jb {
+			return false
 		}
 		ca, cb := psiC[out[a].Coflow.ID], psiC[out[b].Coflow.ID]
-		if ca != cb {
-			return ca < cb
+		if ca < cb {
+			return true
+		}
+		if ca > cb {
+			return false
 		}
 		return out[a].Coflow.ID < out[b].Coflow.ID // deterministic tie-break
 	})

@@ -75,8 +75,13 @@ func (q *Queue) Pop() *Event {
 
 func (q *Queue) less(i, j int) bool {
 	a, b := q.events[i], q.events[j]
-	if a.Time != b.Time {
-		return a.Time < b.Time
+	// < / > instead of float equality: same bits order the same way, and
+	// times that are neither above nor below fall through to the FIFO seq.
+	if a.Time < b.Time {
+		return true
+	}
+	if a.Time > b.Time {
+		return false
 	}
 	return a.seq < b.seq
 }

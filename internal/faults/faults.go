@@ -71,6 +71,16 @@ var kindNames = map[Kind]string{
 	CtrlStaleHost:  "ctrl-stale-host",
 }
 
+// kindByName is the inverse of kindNames, for decoding. Names are unique,
+// so building it in map order is safe.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = k
+	}
+	return m
+}()
+
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s
@@ -93,13 +103,12 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &s); err != nil {
 		return err
 	}
-	for kind, name := range kindNames {
-		if name == s {
-			*k = kind
-			return nil
-		}
+	kind, ok := kindByName[s]
+	if !ok {
+		return fmt.Errorf("faults: unknown event kind %q", s)
 	}
-	return fmt.Errorf("faults: unknown event kind %q", s)
+	*k = kind
+	return nil
 }
 
 // Event is one fault occurrence. Which fields are meaningful depends on

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one //lint: comment. Two verbs exist:
+//
+//	//lint:sorted <reason>            — maprange only: "this map iteration
+//	                                    is order-safe because <reason>"
+//	//lint:ignore <names> <reason>    — suppress the comma-separated
+//	                                    analyzers on the annotated line
+//
+// A directive governs its own line and the line immediately below it, so
+// it works both as a trailing comment and on its own line above the
+// statement. A directive without a reason suppresses nothing (the original
+// finding still fires) and is additionally flagged by lintdirective.
+type Directive struct {
+	Pos       token.Position
+	Verb      string   // "sorted" or "ignore" (unknown verbs are kept for lintdirective)
+	Analyzers []string // for ignore: the analyzer names listed
+	Reason    string
+}
+
+// Directives is the per-package directive table.
+type Directives struct {
+	all []Directive
+}
+
+const directivePrefix = "//lint:"
+
+// ParseDirectives scans every comment in the files for //lint: directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				verb := rest
+				var arg string
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					verb, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				dir := Directive{Pos: fset.Position(c.Pos()), Verb: verb}
+				switch verb {
+				case "sorted":
+					dir.Analyzers = []string{"maprange"}
+					dir.Reason = arg
+				case "ignore":
+					names := arg
+					if i := strings.IndexAny(arg, " \t"); i >= 0 {
+						names, dir.Reason = arg[:i], strings.TrimSpace(arg[i+1:])
+					}
+					if names != "" {
+						dir.Analyzers = strings.Split(names, ",")
+					}
+				}
+				d.all = append(d.all, dir)
+			}
+		}
+	}
+	return d
+}
+
+// Suppresses reports whether a justified directive covers the given
+// analyzer at the given position. Unjustified directives never suppress.
+func (d *Directives) Suppresses(analyzer string, at token.Position) bool {
+	for _, dir := range d.all {
+		if dir.Reason == "" || dir.Pos.Filename != at.Filename {
+			continue
+		}
+		if at.Line != dir.Pos.Line && at.Line != dir.Pos.Line+1 {
+			continue
+		}
+		for _, name := range dir.Analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// All returns every parsed directive (for lintdirective's validation).
+func (d *Directives) All() []Directive { return d.all }

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixture(t, FloatCmp, "floatcmp")
+}

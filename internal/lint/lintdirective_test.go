@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLintDirectiveFixture(t *testing.T) {
+	runFixture(t, LintDirective, "lintdirective")
+}

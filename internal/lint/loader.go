@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-check problems; analysis still runs
+	// on the partial information.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// LoadPackages loads the packages matching patterns (relative to dir) with
+// full type information, entirely offline: `go list -export -deps -json`
+// compiles every dependency into the build cache and reports export-data
+// paths, and the gc importer reads those files back. Only packages
+// belonging to the main module are parsed and returned; dependencies are
+// consumed as export data.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,GoFiles,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typeCheckDir(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheckDir parses and type-checks one package's files.
+func typeCheckDir(fset *token.FileSet, path, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: fset}
+	for _, name := range goFiles {
+		file := name
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", file, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = newTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// exportImporter resolves imports from a path→export-data-file map via the
+// gc importer, with an optional source-path→package-path translation (the
+// vet driver's ImportMap).
+type exportImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if e.importMap != nil {
+		if canonical, ok := e.importMap[path]; ok {
+			path = canonical
+		}
+	}
+	return e.gc.ImportFrom(path, dir, 0)
+}
+
+// ---- vet -vettool driver support ----------------------------------------
+
+// VetConfig mirrors cmd/go's vetConfig: the JSON file the go command hands
+// a vet tool for each package. Fields the tool does not consume are
+// omitted from the struct (unknown JSON keys are ignored on decode).
+type VetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetPackage builds a Package from a vet.cfg, type-checking the listed
+// files against the export data the go command already compiled. Test
+// variants ("pkg [pkg.test]") include _test.go files in GoFiles; they are
+// type-checked (the package would not cohere otherwise) and the analyzers
+// skip them at reporting time.
+func LoadVetPackage(cfgPath string) (*Package, *VetConfig, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile)
+	imp.importMap = cfg.ImportMap
+	importPath := cfg.ImportPath
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	pkg, err := typeCheckDir(fset, importPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		return nil, &cfg, err
+	}
+	pkg.Path = cfg.ImportPath // keep the variant suffix for AppliesTo's strip
+	return pkg, &cfg, nil
+}

@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+// The fixture includes both halves of the escape-hatch contract: a
+// justified //lint:sorted suppresses the finding, a bare one does not.
+func TestMapRangeFixture(t *testing.T) {
+	runFixture(t, MapRange, "maprange")
+}

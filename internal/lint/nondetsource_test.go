@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+// The fixture includes a _test.go file containing a wall-clock read with no
+// expectation, so this also proves analyzers skip test files.
+func TestNonDetSourceFixture(t *testing.T) {
+	runFixture(t, NonDetSource, "nondetsource")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSeedPlumbFixture(t *testing.T) {
+	runFixture(t, SeedPlumb, "seedplumb")
+}

@@ -1,0 +1,55 @@
+// Package floatcmp exercises the floatcmp analyzer: exact ==/!= and switch
+// on floats are flagged; zero-sentinel and all-constant comparisons are
+// exempt, as are justified bitwise compares.
+package floatcmp
+
+func exactEq(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+func exactNeq(a, b float64) bool {
+	return a != b // want "exact float comparison"
+}
+
+func exact32(a float32, b float32) bool {
+	return a == b // want "exact float comparison"
+}
+
+// Zero is exactly representable and used as an assigned sentinel.
+func zeroSentinel(rate float64) bool {
+	return rate == 0
+}
+
+// Both operands constant: decided at compile time, no runtime drift.
+const (
+	lo = 1.5
+	hi = 2.5
+)
+
+func constCmp() bool {
+	return lo == hi
+}
+
+// Integers compare exactly by definition.
+func ints(a, b int) bool {
+	return a == b
+}
+
+func floatSwitch(x float64) int {
+	switch x { // want "switch on float"
+	case 1.0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Ordering comparisons are fine; only ==/!= drift silently.
+func ordering(a, b float64) bool {
+	return a < b
+}
+
+func justified(a, b float64) bool {
+	//lint:ignore floatcmp fixture: change detection where bitwise identity is the contract
+	return a == b
+}

@@ -1,0 +1,92 @@
+// Package maprange exercises the maprange analyzer: order-sensitive map
+// iteration bodies are flagged; commuting bodies, the canonical sorted-keys
+// idiom, and justified //lint:sorted annotations are not.
+package maprange
+
+import "sort"
+
+// Appending map keys without ever sorting the slice leaks iteration order.
+func orderSensitive(m map[string]float64) []string {
+	var out []string
+	for k := range m { // want "order-sensitive body"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Float accumulation is order-dependent in the low bits.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "order-sensitive body"
+		sum += v
+	}
+	return sum
+}
+
+// Integer accumulation commutes exactly.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// The canonical fix: collect keys, sort, then range the slice.
+func sortedIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Running extremum is order-independent.
+func extremum(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Inserting into another map visits each key once; order cannot be observed.
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// delete under a call-free condition commutes.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// A justified //lint:sorted suppresses the finding.
+func justified(m map[string]float64) float64 {
+	var sum float64
+	//lint:sorted fixture: single accumulator compared with a tolerance downstream
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// A bare //lint:sorted carries no justification, so the original finding
+// still fires (and lintdirective flags the directive itself — see that
+// analyzer's fixture).
+func unjustified(m map[string]float64) float64 {
+	var sum float64
+	//lint:sorted
+	for _, v := range m { // want "order-sensitive body"
+		sum += v
+	}
+	return sum
+}

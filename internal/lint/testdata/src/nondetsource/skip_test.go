@@ -1,0 +1,9 @@
+package nondetsource
+
+import "time"
+
+// Test files are exempt from the determinism contract: analyzers skip them
+// via Pass.SourceFiles, so this wall-clock read produces no diagnostic.
+func testOnlyClock() time.Time {
+	return time.Now()
+}

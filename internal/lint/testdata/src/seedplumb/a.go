@@ -1,0 +1,57 @@
+// Package seedplumb exercises the seedplumb analyzer: literal seeds to
+// rand constructors and Seed fields are flagged; seeds plumbed from
+// spec/config expressions and the Seed: 0 "inherit" default are not.
+package seedplumb
+
+import "math/rand"
+
+type Spec struct {
+	Name string
+	Seed int64
+}
+
+const presetSeed = 5
+
+func literalSource() rand.Source {
+	return rand.NewSource(42) // want "rand.NewSource seeded from a literal"
+}
+
+// A named constant is still a literal seed: changing it changes results
+// without changing any spec, so cache keys go stale.
+func constSource() rand.Source {
+	return rand.NewSource(presetSeed) // want "rand.NewSource seeded from a literal"
+}
+
+func plumbedSource(s Spec) rand.Source {
+	return rand.NewSource(s.Seed)
+}
+
+func derivedSource(s Spec, trial int64) rand.Source {
+	return rand.NewSource(s.Seed ^ trial)
+}
+
+func literalSpec() Spec {
+	return Spec{Name: "x", Seed: 7} // want "literal Seed in Spec literal"
+}
+
+// Seed: 0 is the documented "inherit the run seed" default.
+func zeroSpec() Spec {
+	return Spec{Name: "x", Seed: 0}
+}
+
+func plumbedSpec(seed int64) Spec {
+	return Spec{Name: "x", Seed: seed}
+}
+
+func literalAssign(s *Spec) {
+	s.Seed = 9 // want "literal assignment to s.Seed"
+}
+
+func plumbedAssign(dst *Spec, src Spec) {
+	dst.Seed = src.Seed
+}
+
+func justified() Spec {
+	//lint:ignore seedplumb fixture: named preset whose published seed is the point
+	return Spec{Name: "preset", Seed: 1}
+}

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"sort"
+
 	"gurita/internal/sim"
 	"gurita/internal/topo"
 )
@@ -24,6 +26,7 @@ type UtilizationCollector struct {
 	peakLinkUtil  float64
 
 	usage map[topo.LinkID]float64 // scratch, reused per sample
+	order []topo.LinkID           // scratch: sorted keys of usage, reused per sample
 }
 
 // NewUtilizationCollector builds a collector for one fabric.
@@ -51,8 +54,16 @@ func (u *UtilizationCollector) Probe(_ float64, active []*sim.FlowState) {
 
 	hostLinks := 2 * u.topo.NumServers()
 	var host, fabric float64
-	for l, used := range u.usage {
-		util := used / u.topo.LinkCapacity(l)
+	// Accumulate in sorted link order: float addition is not associative,
+	// so summing in map order would make the reported utilization averages
+	// drift in their last bits from run to run.
+	u.order = u.order[:0]
+	for l := range u.usage {
+		u.order = append(u.order, l)
+	}
+	sort.Slice(u.order, func(i, j int) bool { return u.order[i] < u.order[j] })
+	for _, l := range u.order {
+		util := u.usage[l] / u.topo.LinkCapacity(l)
 		if util > u.peakLinkUtil {
 			u.peakLinkUtil = util
 		}

@@ -22,6 +22,7 @@ package netmod
 import (
 	"fmt"
 
+	"gurita/internal/fmath"
 	"gurita/internal/topo"
 )
 
@@ -342,6 +343,7 @@ func (a *Allocator) Update(f *FlowDemand) {
 		return
 	}
 	if f.tier < 0 {
+		//lint:ignore floatcmp change detection on a caller-set field: bitwise compare is intended; an epsilon would silently drop small real updates
 		if f.MaxRate != f.capSeen {
 			f.capSeen = f.MaxRate
 			f.Rate = f.MaxRate
@@ -364,6 +366,7 @@ func (a *Allocator) Update(f *FlowDemand) {
 			a.dirtyMin = t
 		}
 	}
+	//lint:ignore floatcmp change detection on a caller-set field: bitwise compare is intended; an epsilon would silently drop small real updates
 	if f.MaxRate != f.capSeen {
 		f.capSeen = f.MaxRate
 		if f.tier < a.dirtyMin {
@@ -543,7 +546,7 @@ func (a *Allocator) reallocateWRR() {
 	spill := a.spill[:0]
 	for q := 0; q < a.queues; q++ {
 		for _, f := range a.byQueue[q] {
-			if f.MaxRate > 0 && f.Rate >= f.MaxRate-epsRate {
+			if f.MaxRate > 0 && fmath.AtLeast(f.Rate, f.MaxRate, epsRate) {
 				continue
 			}
 			f.frozen = false
@@ -645,7 +648,7 @@ func (a *Allocator) waterfill(fl []*FlowDemand) {
 		// checked exactly once per round.
 		for i := 0; i < len(work); i++ {
 			f := work[i]
-			capped := f.MaxRate > 0 && f.Rate >= f.MaxRate-epsRate
+			capped := f.MaxRate > 0 && fmath.AtLeast(f.Rate, f.MaxRate, epsRate)
 			saturated := false
 			if !capped {
 				for _, l := range f.Path {

@@ -134,6 +134,7 @@ func (o Options) workers() int {
 // preemptible), and the error is returned. Already-completed trials remain
 // in the cache, which is what makes campaigns resumable.
 func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context, spec S) (R, error), opts Options) ([]R, Stats, error) {
+	//lint:ignore nondetsource wall-clock is the campaign runner's own elapsed/ETA reporting; trial results depend only on specs, never on these timestamps
 	start := time.Now()
 	stats := Stats{Total: len(specs)}
 	results := make([]R, len(specs))
@@ -174,6 +175,7 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 			return
 		}
 		done := stats.CacheHits + stats.Executed + len(stats.Failures)
+		//lint:ignore nondetsource wall-clock progress/ETA display only; not part of any trial result
 		elapsed := time.Since(start)
 		var eta time.Duration
 		if stats.Executed > 0 {
@@ -245,6 +247,7 @@ feed:
 	close(indices)
 	wg.Wait()
 
+	//lint:ignore nondetsource wall-clock campaign duration for the stats report; not part of any trial result
 	stats.Elapsed = time.Since(start)
 	// Workers append failures in completion order; the manifest reads in
 	// grid order.

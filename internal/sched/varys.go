@@ -109,8 +109,11 @@ func (v *Varys) AssignQueues(_ float64, flows, added, dirty []*sim.FlowState) []
 		order = append(order, sebfRank{c.Coflow.ID, v.gamma(c)})
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if order[a].gamma != order[b].gamma {
-			return order[a].gamma < order[b].gamma
+		if order[a].gamma < order[b].gamma {
+			return true
+		}
+		if order[a].gamma > order[b].gamma {
+			return false
 		}
 		return order[a].id < order[b].id // deterministic tie-break
 	})
