@@ -342,6 +342,90 @@ func BenchmarkAblationTCPSlowStart(b *testing.B) {
 	}
 }
 
+// BenchmarkObsDisabledOverhead proves the observability layer's
+// zero-cost-when-disabled contract: the nil-sink guard and the always-on
+// counter paths (flight-recorder ring at steady state, histogram handle)
+// run at 0 allocs/op, and an end-to-end simulation with recording disabled
+// matches the pre-obs engine (compare against BENCH_baseline.json). The
+// sub-benchmarks b.Fatal on any allocation, so `go test -bench
+// ObsDisabledOverhead` is an assertion, not just a report.
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	b.Run("NilSinkGuard", func(b *testing.B) {
+		// The exact shape of every emission site in internal/sim: a nil
+		// check around event construction. Disabled means the event is
+		// never built.
+		var sink gurita.ObsSink
+		if a := testing.AllocsPerRun(100, func() {
+			if sink != nil {
+				sink.Event(gurita.ObsEvent{Kind: 1})
+			}
+		}); a != 0 {
+			b.Fatalf("nil-sink guard allocates %v/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sink != nil {
+				sink.Event(gurita.ObsEvent{T: float64(i), Kind: 1})
+			}
+		}
+	})
+	b.Run("FlightRecorderSteadyState", func(b *testing.B) {
+		ring := gurita.NewFlightRecorder(1024)
+		ev := gurita.ObsEvent{Kind: 1, Job: 7}
+		for i := 0; i < 2048; i++ {
+			ring.Event(ev) // fill past capacity so appends stop growing
+		}
+		if a := testing.AllocsPerRun(100, func() { ring.Event(ev) }); a != 0 {
+			b.Fatalf("steady-state ring allocates %v/op", a)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.T = float64(i)
+			ring.Event(ev)
+		}
+	})
+	b.Run("HistogramHandle", func(b *testing.B) {
+		// The simulator resolves histogram names once at construction and
+		// observes through handles on the hot path.
+		h := gurita.NewObsRegistry().Histogram("sched_dirty_set")
+		if a := testing.AllocsPerRun(100, func() { h.Observe(17) }); a != 0 {
+			b.Fatalf("histogram handle allocates %v/op", a)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i % 512))
+		}
+	})
+	// End-to-end: the same scenario with recording off vs a flight recorder
+	// attached. "Disabled" is the number to hold against the pre-obs
+	// baseline; the pair quantifies what arming a ring costs.
+	scale := gurita.QuickScale()
+	scale.TraceCoflows = 40
+	for _, mode := range []string{"Disabled", "Recording"} {
+		mode := mode
+		b.Run("Simulation"+mode, func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				sc, err := gurita.TraceScenario(gurita.StructureFBTao, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "Recording" {
+					sc.Obs = gurita.NewFlightRecorder(0)
+				}
+				res, err := sc.Run(gurita.KindGurita)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw engine speed: events per second
 // on a moderately loaded scenario (not a paper figure; an engineering
 // baseline for regressions).

@@ -3,9 +3,12 @@ package gurita
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"gurita/internal/metrics"
+	"gurita/internal/obs"
 	"gurita/internal/runner"
 )
 
@@ -19,7 +22,10 @@ import (
 // campaignSchema versions the cached trial layout. Bump it whenever
 // TrialSpec semantics, the simulator's deterministic behavior, or the
 // result document change in a way that invalidates old entries.
-const campaignSchema = "gurita-campaign-v1"
+//
+// v2: result documents carry engine counters (Result.Counters), so v1
+// entries decode without them and must not satisfy v2 lookups.
+const campaignSchema = "gurita-campaign-v2"
 
 // CampaignScenario selects how a trial's workload is generated.
 type CampaignScenario string
@@ -215,6 +221,17 @@ type CampaignOptions struct {
 	// while every healthy trial still produces its result. Without it the
 	// first failure aborts the whole campaign.
 	ContinueOnError bool
+	// ObsTraceDir, when non-empty, exports each executed trial as a Chrome
+	// trace_event JSON file <keyprefix>.trace.json under this directory
+	// (load them in Perfetto). Cache-served trials are not re-executed and
+	// therefore produce no trace — use Force to trace a fully cached grid.
+	// Recording is observation-only: results are byte-identical with it on.
+	ObsTraceDir string
+	// ObsDumpDir, when non-empty, runs each trial with a flight recorder
+	// and dumps its trailing event window as <keyprefix>.dump.jsonl under
+	// this directory when the trial fails — error, invariant violation, or
+	// recovered panic. Healthy trials write nothing.
+	ObsDumpDir string
 }
 
 // schema returns the cache schema for these options; coflow-bearing entries
@@ -252,6 +269,13 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 			return nil, CampaignStats{}, err
 		}
 	}
+	for _, dir := range []string{opts.ObsTraceDir, opts.ObsDumpDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, CampaignStats{}, fmt.Errorf("gurita: obs directory: %w", err)
+			}
+		}
+	}
 	exec := func(ctx context.Context, s TrialSpec) (*metrics.ResultDoc, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -264,9 +288,51 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		// what lets per-trial timeouts and campaign cancellation preempt an
 		// in-flight simulation.
 		sc.Interrupt = ctx.Err
+		var (
+			col  *obs.Collector
+			ring *obs.Ring
+			key  string
+		)
+		if opts.ObsTraceDir != "" || opts.ObsDumpDir != "" {
+			// Obs files are named by the trial's content-addressed key, so a
+			// trace or dump is matched to its cache entry (and its failure-
+			// manifest row) by prefix.
+			if key, err = runner.Key(opts.schema(), s); err != nil {
+				return nil, err
+			}
+			var sinks []obs.Sink
+			if opts.ObsTraceDir != "" {
+				col = &obs.Collector{}
+				sinks = append(sinks, col)
+			}
+			if opts.ObsDumpDir != "" {
+				ring = obs.NewRing(0)
+				sinks = append(sinks, ring)
+				// A panicking trial unwinds through this frame before the
+				// runner's recovery converts it into a manifest entry; dump
+				// the flight recorder on the way past and re-panic.
+				defer func() {
+					if r := recover(); r != nil {
+						dumpFlightRecorder(opts.ObsDumpDir, key, ring)
+						panic(r)
+					}
+				}()
+			}
+			sc.Obs = obs.Tee(sinks...)
+		}
 		res, err := sc.Run(s.Scheduler)
 		if err != nil {
+			// Errors include invariant violations: the recorder's trailing
+			// window is exactly the context that explains them.
+			if ring != nil {
+				dumpFlightRecorder(opts.ObsDumpDir, key, ring)
+			}
 			return nil, err
+		}
+		if col != nil {
+			if err := writeTrialTrace(opts.ObsTraceDir, key, string(s.Scheduler), col); err != nil {
+				return nil, err
+			}
 		}
 		doc := metrics.NewResultDoc(res, opts.IncludeCoflows)
 		return &doc, nil
@@ -290,4 +356,44 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		}
 	}
 	return results, stats, nil
+}
+
+// obsFileName names a trial's obs artifact by the first 16 hex characters of
+// its content-addressed key — long enough to be collision-free in practice,
+// short enough to read — plus an extension.
+func obsFileName(key, ext string) string {
+	if len(key) > 16 {
+		key = key[:16]
+	}
+	return key + ext
+}
+
+// writeTrialTrace exports one executed trial's recording as a Chrome
+// trace_event JSON file under dir.
+func writeTrialTrace(dir, key, name string, col *obs.Collector) error {
+	path := filepath.Join(dir, obsFileName(key, ".trace.json"))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gurita: obs trace: %w", err)
+	}
+	if err := obs.WriteChromeTrace(f, obs.TraceProcess{Name: name, PID: 1, Events: col.Events()}); err != nil {
+		f.Close()
+		return fmt.Errorf("gurita: obs trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("gurita: obs trace: %w", err)
+	}
+	return nil
+}
+
+// dumpFlightRecorder writes the recorder's trailing window as JSONL under
+// dir. Best-effort by design: it runs on the failure path, and a dump that
+// cannot be written must not mask the trial error it documents.
+func dumpFlightRecorder(dir, key string, ring *obs.Ring) {
+	f, err := os.Create(filepath.Join(dir, obsFileName(key, ".dump.jsonl")))
+	if err != nil {
+		return
+	}
+	_ = ring.WriteJSONL(f)
+	_ = f.Close()
 }

@@ -1,0 +1,49 @@
+package gurita
+
+// White-box tests of the campaign obs plumbing: artifact naming and the
+// failure-path flight-recorder dump, which black-box tests cannot reach
+// without manufacturing a failing trial.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gurita/internal/obs"
+)
+
+func TestObsFileName(t *testing.T) {
+	key := strings.Repeat("ab", 32)
+	if got := obsFileName(key, ".trace.json"); got != key[:16]+".trace.json" {
+		t.Fatalf("obsFileName = %q", got)
+	}
+	if got := obsFileName("short", ".dump.jsonl"); got != "short.dump.jsonl" {
+		t.Fatalf("short key: %q", got)
+	}
+}
+
+func TestDumpFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	ring := obs.NewRing(8)
+	ring.Event(obs.Event{T: 0.5, Kind: obs.KindJobArrival, Job: 3})
+	ring.Event(obs.Event{T: 0.7, Kind: obs.KindInvariant, Val: 1})
+	dumpFlightRecorder(dir, "deadbeefdeadbeefcafe", ring)
+
+	path := filepath.Join(dir, "deadbeefdeadbeef.dump.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("dump missing: %v", err)
+	}
+	defer f.Close()
+	evs, _, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Kind != obs.KindInvariant {
+		t.Fatalf("dump events: %+v", evs)
+	}
+
+	// The dump is best-effort: an unwritable directory must not panic.
+	dumpFlightRecorder(filepath.Join(dir, "missing", "nested"), "k", ring)
+}

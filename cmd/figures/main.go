@@ -32,6 +32,7 @@ import (
 
 	gurita "gurita"
 	"gurita/internal/prof"
+	"gurita/internal/runner"
 )
 
 func main() {
@@ -61,6 +62,10 @@ func run() (err error) {
 		faultRates   = flag.String("faults", "", "comma-separated link-failure rates for the failures sweep (default 0,0.5,1,2,4)")
 		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall-clock bound, e.g. 90s (0 = unbounded)")
 		keepGoing    = flag.Bool("keep-going", false, "degrade gracefully: skip failed trials (reported at the end) instead of aborting")
+
+		obsTrace  = flag.String("obs-trace", "", "export each executed trial as Chrome trace_event JSON under this directory (open in ui.perfetto.dev)")
+		obsDump   = flag.String("obs-dump", "", "write flight-recorder JSONL dumps for failed trials under this directory")
+		obsListen = flag.String("obs-listen", "", "serve live campaign introspection JSON on this address, e.g. localhost:6070")
 	)
 	flag.Parse()
 
@@ -80,6 +85,12 @@ func run() (err error) {
 	}
 	if *trialTimeout < 0 {
 		return fmt.Errorf("-trial-timeout must be >= 0, got %v (run 'figures -h' for usage)", *trialTimeout)
+	}
+	if *parallel <= 0 {
+		return fmt.Errorf("-parallel must be >= 1 workers, got %d (run 'figures -h' for usage)", *parallel)
+	}
+	if *force && *cacheDir == "" {
+		return fmt.Errorf("-force re-runs cached trials, so it needs -cache DIR (run 'figures -h' for usage)")
 	}
 	rates, err := parseRates(*faultRates)
 	if err != nil {
@@ -106,13 +117,30 @@ func run() (err error) {
 		scale = gurita.PaperScale()
 	}
 	scale.Trials = *trials
+	progress := progressPrinter()
+	var inspect *runner.Introspector
+	if *obsListen != "" {
+		inspect, err = runner.NewIntrospector(*obsListen)
+		if err != nil {
+			return err
+		}
+		defer inspect.Close()
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/campaign\n", inspect.Addr())
+		inner := progress
+		progress = func(p gurita.CampaignProgress) {
+			inspect.Update(p)
+			inner(p)
+		}
+	}
 	opts := gurita.CampaignOptions{
 		Workers:         *parallel,
 		CacheDir:        *cacheDir,
 		Force:           *force,
-		Progress:        progressPrinter(),
+		Progress:        progress,
 		TrialTimeout:    *trialTimeout,
 		ContinueOnError: *keepGoing,
+		ObsTraceDir:     *obsTrace,
+		ObsDumpDir:      *obsDump,
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -24,12 +24,14 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
 
 	gurita "gurita"
 	"gurita/internal/prof"
+	"gurita/internal/runner"
 )
 
 func main() {
@@ -85,8 +87,20 @@ func run() (err error) {
 		faultSeed    = flag.Int64("fault-seed", 0, "fault-schedule seed (0 = reuse -seed)")
 		checkInv     = flag.Bool("check-invariants", false, "assert engine invariants after every fault instant")
 		trialTimeout = flag.Duration("trial-timeout", 0, "per-run wall-clock bound, e.g. 90s or 5m (0 = unbounded)")
+
+		obsTrace  = flag.String("obs-trace", "", "export each run as Chrome trace_event JSON under this directory (open in ui.perfetto.dev)")
+		obsDump   = flag.String("obs-dump", "", "write flight-recorder JSONL dumps under this directory (always for serial runs; on failure for campaign runs)")
+		obsListen = flag.String("obs-listen", "", "serve live campaign introspection JSON on this address, e.g. localhost:6070")
 	)
 	flag.Parse()
+
+	// Which flags were given explicitly (vs defaulted): some combinations
+	// only make sense together, and a silently ignored flag is a lie.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	// Trace replays and utilization probes run on the direct serial path;
+	// campaign-only flags contradict them.
+	serial := *traceFile != "" || *util
 
 	switch {
 	case *jobs < 1:
@@ -105,6 +119,20 @@ func run() (err error) {
 		return badUsage("-fault-mttr must be a positive repair time in seconds, got %v", *faultMTTR)
 	case *trialTimeout < 0:
 		return badUsage("-trial-timeout must be >= 0, got %v", *trialTimeout)
+	case *parallel <= 0:
+		return badUsage("-parallel must be >= 1 workers, got %d", *parallel)
+	case *force && *cacheDir == "":
+		return badUsage("-force re-runs cached trials, so it needs -cache DIR")
+	case serial && *cacheDir != "":
+		return badUsage("-cache only applies to synthetic campaign runs; -trace and -util run serially and uncached")
+	case serial && setFlags["parallel"]:
+		return badUsage("-parallel only applies to synthetic campaign runs; -trace and -util run serially")
+	case serial && *obsListen != "":
+		return badUsage("-obs-listen serves campaign introspection; -trace and -util run serially")
+	case setFlags["fault-seed"] && *faultRate == 0:
+		return badUsage("-fault-seed without -faults has no schedule to seed")
+	case setFlags["fault-mttr"] && *faultRate == 0:
+		return badUsage("-fault-mttr without -faults has no faults to repair")
 	}
 	if *schedName != "all" {
 		known := false
@@ -209,16 +237,36 @@ func run() (err error) {
 				CheckInvariants:       *checkInv,
 			}
 		}
-		results, _, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
+		progress := progressPrinter()
+		var inspect *runner.Introspector
+		if *obsListen != "" {
+			inspect, err = runner.NewIntrospector(*obsListen)
+			if err != nil {
+				return err
+			}
+			defer inspect.Close()
+			fmt.Fprintf(os.Stderr, "introspection: http://%s/campaign\n", inspect.Addr())
+			inner := progress
+			progress = func(p gurita.CampaignProgress) {
+				inspect.Update(p)
+				inner(p)
+			}
+		}
+		results, stats, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
 			Workers:  *parallel,
 			CacheDir: *cacheDir,
 			Force:    *force,
 			// Coflow rows ride along so -json output carries avg_cct exactly
 			// as the serial path writes it.
 			IncludeCoflows: true,
-			Progress:       progressPrinter(),
+			Progress:       progress,
 			TrialTimeout:   *trialTimeout,
+			ObsTraceDir:    *obsTrace,
+			ObsDumpDir:     *obsDump,
 		})
+		if inspect != nil {
+			inspect.Finish(stats)
+		}
 		if err != nil {
 			return err
 		}
@@ -293,12 +341,36 @@ func run() (err error) {
 			*faultRate, *faultMTTR, fSeed, len(sc.Faults.Events))
 	}
 
+	for _, dir := range []string{*obsTrace, *obsDump} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+
 	fmt.Printf("fabric: %v, jobs: %d, structure: %v\n\n", tp, len(workload), st)
 	for _, kind := range kinds {
 		var uc *gurita.UtilizationCollector
 		if *util {
 			uc = gurita.NewUtilizationCollector(tp)
 			sc.Probe = uc.Probe
+		}
+		var (
+			col   *gurita.ObsCollector
+			ring  *gurita.FlightRecorder
+			sinks []gurita.ObsSink
+		)
+		if *obsTrace != "" {
+			col = gurita.NewObsCollector()
+			sinks = append(sinks, col)
+		}
+		if *obsDump != "" {
+			ring = gurita.NewFlightRecorder(0)
+			sinks = append(sinks, ring)
+		}
+		if len(sinks) > 0 {
+			sc.Obs = gurita.ObsTee(sinks...)
 		}
 		runCtx, cancel := ctx, context.CancelFunc(func() {})
 		if *trialTimeout > 0 {
@@ -307,8 +379,21 @@ func run() (err error) {
 		sc.Interrupt = runCtx.Err
 		res, err := sc.Run(kind)
 		cancel()
+		// -obs-dump on the serial path is the on-demand dump: it is written
+		// whether the run finished or failed, so a crashed run still leaves
+		// its trailing event window behind.
+		if ring != nil {
+			if derr := writeObsDump(*obsDump, string(kind), ring); derr != nil && err == nil {
+				err = derr
+			}
+		}
 		if err != nil {
 			return err
+		}
+		if col != nil {
+			if err := writeObsTrace(*obsTrace, string(kind), col); err != nil {
+				return err
+			}
 		}
 		printResult(res)
 		if uc != nil {
@@ -337,6 +422,33 @@ func faultProfile(rate, mttr float64, seed int64) *gurita.FaultProfile {
 		MTTR:         mttr,
 		LinkFailRate: rate,
 	}
+}
+
+// writeObsTrace exports one serial run's recording as Chrome trace_event
+// JSON named after its scheduler.
+func writeObsTrace(dir, kind string, col *gurita.ObsCollector) error {
+	f, err := os.Create(filepath.Join(dir, kind+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := gurita.ExportChromeTrace(f, kind, col); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeObsDump writes one serial run's flight-recorder window as JSONL.
+func writeObsDump(dir, kind string, ring *gurita.FlightRecorder) error {
+	f, err := os.Create(filepath.Join(dir, kind+".dump.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := ring.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(name string, res *gurita.Result) error {

@@ -1,0 +1,57 @@
+// Command obsvalidate structurally checks observability artifacts: Chrome
+// trace_event JSON exported by -obs-trace (validated against the trace_event
+// schema the exporter targets) and flight-recorder JSONL dumps written by
+// -obs-dump. CI runs it over every trace a smoke campaign exports; run it by
+// hand before loading a trace into ui.perfetto.dev to get a line-level error
+// instead of a silently empty timeline.
+//
+// Usage:
+//
+//	obsvalidate traces/*.trace.json dumps/*.dump.jsonl
+//
+// Files ending in .jsonl are parsed as dumps; everything else is validated
+// as a trace_event document. Exits non-zero on the first invalid file.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	gurita "gurita"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obsvalidate FILE...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := validate(path); err != nil {
+			fmt.Fprintf(os.Stderr, "obsvalidate: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%d files valid\n", len(os.Args)-1)
+}
+
+func validate(path string) error {
+	if strings.HasSuffix(path, ".jsonl") {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, decisions, err := gurita.ReadObsJSONL(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d events, %d decisions\n", path, len(events), len(decisions))
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return gurita.ValidateChromeTrace(data)
+}

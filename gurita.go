@@ -30,6 +30,7 @@ import (
 	"gurita/internal/faults"
 	"gurita/internal/metrics"
 	"gurita/internal/netmod"
+	"gurita/internal/obs"
 	"gurita/internal/sched"
 	"gurita/internal/sim"
 	"gurita/internal/topo"
@@ -92,6 +93,31 @@ type (
 
 	// WorkloadConfig drives the synthetic workload generator.
 	WorkloadConfig = workload.Config
+
+	// ObsSink receives simulation events and scheduler decisions when a
+	// Scenario runs with observability enabled (Scenario.Obs). Built-in
+	// sinks: NewFlightRecorder (fixed-capacity ring), NewObsCollector
+	// (unbounded, for tests and trace export), NewObsJSONL (streaming),
+	// and ObsTee to fan out to several at once.
+	ObsSink = obs.Sink
+	// ObsEvent is one recorded simulation event (virtual-time stamped).
+	ObsEvent = obs.Event
+	// ObsDecision is one scheduler decision audit record.
+	ObsDecision = obs.Decision
+	// ObsKind classifies an ObsEvent.
+	ObsKind = obs.Kind
+	// ObsRegistry aggregates named counters and histograms during a run;
+	// pass one as Scenario.ObsRegistry to share it across runs, or read the
+	// per-run aggregation from Result.Counters.
+	ObsRegistry = obs.Registry
+	// FlightRecorder is the fixed-capacity in-memory ring of the most
+	// recent ObsEvents, dumped on invariant violations or on demand.
+	FlightRecorder = obs.Ring
+	// ObsCollector retains every event and decision in memory.
+	ObsCollector = obs.Collector
+	// ObsTraceProcess groups one run's events into a named Chrome-trace
+	// process for WriteChromeTrace.
+	ObsTraceProcess = obs.TraceProcess
 	// Category is one of Table 1's seven job-size classes.
 	Category = metrics.Category
 	// Summary is descriptive statistics over JCTs.
@@ -284,6 +310,16 @@ type Scenario struct {
 	// non-nil return aborts the simulation with that error wrapped. Use it
 	// to honor context deadlines from campaign drivers.
 	Interrupt func() error
+	// Obs, when non-nil, receives every simulation event and scheduler
+	// decision as the run unfolds (flight recorder, JSONL stream, trace
+	// collector — see ObsSink). Nil keeps the hot path observation-free:
+	// no events are constructed, no allocations happen. Sinks are
+	// observation-only and never change the simulated trajectory.
+	Obs ObsSink
+	// ObsRegistry, when non-nil, receives the run's counters and
+	// histograms in addition to Result.Counters (which is always
+	// populated). Share one registry across runs to accumulate.
+	ObsRegistry *ObsRegistry
 }
 
 // Run executes the scenario under a built-in scheduler, pairing it with its
@@ -323,6 +359,8 @@ func (sc Scenario) RunWith(s Scheduler, wrr bool) (*Result, error) {
 		Faults:          sc.Faults,
 		CheckInvariants: sc.CheckInvariants,
 		Interrupt:       sc.Interrupt,
+		Obs:             sc.Obs,
+		Registry:        sc.ObsRegistry,
 	}, s, sc.Jobs)
 	if err != nil {
 		return nil, err

@@ -327,3 +327,13 @@ func (g *Gurita) targetQueue(f *sim.FlowState) int {
 	}
 	return jobQ
 }
+
+// DecisionScore implements sim.DecisionScorer: the coflow's standing
+// blocking-effect Ψ — the LBEF scalar the thresholds discretize. The job
+// aggregate Σψ also shapes the final queue (targetQueue takes the worse of
+// the two demotions); the per-coflow Ψ is the value worth auditing because
+// it is what distinguishes LBEF from plain TBS ordering.
+func (g *Gurita) DecisionScore(f *sim.FlowState) (float64, bool) {
+	p, ok := g.psiC[f.Coflow.Coflow.ID]
+	return p, ok
+}

@@ -143,9 +143,11 @@ var outputBearing = append([]string{
 	"gurita/internal/topo",
 	"gurita/internal/trace",
 	"gurita/internal/runner",
+	"gurita/internal/obs",
 	"gurita/cmd/figures",
 	"gurita/cmd/guritasim",
 	"gurita/cmd/tracegen",
+	"gurita/cmd/obsvalidate",
 }, simCritical...)
 
 // Analyzers returns the full suite in deterministic order.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"gurita/internal/coflow"
 	"gurita/internal/sim"
@@ -24,6 +25,10 @@ type ResultDoc struct {
 	MaxActiveFlows int         `json:"max_active_flows"`
 	Jobs           []JobDoc    `json:"jobs"`
 	Coflows        []CoflowDoc `json:"coflows,omitempty"`
+	// Counters are the engine's deterministic work counters and flattened
+	// histograms (see obs.Registry.Merge), always recorded by the engine;
+	// absent only in documents written before the field existed.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // JobDoc is one finished job row.
@@ -89,7 +94,88 @@ func NewResultDoc(r *sim.Result, includeCoflows bool) ResultDoc {
 			})
 		}
 	}
+	if len(r.Counters) > 0 {
+		doc.Counters = make(map[string]int64, len(r.Counters))
+		for k, v := range r.Counters {
+			doc.Counters[k] = v
+		}
+	}
 	return doc
+}
+
+// ValidationError is the typed error ReadResultJSON and Validate report for
+// a structurally well-formed document carrying values the aggregation
+// pipeline cannot digest (non-finite times, negative counts). Field names
+// the offending location.
+type ValidationError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("metrics: invalid result document: %s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects documents whose numeric payloads would poison downstream
+// aggregation: every time, JCT/CCT, and average must be finite (NaN and ±Inf
+// are always bugs — the simulator cannot produce them — and one NaN silently
+// corrupts every mean and percentile computed from the doc), completion
+// times and averages non-negative, and byte/event counts non-negative.
+// Zero-flow coflows (zero bytes, zero width, zero CCT) are legal: generators
+// can emit structural placeholder stages.
+func (d *ResultDoc) Validate() error {
+	check := func(field string, v float64, allowNeg bool) *ValidationError {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &ValidationError{Field: field, Reason: fmt.Sprintf("non-finite value %v", v)}
+		}
+		if !allowNeg && v < 0 {
+			return &ValidationError{Field: field, Reason: fmt.Sprintf("negative value %v", v)}
+		}
+		return nil
+	}
+	if err := check("avg_jct", d.AvgJCT, false); err != nil {
+		return err
+	}
+	if err := check("avg_cct", d.AvgCCT, false); err != nil {
+		return err
+	}
+	if err := check("end_time", d.EndTime, false); err != nil {
+		return err
+	}
+	if d.Events < 0 || d.TotalBytes < 0 || d.MaxActiveFlows < 0 {
+		return &ValidationError{Field: "events/total_bytes/max_active_flows", Reason: "negative count"}
+	}
+	for i, j := range d.Jobs {
+		f := func(name string) string { return fmt.Sprintf("jobs[%d].%s", i, name) }
+		if err := check(f("arrival"), j.Arrival, false); err != nil {
+			return err
+		}
+		if err := check(f("finished"), j.Finished, false); err != nil {
+			return err
+		}
+		if err := check(f("jct"), j.JCT, false); err != nil {
+			return err
+		}
+		if j.TotalBytes < 0 {
+			return &ValidationError{Field: f("total_bytes"), Reason: "negative count"}
+		}
+	}
+	for i, c := range d.Coflows {
+		f := func(name string) string { return fmt.Sprintf("coflows[%d].%s", i, name) }
+		if err := check(f("started"), c.Started, false); err != nil {
+			return err
+		}
+		if err := check(f("finished"), c.Finished, false); err != nil {
+			return err
+		}
+		if err := check(f("cct"), c.CCT, false); err != nil {
+			return err
+		}
+		if c.Bytes < 0 || c.Width < 0 {
+			return &ValidationError{Field: f("bytes"), Reason: "negative count"}
+		}
+	}
+	return nil
 }
 
 // Result reconstructs a sim.Result from the document. Per-job rows carry
@@ -127,6 +213,12 @@ func (d *ResultDoc) Result() *sim.Result {
 			Width:    c.Width,
 		})
 	}
+	if len(d.Counters) > 0 {
+		r.Counters = make(map[string]int64, len(d.Counters))
+		for k, v := range d.Counters {
+			r.Counters[k] = v
+		}
+	}
 	return r
 }
 
@@ -144,11 +236,15 @@ func WriteResultJSON(w io.Writer, r *sim.Result, includeCoflows bool) error {
 }
 
 // ReadResultJSON parses a document written by WriteResultJSON back into a
-// sim.Result (see ResultDoc.Result for what is restored).
+// sim.Result (see ResultDoc.Result for what is restored). Documents carrying
+// non-finite or negative payloads are rejected with a *ValidationError.
 func ReadResultJSON(r io.Reader) (*sim.Result, error) {
 	var doc ResultDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("metrics: decoding result: %w", err)
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
 	}
 	return doc.Result(), nil
 }

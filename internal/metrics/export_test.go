@@ -3,6 +3,10 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
 	"testing"
 
 	"gurita/internal/coflow"
@@ -133,5 +137,100 @@ func TestResultDocRoundTrip(t *testing.T) {
 	}
 	if len(slim.Coflows) != 0 || len(slim.Jobs) != 2 {
 		t.Fatalf("jobs-only reconstruction: %d coflows, %d jobs", len(slim.Coflows), len(slim.Jobs))
+	}
+}
+
+func TestResultDocCountersRoundTrip(t *testing.T) {
+	r := &sim.Result{
+		Scheduler: "gurita",
+		EndTime:   1,
+		Events:    10,
+		Jobs:      []sim.JobResult{{JobID: 1, Finished: 1, JCT: 1}},
+		Counters: map[string]int64{
+			"netmod_reallocs":      42,
+			"sched_dirty_set_le_1": 9,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, r, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Counters, r.Counters) {
+		t.Fatalf("counters round trip: %v vs %v", back.Counters, r.Counters)
+	}
+	// Aliasing: the doc must hold its own copy.
+	doc := NewResultDoc(r, false)
+	doc.Counters["netmod_reallocs"] = 0
+	if r.Counters["netmod_reallocs"] != 42 {
+		t.Fatal("NewResultDoc aliased the source counters map")
+	}
+}
+
+func TestResultDocZeroFlowCoflow(t *testing.T) {
+	// Structural placeholder stages: zero bytes, zero width, zero CCT.
+	// These are legal and must survive the round trip unflagged.
+	r := &sim.Result{
+		Scheduler: "gurita",
+		Jobs:      []sim.JobResult{{JobID: 1}},
+		Coflows:   []sim.CoflowResult{{CoflowID: 5, JobID: 1, Stage: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, r, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatalf("zero-flow coflow rejected: %v", err)
+	}
+	if len(back.Coflows) != 1 || back.Coflows[0].Bytes != 0 || back.Coflows[0].Width != 0 {
+		t.Fatalf("zero-flow coflow mangled: %+v", back.Coflows)
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*ResultDoc)
+		field string
+	}{
+		{"nan avg_jct", func(d *ResultDoc) { d.AvgJCT = math.NaN() }, "avg_jct"},
+		{"+inf avg_cct", func(d *ResultDoc) { d.AvgCCT = math.Inf(1) }, "avg_cct"},
+		{"-inf end_time", func(d *ResultDoc) { d.EndTime = math.Inf(-1) }, "end_time"},
+		{"negative events", func(d *ResultDoc) { d.Events = -1 }, "events"},
+		{"nan jct", func(d *ResultDoc) { d.Jobs[0].JCT = math.NaN() }, "jobs[0].jct"},
+		{"inf job finished", func(d *ResultDoc) { d.Jobs[0].Finished = math.Inf(1) }, "jobs[0].finished"},
+		{"negative job bytes", func(d *ResultDoc) { d.Jobs[0].TotalBytes = -5 }, "jobs[0].total_bytes"},
+		{"nan cct", func(d *ResultDoc) { d.Coflows[0].CCT = math.NaN() }, "coflows[0].cct"},
+		{"negative coflow bytes", func(d *ResultDoc) { d.Coflows[0].Bytes = -1 }, "coflows[0].bytes"},
+	}
+	for _, c := range cases {
+		doc := ResultDoc{
+			Scheduler: "x",
+			Jobs:      []JobDoc{{ID: 1, JCT: 1, Finished: 1}},
+			Coflows:   []CoflowDoc{{ID: 2, JobID: 1, CCT: 1}},
+		}
+		c.mut(&doc)
+		err := doc.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error not a *ValidationError: %T", c.name, err)
+			continue
+		}
+		if !strings.Contains(ve.Field, c.field) && !strings.Contains(c.field, ve.Field) {
+			t.Errorf("%s: field %q, want %q", c.name, ve.Field, c.field)
+		}
+	}
+	// A clean doc validates.
+	doc := ResultDoc{Jobs: []JobDoc{{ID: 1}}, Coflows: []CoflowDoc{{ID: 2}}}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("clean doc rejected: %v", err)
 	}
 }

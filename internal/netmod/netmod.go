@@ -124,6 +124,34 @@ type Allocator struct {
 	spill      []*FlowDemand
 	touched    []topo.LinkID // links crossed by the current water-fill's flows
 	work       []*FlowDemand // unfrozen working set, compacted between rounds
+
+	// Cumulative work counters (see Stats). Plain increments on paths that
+	// already do real work, so they cost nothing measurable and — being
+	// derived purely from the demand trajectory — are deterministic.
+	stReallocs   int64
+	stTierSolves int64
+	stWFRounds   int64
+}
+
+// Stats are cumulative allocator work counters since construction: how many
+// Reallocate calls did work, how many per-tier water-fill passes ran (SPQ
+// suffix re-solves, WRR guaranteed-share phases and spill passes all count),
+// and how many progressive-filling rounds those passes iterated. They are a
+// pure function of the demand trajectory, so identical runs report identical
+// stats; the engine folds them into Result.Counters.
+type Stats struct {
+	Reallocs        int64
+	TierSolves      int64
+	WaterfillRounds int64
+}
+
+// Stats returns the allocator's cumulative work counters.
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		Reallocs:        a.stReallocs,
+		TierSolves:      a.stTierSolves,
+		WaterfillRounds: a.stWFRounds,
+	}
 }
 
 // Option configures an Allocator.
@@ -437,6 +465,7 @@ func (a *Allocator) Reallocate() {
 	if a.dirtyMin >= a.queues {
 		return
 	}
+	a.stReallocs++
 	switch a.mode {
 	case ModeSPQ:
 		start := a.dirtyMin
@@ -596,6 +625,7 @@ func (a *Allocator) registerCounts(fl []*FlowDemand) {
 // round's freeze decisions read only residuals fixed before the freeze
 // sweep — so only the iteration sets shrink, never the arithmetic.
 func (a *Allocator) waterfill(fl []*FlowDemand) {
+	a.stTierSolves++
 	work := a.work[:0]
 	for _, f := range fl {
 		if !f.frozen {
@@ -607,6 +637,7 @@ func (a *Allocator) waterfill(fl []*FlowDemand) {
 	// rounds are bounded; the guard protects against float corner cases.
 	maxRounds := len(a.used) + len(fl) + 2
 	for round := 0; len(work) > 0 && round < maxRounds; round++ {
+		a.stWFRounds++
 		// The water level can rise by the smallest per-link fair share...
 		d := -1.0
 		for _, l := range a.touched {

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// line is the JSONL envelope shared by the streaming sink and the flight
+// recorder's dump: a type tag plus exactly one payload.
+type line struct {
+	Type     string    `json:"type"`
+	Event    *Event    `json:"event,omitempty"`
+	Decision *Decision `json:"decision,omitempty"`
+}
+
+// JSONL streams every event and decision as one JSON line to a writer,
+// buffered. It is the unbounded-run alternative to the Collector: nothing
+// is retained in memory, so it records arbitrarily long trials at constant
+// space. The stream is deterministic: lines appear in record order with
+// virtual timestamps only.
+//
+// JSONL is explicitly not zero-cost — encoding allocates — so it is a sink
+// you arm, never a default. The first write error is retained and surfaced
+// by Flush (and suppresses further writes), so a full disk degrades to a
+// truncated log, not a crashed run.
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a streaming sink writing to w. Call Flush when the run
+// completes.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements Sink.
+func (j *JSONL) Event(e Event) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(line{Type: "event", Event: &e}); err != nil {
+		j.err = fmt.Errorf("obs: streaming event: %w", err)
+	}
+}
+
+// Decision implements Sink.
+func (j *JSONL) Decision(d Decision) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(line{Type: "decision", Decision: &d}); err != nil {
+		j.err = fmt.Errorf("obs: streaming decision: %w", err)
+	}
+}
+
+// Flush drains the buffer and reports the first error the sink hit.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flushing stream: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a dump or stream written by Ring.WriteJSONL or the JSONL
+// sink back into its events and decisions (header lines are skipped). Used
+// by tooling and tests to round-trip recordings.
+func ReadJSONL(r io.Reader) (events []Event, decisions []Decision, err error) {
+	dec := json.NewDecoder(r)
+	for {
+		var l line
+		if err := dec.Decode(&l); err == io.EOF {
+			return events, decisions, nil
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("obs: reading JSONL: %w", err)
+		}
+		switch {
+		case l.Event != nil:
+			events = append(events, *l.Event)
+		case l.Decision != nil:
+			decisions = append(decisions, *l.Decision)
+		}
+	}
+}

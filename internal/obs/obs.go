@@ -1,0 +1,339 @@
+// Package obs is the observability subsystem: a deterministic,
+// zero-cost-when-disabled telemetry layer the simulation engine, the
+// schedulers, and the campaign runner report into.
+//
+// Three ideas organize the package:
+//
+//   - Typed events. Everything the engine can report is an Event — a small,
+//     fixed-size value stamped with *virtual* simulation time only (never
+//     wall clock, which would break replay identity). Scheduler decisions
+//     get their own richer record, Decision, capturing each AssignQueues
+//     outcome (coflow, score, queue, dirty-set size).
+//
+//   - Pluggable sinks. A Sink receives events and decisions. The engine
+//     holds a nil-checked Sink reference: when nil, the hot path is a single
+//     pointer compare and no event value is even constructed, so recording
+//     disabled costs nothing (see BenchmarkObsDisabledOverhead). Sinks
+//     provided here: Ring (the flight recorder — fixed-capacity, oldest
+//     evicted first, dumpable after a failure), Collector (unbounded, feeds
+//     the Chrome trace exporter), JSONL (streaming writer), and Tee.
+//
+//   - Determinism. Every export is a pure function of the recorded sequence:
+//     no map-order dependence, no timestamps from the host. The same trial
+//     replays to byte-identical dumps and traces, so observability output
+//     can be diffed across policies and code versions — which is the point.
+//
+// The counters/histograms registry lives in registry.go; the Chrome
+// trace_event exporter in trace.go.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind classifies an Event.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	// KindJobArrival: a job entered the system. Job is set.
+	KindJobArrival Kind = iota + 1
+	// KindStageRelease: a coflow's DAG precedence was satisfied and its
+	// flows are being released — a stage boundary. Job, Coflow, Stage set.
+	KindStageRelease
+	// KindCoflowStart: the coflow's first flow was admitted. Job, Coflow,
+	// Stage set.
+	KindCoflowStart
+	// KindFlowStart: one flow was admitted. Flow, Coflow, Job set; Val is
+	// the flow's size in bytes.
+	KindFlowStart
+	// KindFlowFinish: one flow drained. Flow, Coflow, Job set.
+	KindFlowFinish
+	// KindCoflowFinish: all of a coflow's flows completed. Job, Coflow,
+	// Stage set; Val is the coflow completion time.
+	KindCoflowFinish
+	// KindJobFinish: the job's last coflow completed. Job set; Val is the
+	// job completion time.
+	KindJobFinish
+	// KindPriorityChange: the scheduler moved an in-flight flow to a new
+	// queue. Flow, Coflow, Job, Queue (the new queue) set.
+	KindPriorityChange
+	// KindFault: a fault-schedule event fired. Arg is the faults.Kind
+	// ordinal; Val carries the kind-specific scalar (capacity factor,
+	// delay, round count).
+	KindFault
+	// KindStall: a flow lost its last surviving path and was parked.
+	// Flow, Coflow, Job set.
+	KindStall
+	// KindReadmit: a stalled flow was readmitted after repair. Flow,
+	// Coflow, Job set.
+	KindReadmit
+	// KindReallocation: the rate allocator re-solved. Arg is the lowest
+	// dirty priority tier; Val is the active-flow count.
+	KindReallocation
+	// KindInvariant: an engine invariant check failed; the run is about to
+	// abort. The flight recorder should be dumped.
+	KindInvariant
+)
+
+var kindNames = [...]string{
+	KindJobArrival:     "job-arrival",
+	KindStageRelease:   "stage-release",
+	KindCoflowStart:    "coflow-start",
+	KindFlowStart:      "flow-start",
+	KindFlowFinish:     "flow-finish",
+	KindCoflowFinish:   "coflow-finish",
+	KindJobFinish:      "job-finish",
+	KindPriorityChange: "priority-change",
+	KindFault:          "fault",
+	KindStall:          "stall",
+	KindReadmit:        "readmit",
+	KindReallocation:   "reallocation",
+	KindInvariant:      "invariant-violation",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MarshalJSON writes the kind as its stable string name, so dumps and
+// traces read without a decoder ring and survive renumbering.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts the string names written by MarshalJSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("obs: event kind: %w", err)
+	}
+	for i, n := range kindNames {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one simulation event as seen by the flight recorder. It is a
+// small fixed-size value — no pointers, no heap — so a Ring of them is one
+// allocation for the whole run. T is virtual simulation time in seconds;
+// wall clock never appears anywhere in this package.
+//
+// Field use is kind-specific (see the Kind constants); unused fields are
+// zero. IDs are widened to int64 so the package does not import the model
+// packages (and so the sim → obs dependency is one-way).
+type Event struct {
+	T      float64 `json:"t"`
+	Kind   Kind    `json:"kind"`
+	Job    int64   `json:"job"`
+	Coflow int64   `json:"coflow"`
+	Flow   int64   `json:"flow"`
+	Stage  int32   `json:"stage"`
+	Queue  int32   `json:"queue"`
+	Arg    int64   `json:"arg"`
+	Val    float64 `json:"val"`
+}
+
+// Decision is one scheduler decision: the queue AssignQueues gave a flow,
+// the score that drove it (Ψ for Gurita, accumulated TBS bytes for
+// Stream/Aalo — HasScore is false for schedulers that expose none), and the
+// dirty-set size of the call, which is what the incremental engine's cost
+// is proportional to.
+type Decision struct {
+	T        float64 `json:"t"`
+	Job      int64   `json:"job"`
+	Coflow   int64   `json:"coflow"`
+	Flow     int64   `json:"flow"`
+	Queue    int32   `json:"queue"`
+	Score    float64 `json:"score"`
+	HasScore bool    `json:"has_score"`
+	// Dirty is the number of pre-existing flows whose queue the call moved.
+	Dirty int32 `json:"dirty"`
+	// New marks a newly admitted flow's first assignment (vs a reassignment
+	// of an in-flight flow).
+	New bool `json:"new"`
+}
+
+// Sink receives recorded telemetry. Implementations must not retain
+// argument aliasing concerns — Event and Decision are values. Sinks are
+// called from the single simulation goroutine; they need not be
+// thread-safe unless shared across runs.
+type Sink interface {
+	Event(e Event)
+	Decision(d Decision)
+}
+
+// Ring is the flight recorder: a fixed-capacity ring buffer of the most
+// recent events and decisions. When the buffer is full the oldest entry is
+// evicted and counted in Dropped, so a long healthy run costs constant
+// memory and a crash still has the trailing window that explains it.
+type Ring struct {
+	events    []Event
+	decisions []Decision
+	eNext     int
+	dNext     int
+	eFull     bool
+	dFull     bool
+	eDropped  int64
+	dDropped  int64
+}
+
+// DefaultRingCap is the flight-recorder capacity used when a caller asks
+// for a ring without sizing it: deep enough to hold the full tail of a
+// quick-scale trial, small enough to be footnote-sized in memory.
+const DefaultRingCap = 1 << 16
+
+// NewRing returns a flight recorder holding up to cap events and cap
+// decisions; cap <= 0 selects DefaultRingCap.
+func NewRing(cap int) *Ring {
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &Ring{
+		events:    make([]Event, 0, cap),
+		decisions: make([]Decision, 0, cap),
+	}
+}
+
+// Event implements Sink. Amortized zero-allocation: the backing array is
+// allocated once at construction.
+func (r *Ring) Event(e Event) {
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.eNext] = e
+	r.eNext++
+	if r.eNext == len(r.events) {
+		r.eNext = 0
+	}
+	r.eFull = true
+	r.eDropped++
+}
+
+// Decision implements Sink.
+func (r *Ring) Decision(d Decision) {
+	if len(r.decisions) < cap(r.decisions) {
+		r.decisions = append(r.decisions, d)
+		return
+	}
+	r.decisions[r.dNext] = d
+	r.dNext++
+	if r.dNext == len(r.decisions) {
+		r.dNext = 0
+	}
+	r.dFull = true
+	r.dDropped++
+}
+
+// Events returns the recorded events, oldest first, as a fresh slice.
+func (r *Ring) Events() []Event {
+	if !r.eFull {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.eNext:]...)
+	out = append(out, r.events[:r.eNext]...)
+	return out
+}
+
+// Decisions returns the recorded decisions, oldest first, as a fresh slice.
+func (r *Ring) Decisions() []Decision {
+	if !r.dFull {
+		return append([]Decision(nil), r.decisions...)
+	}
+	out := make([]Decision, 0, len(r.decisions))
+	out = append(out, r.decisions[r.dNext:]...)
+	out = append(out, r.decisions[:r.dNext]...)
+	return out
+}
+
+// Dropped returns how many events and decisions were evicted to make room.
+func (r *Ring) Dropped() (events, decisions int64) { return r.eDropped, r.dDropped }
+
+// WriteJSONL dumps the recorder: one header line with drop counts, then
+// every retained event and decision as a JSON line, each section oldest
+// first. The output is a pure function of the recorded sequence.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		Obs              string `json:"obs"`
+		DroppedEvents    int64  `json:"dropped_events"`
+		DroppedDecisions int64  `json:"dropped_decisions"`
+	}{"flight-recorder", r.eDropped, r.dDropped}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("obs: writing dump header: %w", err)
+	}
+	for _, e := range r.Events() {
+		if err := enc.Encode(line{Type: "event", Event: &e}); err != nil {
+			return fmt.Errorf("obs: writing dump event: %w", err)
+		}
+	}
+	for _, d := range r.Decisions() {
+		if err := enc.Encode(line{Type: "decision", Decision: &d}); err != nil {
+			return fmt.Errorf("obs: writing dump decision: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flushing dump: %w", err)
+	}
+	return nil
+}
+
+// Collector retains every event and decision, unbounded — the input to
+// timeline export, where the whole trajectory is wanted. For long runs
+// prefer the Ring (bounded) or JSONL (streaming) sinks.
+type Collector struct {
+	events    []Event
+	decisions []Decision
+}
+
+// Event implements Sink.
+func (c *Collector) Event(e Event) { c.events = append(c.events, e) }
+
+// Decision implements Sink.
+func (c *Collector) Decision(d Decision) { c.decisions = append(c.decisions, d) }
+
+// Events returns every recorded event in record order (aliased, not
+// copied; the caller owns the collector).
+func (c *Collector) Events() []Event { return c.events }
+
+// Decisions returns every recorded decision in record order.
+func (c *Collector) Decisions() []Decision { return c.decisions }
+
+// Tee fans out to several sinks in argument order.
+func Tee(sinks ...Sink) Sink {
+	// Flatten nils so callers can pass optional sinks straight through.
+	out := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return tee(out)
+}
+
+type tee []Sink
+
+func (t tee) Event(e Event) {
+	for _, s := range t {
+		s.Event(e)
+	}
+}
+
+func (t tee) Decision(d Decision) {
+	for _, s := range t {
+		s.Decision(d)
+	}
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func ev(t float64, k Kind, job, coflow, flow int64) Event {
+	return Event{T: t, Kind: k, Job: job, Coflow: coflow, Flow: flow}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := KindJobArrival; k <= KindInvariant; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v: got %v", k, back)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &k); err == nil {
+		t.Fatal("unknown kind name accepted")
+	}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Event(ev(float64(i), KindFlowStart, 1, 2, int64(i)))
+	}
+	got := r.Events()
+	if len(got) != 5 {
+		t.Fatalf("got %d events, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Flow != int64(i) {
+			t.Fatalf("event %d: flow %d, want %d", i, e.Flow, i)
+		}
+	}
+	if de, dd := r.Dropped(); de != 0 || dd != 0 {
+		t.Fatalf("dropped %d/%d, want 0/0", de, dd)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Event(ev(float64(i), KindFlowFinish, 1, 2, int64(i)))
+		r.Decision(Decision{T: float64(i), Flow: int64(i)})
+	}
+	got := r.Events()
+	if len(got) != 4 {
+		t.Fatalf("got %d events, want 4", len(got))
+	}
+	// Oldest-first: flows 6,7,8,9 survive.
+	for i, e := range got {
+		if want := int64(i + 6); e.Flow != want {
+			t.Fatalf("event %d: flow %d, want %d", i, e.Flow, want)
+		}
+	}
+	dec := r.Decisions()
+	for i, d := range dec {
+		if want := int64(i + 6); d.Flow != want {
+			t.Fatalf("decision %d: flow %d, want %d", i, d.Flow, want)
+		}
+	}
+	if de, dd := r.Dropped(); de != 6 || dd != 6 {
+		t.Fatalf("dropped %d/%d, want 6/6", de, dd)
+	}
+}
+
+func TestRingDumpRoundTrip(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 6; i++ {
+		r.Event(ev(float64(i)*0.5, KindFlowStart, 3, 4, int64(i)))
+	}
+	r.Decision(Decision{T: 1.5, Job: 3, Coflow: 4, Queue: 2, Score: 7.25, HasScore: true, New: true})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"flight-recorder"`) {
+		t.Fatal("dump missing header line")
+	}
+	events, decisions, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+	if !reflect.DeepEqual(events, r.Events()) {
+		t.Fatalf("events round trip mismatch:\n%v\n%v", events, r.Events())
+	}
+	if !reflect.DeepEqual(decisions, r.Decisions()) {
+		t.Fatalf("decisions round trip mismatch:\n%v\n%v", decisions, r.Decisions())
+	}
+}
+
+func TestRingDumpDeterministic(t *testing.T) {
+	fill := func() *Ring {
+		r := NewRing(4)
+		for i := 0; i < 9; i++ {
+			r.Event(ev(float64(i), KindPriorityChange, int64(i%2), 10, int64(i)))
+		}
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := fill().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fill().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recordings dumped differently")
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	want := []Event{
+		ev(0.1, KindJobArrival, 1, 0, 0),
+		ev(0.2, KindCoflowStart, 1, 2, 0),
+		ev(0.9, KindCoflowFinish, 1, 2, 0),
+	}
+	for _, e := range want {
+		j.Event(e)
+	}
+	j.Decision(Decision{T: 0.2, Job: 1, Coflow: 2, Queue: 1})
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	events, decisions, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events mismatch: %v vs %v", events, want)
+	}
+	if len(decisions) != 1 || decisions[0].Coflow != 2 {
+		t.Fatalf("decisions mismatch: %v", decisions)
+	}
+}
+
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errShort
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "disk full" }
+
+func TestJSONLFirstErrorRetained(t *testing.T) {
+	j := NewJSONL(&errWriter{n: 0})
+	// Force enough volume to overflow the bufio buffer and surface the error.
+	for i := 0; i < 100000; i++ {
+		j.Event(ev(float64(i), KindFlowStart, 1, 1, int64(i)))
+	}
+	if err := j.Flush(); err == nil {
+		t.Fatal("flush after write error returned nil")
+	}
+}
+
+func TestTeeFansOutAndFlattensNil(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	s := Tee(nil, a, nil, b)
+	s.Event(ev(1, KindFault, 0, 0, 0))
+	s.Decision(Decision{T: 1})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatalf("tee did not fan out: %d/%d", len(a.Events()), len(b.Events()))
+	}
+	if len(a.Decisions()) != 1 || len(b.Decisions()) != 1 {
+		t.Fatal("tee dropped decisions")
+	}
+	// Single non-nil sink comes back unwrapped.
+	if got := Tee(nil, a); got != Sink(a) {
+		t.Fatalf("single-sink tee not unwrapped: %T", got)
+	}
+}
+
+func TestRegistryMergeDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Add("realloc_calls", 3)
+		r.Add("tier_resolves", 7)
+		r.Observe("wf_rounds", 1)
+		r.Observe("wf_rounds", 3)
+		r.Observe("wf_rounds", 3000000) // overflow bucket
+		r.Observe("queue_depth", 0)
+		return r
+	}
+	a, b := map[string]int64{}, map[string]int64{}
+	build().Merge(a)
+	build().Merge(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("merge nondeterministic:\n%v\n%v", a, b)
+	}
+	if a["realloc_calls"] != 3 || a["tier_resolves"] != 7 {
+		t.Fatalf("counters wrong: %v", a)
+	}
+	if a["wf_rounds_count"] != 3 {
+		t.Fatalf("wf_rounds_count = %d, want 3", a["wf_rounds_count"])
+	}
+	// Cumulative buckets: le_1 counts the 1-sample, le_4 counts 1 and 3.
+	if a["wf_rounds_le_1"] != 1 || a["wf_rounds_le_4"] != 2 {
+		t.Fatalf("cumulative buckets wrong: %v", a)
+	}
+	if a["wf_rounds_le_inf"] != 3 {
+		t.Fatalf("wf_rounds_le_inf = %d, want 3", a["wf_rounds_le_inf"])
+	}
+	if a["queue_depth_le_1"] != 1 || a["queue_depth_count"] != 1 {
+		t.Fatalf("queue_depth buckets wrong: %v", a)
+	}
+}
+
+func TestRegistryObserveEdgeValues(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("h", math.NaN())
+	r.Observe("h", -5)
+	r.Observe("h", math.Inf(1))
+	m := map[string]int64{}
+	r.Merge(m)
+	if m["h_count"] != 3 {
+		t.Fatalf("h_count = %d, want 3", m["h_count"])
+	}
+	// NaN and negative clamp into the first bucket; +Inf lands in overflow.
+	if m["h_le_1"] != 2 {
+		t.Fatalf("h_le_1 = %d, want 2", m["h_le_1"])
+	}
+	if m["h_le_inf"] != 3 {
+		t.Fatalf("h_le_inf = %d, want 3 (cumulative)", m["h_le_inf"])
+	}
+}
+
+func TestRegistryMergeAccumulates(t *testing.T) {
+	m := map[string]int64{"x": 5}
+	r := NewRegistry()
+	r.Add("x", 2)
+	r.Merge(m)
+	if m["x"] != 7 {
+		t.Fatalf("merge did not accumulate: %d", m["x"])
+	}
+}

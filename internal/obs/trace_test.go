@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleEvents is a tiny two-job trajectory exercising every track type.
+func sampleEvents() []Event {
+	return []Event{
+		{T: 0, Kind: KindJobArrival, Job: 1},
+		{T: 0, Kind: KindStageRelease, Job: 1, Coflow: 10, Stage: 0},
+		{T: 0, Kind: KindCoflowStart, Job: 1, Coflow: 10, Stage: 0},
+		{T: 0.5, Kind: KindJobArrival, Job: 2},
+		{T: 0.5, Kind: KindStageRelease, Job: 2, Coflow: 20, Stage: 0},
+		{T: 0.5, Kind: KindCoflowStart, Job: 2, Coflow: 20, Stage: 0},
+		{T: 0.7, Kind: KindFault, Arg: 1, Val: 0.5},
+		{T: 0.8, Kind: KindPriorityChange, Job: 1, Coflow: 10, Flow: 100, Queue: 3},
+		{T: 1.0, Kind: KindCoflowFinish, Job: 1, Coflow: 10, Stage: 0, Val: 1.0},
+		{T: 1.0, Kind: KindStageRelease, Job: 1, Coflow: 11, Stage: 1},
+		{T: 1.0, Kind: KindCoflowStart, Job: 1, Coflow: 11, Stage: 1},
+		{T: 1.6, Kind: KindCoflowFinish, Job: 1, Coflow: 11, Stage: 1, Val: 1.6},
+		{T: 1.6, Kind: KindJobFinish, Job: 1, Val: 1.6},
+		// Coflow 20 never finishes — exercises the open-span close-out.
+	}
+}
+
+func TestWriteChromeTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf,
+		TraceProcess{Name: "gurita", PID: 1, Events: sampleEvents()},
+		TraceProcess{Name: "tbs", PID: 2, Events: sampleEvents()[:7]},
+	)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("self-validation failed: %v", err)
+	}
+}
+
+func TestChromeTraceContent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, TraceProcess{Name: "gurita", PID: 1, Events: sampleEvents()}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int64   `json:"tid"`
+			S    string  `json:"s"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	spans, instants, meta := 0, 0, 0
+	var sawOpenClose, sawStage, sawFabric bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Name == "coflow 20 (stage 0)" {
+				sawOpenClose = true
+				// Closed at maxT=1.6: started 0.5 → dur 1.1s = 1.1e6 µs.
+				if e.Dur < 1.0e6 || e.Dur > 1.2e6 {
+					t.Fatalf("open span dur = %v", e.Dur)
+				}
+			}
+		case "i":
+			instants++
+			if strings.HasPrefix(e.Name, "stage release") {
+				sawStage = true
+				if e.S != "t" {
+					t.Fatalf("stage release scope = %q, want t", e.S)
+				}
+			}
+			if strings.HasPrefix(e.Name, "fault") {
+				sawFabric = true
+				if e.TID != fabricTID {
+					t.Fatalf("fault on tid %d, want fabric", e.TID)
+				}
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans != 3 { // coflows 10, 11, and the close-out of 20
+		t.Fatalf("spans = %d, want 3", spans)
+	}
+	if !sawOpenClose || !sawStage || !sawFabric {
+		t.Fatalf("missing content: openclose=%v stage=%v fabric=%v", sawOpenClose, sawStage, sawFabric)
+	}
+	// process_name + thread_name(fabric) + thread_name(job 1, job 2).
+	if meta != 4 {
+		t.Fatalf("meta = %d, want 4", meta)
+	}
+	if instants == 0 {
+		t.Fatal("no instants")
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, TraceProcess{Name: "p", PID: 1, Events: sampleEvents()}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("identical recordings exported differently")
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", `{"traceEvents": [`},
+		{"no traceEvents", `{"foo": 1}`},
+		{"missing name", `{"traceEvents":[{"ph":"i","ts":0,"pid":1,"tid":1}]}`},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]}`},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1,"s":"t"}]}`},
+		{"negative dur", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-2,"pid":1,"tid":1}]}`},
+		{"bad scope", `{"traceEvents":[{"name":"x","ph":"i","ts":0,"pid":1,"tid":1,"s":"z"}]}`},
+		{"missing pid", `{"traceEvents":[{"name":"x","ph":"i","ts":0,"tid":1,"s":"t"}]}`},
+	}
+	for _, c := range cases {
+		if err := ValidateChromeTrace([]byte(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty traceEvents rejected: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateChromeTrace checks that data is a structurally valid Chrome
+// trace_event JSON document of the shape WriteChromeTrace emits: a top-level
+// object with a traceEvents array whose entries carry the required fields
+// with sane values. It enforces the subset of the trace_event format this
+// package produces — enough for CI to catch a malformed export before a
+// human loads it into Perfetto, not a general-purpose validator.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	validPh := map[string]bool{
+		"M": true, "X": true, "i": true, "I": true,
+		"B": true, "E": true, "b": true, "e": true, "C": true,
+	}
+	validScope := map[string]bool{"g": true, "p": true, "t": true}
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name *string  `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  *int64   `json:"pid"`
+			TID  *int64   `json:"tid"`
+			S    string   `json:"s"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("obs: trace event %d: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return fmt.Errorf("obs: trace event %d: missing name", i)
+		}
+		if !validPh[ev.Ph] {
+			return fmt.Errorf("obs: trace event %d (%q): bad phase %q", i, *ev.Name, ev.Ph)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return fmt.Errorf("obs: trace event %d (%q): missing pid/tid", i, *ev.Name)
+		}
+		if ev.Ph == "M" {
+			continue // metadata events carry no timestamp
+		}
+		if ev.TS == nil || *ev.TS < 0 {
+			return fmt.Errorf("obs: trace event %d (%q): missing or negative ts", i, *ev.Name)
+		}
+		if ev.Ph == "X" && ev.Dur != nil && *ev.Dur < 0 {
+			return fmt.Errorf("obs: trace event %d (%q): negative dur", i, *ev.Name)
+		}
+		if (ev.Ph == "i" || ev.Ph == "I") && ev.S != "" && !validScope[ev.S] {
+			return fmt.Errorf("obs: trace event %d (%q): bad instant scope %q", i, *ev.Name, ev.S)
+		}
+	}
+	return nil
+}

@@ -42,6 +42,14 @@ type TrialFailure struct {
 	TimedOut bool `json:"timedOut,omitempty"`
 	// Attempts is how many times the trial executed (1 + retries taken).
 	Attempts int `json:"attempts"`
+	// Schema is the cache schema version the campaign ran under ("" when
+	// uncached). With SpecHash it makes the manifest replayable after a
+	// schema bump: the failed spec is identified by content, and the schema
+	// records which trial semantics produced the failure.
+	Schema string `json:"schema,omitempty"`
+	// SpecHash is the schema-independent content hash of the trial's spec
+	// (see SpecHash).
+	SpecHash string `json:"specHash,omitempty"`
 }
 
 // DefaultTransient is the retry classifier used when Options.Transient is
@@ -116,7 +124,7 @@ func attemptTrial[S, R any](ctx context.Context, spec S, exec func(context.Conte
 
 // failureFor builds the manifest entry for a trial that exhausted its
 // attempts.
-func failureFor(index int, key string, attempts int, err error) TrialFailure {
+func failureFor(index int, key, schema, specHash string, attempts int, err error) TrialFailure {
 	var pe *PanicError
 	return TrialFailure{
 		Index:    index,
@@ -125,5 +133,7 @@ func failureFor(index int, key string, attempts int, err error) TrialFailure {
 		Panicked: errors.As(err, &pe),
 		TimedOut: errors.Is(err, context.DeadlineExceeded),
 		Attempts: attempts,
+		Schema:   schema,
+		SpecHash: specHash,
 	}
 }

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Introspector is the live campaign introspection endpoint: a tiny HTTP
+// server publishing the most recent Progress snapshot as expvar-style JSON.
+// It is read-only and observation-only — it never touches trial execution,
+// so serving (or not serving, or curling mid-run) cannot perturb results.
+//
+// Wire it up by teeing its Update method into Options.Progress and curl the
+// address:
+//
+//	GET /campaign   →  {"done":12,"total":64,"cache_hits":3,...}
+//
+// "/" serves the same document for convenience.
+type Introspector struct {
+	mu   sync.Mutex
+	snap introspectDoc
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// introspectDoc is the served JSON document.
+type introspectDoc struct {
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	CacheHits      int     `json:"cache_hits"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Failures       int     `json:"failures"`
+	Retries        int     `json:"retries"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	EtaSeconds     float64 `json:"eta_seconds"`
+	Running        bool    `json:"running"`
+}
+
+// NewIntrospector starts serving on addr (e.g. "localhost:6070"; ":0" picks
+// a free port — read it back with Addr). The server runs until Close.
+func NewIntrospector(addr string) (*Introspector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("runner: introspection listener: %w", err)
+	}
+	in := &Introspector{ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", in.handle)
+	mux.HandleFunc("/campaign", in.handle)
+	in.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(in.done)
+		// ErrServerClosed is the normal Close path; anything else is lost —
+		// introspection is best-effort by design and must not sink a campaign.
+		_ = in.srv.Serve(ln)
+	}()
+	return in, nil
+}
+
+// Addr returns the address the server is listening on.
+func (in *Introspector) Addr() string { return in.ln.Addr().String() }
+
+// Update publishes a progress snapshot; hand it to Options.Progress (or call
+// it from an existing progress callback). Safe for concurrent use.
+func (in *Introspector) Update(p Progress) {
+	in.mu.Lock()
+	in.snap = snapshotOf(p, true)
+	in.mu.Unlock()
+}
+
+// Finish publishes the terminal snapshot from a campaign's final stats, so
+// a poll after completion reads the outcome rather than the last trial.
+func (in *Introspector) Finish(s Stats) {
+	in.mu.Lock()
+	in.snap = introspectDoc{
+		Done:           s.CacheHits + s.Executed + len(s.Failures),
+		Total:          s.Total,
+		CacheHits:      s.CacheHits,
+		CacheHitRate:   rate(s.CacheHits, s.CacheHits+s.Executed+len(s.Failures)),
+		Failures:       len(s.Failures),
+		Retries:        s.Retries,
+		ElapsedSeconds: s.Elapsed.Seconds(),
+		Running:        false,
+	}
+	in.mu.Unlock()
+}
+
+// Close stops the server. Idempotent.
+func (in *Introspector) Close() error {
+	err := in.srv.Close()
+	<-in.done
+	return err
+}
+
+func (in *Introspector) handle(w http.ResponseWriter, r *http.Request) {
+	in.mu.Lock()
+	snap := in.snap
+	in.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Best-effort: a half-written response to a dead client is not an error
+	// worth propagating anywhere.
+	_ = enc.Encode(snap)
+}
+
+func snapshotOf(p Progress, running bool) introspectDoc {
+	return introspectDoc{
+		Done:           p.Done,
+		Total:          p.Total,
+		CacheHits:      p.CacheHits,
+		CacheHitRate:   rate(p.CacheHits, p.Done),
+		Failures:       p.Failures,
+		Retries:        p.Retries,
+		ElapsedSeconds: p.Elapsed.Seconds(),
+		EtaSeconds:     p.ETA.Seconds(),
+		Running:        running,
+	}
+}
+
+func rate(hits, done int) float64 {
+	if done == 0 {
+		return 0
+	}
+	return float64(hits) / float64(done)
+}

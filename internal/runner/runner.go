@@ -43,6 +43,19 @@ func Key(schema string, spec any) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// SpecHash returns the schema-independent content hash of a spec: the hex
+// SHA-256 of its canonical JSON alone. Unlike Key it survives cache schema
+// bumps, which is why the failure manifest records it — a failed trial can
+// be matched to its spec in a replay even after the schema string moved on.
+func SpecHash(spec any) (string, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("runner: marshaling spec for hash: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Progress is a snapshot of a running campaign, delivered to
 // Options.Progress after every finished trial.
 type Progress struct {
@@ -50,6 +63,11 @@ type Progress struct {
 	Done, Total int
 	// CacheHits among the Done trials.
 	CacheHits int
+	// Failures recorded so far (ContinueOnError manifests).
+	Failures int
+	// Retries is the number of extra attempts taken so far across all
+	// trials, successful or not.
+	Retries int
 	// Elapsed wall-clock time since Run started.
 	Elapsed time.Duration
 	// ETA estimates the remaining wall-clock time from the average pace of
@@ -65,6 +83,9 @@ type Stats struct {
 	Executed int
 	// CacheHits is how many trials were served from the cache.
 	CacheHits int
+	// Retries is the number of extra attempts taken across all trials,
+	// successful and failed.
+	Retries int
 	// Failures is the failure manifest: trials that exhausted their attempts
 	// without a result, in grid order. Only populated under
 	// Options.ContinueOnError — without it the first failure aborts the
@@ -143,11 +164,24 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 	}
 
 	// Key every spec up front: a spec that cannot be hashed is a programming
-	// error better reported before any work starts.
+	// error better reported before any work starts. Spec hashes (schema-free)
+	// are computed regardless of caching: the failure manifest records them
+	// so a degraded campaign's failed trials stay identifiable across schema
+	// bumps.
 	keys := make([]string, len(specs))
+	specHashes := make([]string, len(specs))
+	schema := ""
 	if opts.Cache != nil {
-		for i, s := range specs {
-			k, err := Key(opts.Cache.Schema(), s)
+		schema = opts.Cache.Schema()
+	}
+	for i, s := range specs {
+		h, err := SpecHash(s)
+		if err != nil {
+			return nil, stats, err
+		}
+		specHashes[i] = h
+		if opts.Cache != nil {
+			k, err := Key(schema, s)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -187,16 +221,21 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 			Done:      done,
 			Total:     len(specs),
 			CacheHits: stats.CacheHits,
+			Failures:  len(stats.Failures),
+			Retries:   stats.Retries,
 			Elapsed:   elapsed,
 			ETA:       eta,
 		})
 	}
-	finish := func(cached bool) {
+	finish := func(cached bool, attempts int) {
 		mu.Lock()
 		if cached {
 			stats.CacheHits++
 		} else {
 			stats.Executed++
+		}
+		if attempts > 1 {
+			stats.Retries += attempts - 1
 		}
 		progressLocked()
 		mu.Unlock()
@@ -204,6 +243,9 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 	recordFailure := func(f TrialFailure) {
 		mu.Lock()
 		stats.Failures = append(stats.Failures, f)
+		if f.Attempts > 1 {
+			stats.Retries += f.Attempts - 1
+		}
 		progressLocked()
 		mu.Unlock()
 	}
@@ -225,14 +267,14 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 					// writes) and campaign cancellation still abort.
 					var infra *infraError
 					if opts.ContinueOnError && !errors.As(err, &infra) && ctx.Err() == nil {
-						recordFailure(failureFor(i, keys[i], attempts, err))
+						recordFailure(failureFor(i, keys[i], schema, specHashes[i], attempts, err))
 						continue
 					}
 					fail(err)
 					return
 				}
 				results[i] = res
-				finish(cached)
+				finish(cached, attempts)
 			}
 		}()
 	}

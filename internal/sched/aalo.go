@@ -146,3 +146,17 @@ func (a *Aalo) targetQueue(f *sim.FlowState) int {
 	}
 	return QueueFor(obs.Bytes, a.thresholds)
 }
+
+// DecisionScore implements sim.DecisionScorer: the coflow's accumulated TBS
+// bytes (live, or coordinator-round-stale when coordination is delayed) —
+// the scalar the thresholds discretize into a queue.
+func (a *Aalo) DecisionScore(f *sim.FlowState) (float64, bool) {
+	if a.agg == nil {
+		return f.Coflow.BytesSent, true
+	}
+	obs, ok := a.agg.Coflow(f.Coflow.Coflow.ID)
+	if !ok {
+		return 0, false
+	}
+	return obs.Bytes, true
+}

@@ -112,3 +112,13 @@ func (s *Stream) targetQueue(f *sim.FlowState) int {
 	}
 	return QueueFor(obs.Bytes, s.thresholds)
 }
+
+// DecisionScore implements sim.DecisionScorer: the job's aggregated TBS
+// bytes as of the last reporting round, the scalar targetQueue thresholds.
+func (s *Stream) DecisionScore(f *sim.FlowState) (float64, bool) {
+	obs, ok := s.agg.Job(f.Coflow.Job.Job.ID)
+	if !ok {
+		return 0, false
+	}
+	return obs.Bytes, true
+}

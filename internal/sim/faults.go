@@ -31,6 +31,7 @@ import (
 
 	"gurita/internal/eventq"
 	"gurita/internal/faults"
+	"gurita/internal/obs"
 	"gurita/internal/topo"
 )
 
@@ -73,8 +74,8 @@ func (s *Simulator) scheduleFaults() error {
 	}
 	s.faultsOn = true
 	s.downRef = make([]int32, s.cfg.Topology.NumLinks())
-	if obs, ok := s.sched.(ControlFaultObserver); ok {
-		s.ctrlObs = obs
+	if cfo, ok := s.sched.(ControlFaultObserver); ok {
+		s.ctrlObs = cfo
 	}
 	s.pendingFaults = len(sched.Events)
 	for _, ev := range sched.Events {
@@ -90,6 +91,13 @@ func (s *Simulator) scheduleFaults() error {
 func (s *Simulator) handleFault(ev faults.Event) {
 	s.pendingFaults--
 	s.faultFired = true
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindFault,
+			Arg: int64(ev.Kind), Val: ev.Factor,
+		})
+	}
+	s.reg.Add("faults_fired", 1)
 	switch ev.Kind {
 	case faults.LinkDown:
 		s.linkDownDelta(ev.Link, +1)
@@ -262,6 +270,14 @@ func (s *Simulator) stallFlow(fs *FlowState) {
 		fs.activeIdx = -1
 	}
 	fs.Demand.Rate = 0
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindStall,
+			Job: int64(fs.Coflow.Job.Job.ID), Coflow: int64(fs.Coflow.Coflow.ID),
+			Flow: int64(fs.Flow.ID),
+		})
+	}
+	s.reg.Add("flow_stalls", 1)
 	st := &stalledFlow{fs: fs, idx: len(s.stalled)}
 	s.stalled = append(s.stalled, st)
 	s.scheduleRetry(st)
@@ -302,6 +318,14 @@ func (s *Simulator) readmit(st *stalledFlow, path []topo.LinkID) {
 	fs.activeIdx = len(s.active)
 	s.active = append(s.active, fs)
 	s.added = append(s.added, fs)
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindReadmit,
+			Job: int64(fs.Coflow.Job.Job.ID), Coflow: int64(fs.Coflow.Coflow.ID),
+			Flow: int64(fs.Flow.ID),
+		})
+	}
+	s.reg.Add("flow_readmits", 1)
 	if len(s.active) > s.result.MaxActiveFlows {
 		s.result.MaxActiveFlows = len(s.active)
 	}

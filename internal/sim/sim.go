@@ -24,6 +24,7 @@ import (
 	"gurita/internal/eventq"
 	"gurita/internal/faults"
 	"gurita/internal/netmod"
+	"gurita/internal/obs"
 	"gurita/internal/topo"
 )
 
@@ -193,6 +194,15 @@ type Scheduler interface {
 	AssignQueues(now float64, flows, added, dirty []*FlowState) []*FlowState
 }
 
+// DecisionScorer is optionally implemented by schedulers that can expose
+// the scalar driving a flow's queue assignment — Gurita's Ψ, accumulated
+// TBS bytes. When the decision audit log is armed (Config.Obs) the engine
+// records the score alongside each assignment; schedulers without a
+// meaningful scalar simply don't implement it. Must be side-effect free.
+type DecisionScorer interface {
+	DecisionScore(f *FlowState) (score float64, ok bool)
+}
+
 // DependencyMode selects the granularity at which DAG precedence releases
 // work.
 type DependencyMode int
@@ -283,6 +293,18 @@ type Config struct {
 	// per-trial timeouts without touching determinism: polling frequency
 	// never influences the trajectory, only how promptly an abort lands.
 	Interrupt func() error
+	// Obs, when non-nil, receives typed simulation events and scheduler
+	// decisions (see internal/obs). The nil default is the zero-cost path:
+	// every emission is guarded by a single pointer compare and no event
+	// value is constructed. Sinks are invoked synchronously from the
+	// simulation goroutine and must never influence the trajectory.
+	Obs obs.Sink
+	// Registry, when non-nil, is the counter/histogram registry the engine
+	// feeds instead of its internal one, so callers can read aggregates
+	// beyond Result.Counters. Engine counters are collected either way and
+	// always folded into Result.Counters: results are a pure function of the
+	// scenario, never of observability settings.
+	Registry *obs.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -352,6 +374,12 @@ type Result struct {
 	// MaxActiveFlows is the peak number of concurrently transmitting flows,
 	// a load indicator for the run.
 	MaxActiveFlows int
+	// Counters are deterministic engine work counters and histograms:
+	// allocator re-solves, water-fill rounds, dirty-set and active-flow
+	// distributions (histograms flattened Prometheus-style, see
+	// obs.Registry.Merge). Always populated, independent of observability
+	// settings, so a Result stays a pure function of the scenario.
+	Counters map[string]int64
 }
 
 // AvgJCT returns the average job completion time, or 0 with no jobs.
@@ -433,6 +461,14 @@ type Simulator struct {
 	faultErr       error
 	switchLinksBuf []topo.LinkID
 
+	// Observability (always-on registry feeds; event emission only when
+	// cfg.Obs != nil). histDirty/histActive are pre-resolved handles so the
+	// per-event cost is an array increment, not a map lookup.
+	reg        *obs.Registry
+	histDirty  obs.Histogram
+	histActive obs.Histogram
+	scorer     DecisionScorer
+
 	// Flow conservation counters for CheckInvariants.
 	startedFlows  int64
 	finishedFlows int64
@@ -475,6 +511,15 @@ func New(cfg Config, sched Scheduler, jobs []*coflow.Job) (*Simulator, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	s := &Simulator{cfg: cfg, sched: sched, alloc: alloc}
+	s.reg = cfg.Registry
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.histDirty = s.reg.Histogram("sched_dirty_set")
+	s.histActive = s.reg.Histogram("active_flows")
+	if ds, ok := sched.(DecisionScorer); ok {
+		s.scorer = ds
+	}
 	if cfg.VerifyIncremental {
 		s.verify, err = netmod.NewAllocator(cfg.Topology, cfg.Queues, cfg.Mode,
 			netmod.WithUtilization(cfg.Utilization))
@@ -600,6 +645,7 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 		ev := s.queue.Pop()
 		if s.cfg.CheckInvariants && ev.Time < s.now {
+			s.emitInvariant()
 			return nil, fmt.Errorf("sim: invariant violated: clock would move backwards from t=%v to t=%v", s.now, ev.Time)
 		}
 		s.advanceTo(ev.Time)
@@ -621,12 +667,14 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 		s.reallocate()
 		if s.verifyErr != nil {
+			s.emitInvariant()
 			return nil, s.verifyErr
 		}
 		if s.faultFired {
 			s.faultFired = false
 			if s.cfg.CheckInvariants {
 				if err := s.checkInvariants(); err != nil {
+					s.emitInvariant()
 					return nil, err
 				}
 			}
@@ -644,7 +692,23 @@ func (s *Simulator) Run() (*Result, error) {
 	sort.Slice(s.result.Coflows, func(a, b int) bool {
 		return s.result.Coflows[a].CoflowID < s.result.Coflows[b].CoflowID
 	})
+	st := s.alloc.Stats()
+	s.result.Counters = map[string]int64{
+		"netmod_reallocs":         st.Reallocs,
+		"netmod_tier_solves":      st.TierSolves,
+		"netmod_waterfill_rounds": st.WaterfillRounds,
+	}
+	s.reg.Merge(s.result.Counters)
 	return &s.result, nil
+}
+
+// emitInvariant reports an imminent invariant-violation abort to the sink,
+// so a flight-recorder dump ends with the violation marker the issue's
+// post-mortem tooling keys on.
+func (s *Simulator) emitInvariant() {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{T: s.now, Kind: obs.KindInvariant})
+	}
 }
 
 // advanceTo moves the clock forward, draining bytes at current rates.
@@ -701,6 +765,9 @@ func (s *Simulator) wireTaskDependencies(js *JobState) {
 }
 
 func (s *Simulator) handleArrival(js *JobState) {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{T: s.now, Kind: obs.KindJobArrival, Job: int64(js.Job.ID)})
+	}
 	s.sched.OnJobArrival(js)
 	for _, cs := range js.Coflows {
 		if cs.PendingChildren == 0 {
@@ -712,6 +779,14 @@ func (s *Simulator) handleArrival(js *JobState) {
 
 // releaseCoflow starts every not-yet-started flow of the coflow.
 func (s *Simulator) releaseCoflow(cs *CoflowState) {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindStageRelease,
+			Job: int64(cs.Job.Job.ID), Coflow: int64(cs.Coflow.ID),
+			Stage: int32(cs.Coflow.Stage),
+		})
+	}
+	s.reg.Add("stage_releases", 1)
 	for _, fs := range cs.Flows {
 		s.startFlow(fs)
 	}
@@ -757,9 +832,24 @@ func (s *Simulator) startFlow(fs *FlowState) {
 	}
 
 	cs := fs.Coflow
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindFlowStart,
+			Job: int64(cs.Job.Job.ID), Coflow: int64(cs.Coflow.ID),
+			Flow: int64(fl.ID), Stage: int32(cs.Coflow.Stage),
+			Val: float64(fl.Size),
+		})
+	}
 	if cs.Phase == PhaseWaiting {
 		cs.Phase = PhaseActive
 		cs.Started = s.now
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.Event(obs.Event{
+				T: s.now, Kind: obs.KindCoflowStart,
+				Job: int64(cs.Job.Job.ID), Coflow: int64(cs.Coflow.ID),
+				Stage: int32(cs.Coflow.Stage),
+			})
+		}
 		s.sched.OnCoflowStart(cs)
 	}
 }
@@ -799,6 +889,13 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 	cs := fs.Coflow
 	cs.activeFlows--
 	cs.RemainingFlows--
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindFlowFinish,
+			Job: int64(cs.Job.Job.ID), Coflow: int64(cs.Coflow.ID),
+			Flow: int64(fs.Flow.ID), Stage: int32(cs.Coflow.Stage),
+		})
+	}
 	if cs.RemainingFlows > 0 {
 		return
 	}
@@ -817,6 +914,13 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 		Bytes:    cs.Coflow.TotalBytes(),
 		Width:    cs.Coflow.Width(),
 	})
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindCoflowFinish,
+			Job: int64(js.Job.ID), Coflow: int64(cs.Coflow.ID),
+			Stage: int32(cs.Coflow.Stage), Val: cs.Finished - cs.Started,
+		})
+	}
 	js.stageLeft[cs.Coflow.Stage-1]--
 	for js.CompletedStages < len(js.stageLeft) && js.stageLeft[js.CompletedStages] == 0 {
 		js.CompletedStages++
@@ -853,6 +957,12 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 			NumStages:  js.Job.NumStages,
 			NumCoflows: len(js.Job.Coflows),
 		})
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.Event(obs.Event{
+				T: s.now, Kind: obs.KindJobFinish,
+				Job: int64(js.Job.ID), Val: js.Finished - js.Job.Arrival,
+			})
+		}
 		s.sched.OnJobComplete(js)
 	}
 }
@@ -917,6 +1027,11 @@ func (s *Simulator) reallocate() {
 	}
 
 	s.dirty = s.sched.AssignQueues(s.now, s.active, s.added, s.dirty[:0])
+	s.histDirty.Observe(float64(len(s.dirty)))
+	s.histActive.Observe(float64(len(s.active)))
+	if s.cfg.Obs != nil {
+		s.emitDecisions()
+	}
 	for _, f := range s.added {
 		if !f.Done {
 			s.alloc.Register(&f.Demand)
@@ -927,6 +1042,12 @@ func (s *Simulator) reallocate() {
 		s.alloc.Update(&f.Demand)
 	}
 	if s.alloc.Dirty() {
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.Event(obs.Event{
+				T: s.now, Kind: obs.KindReallocation,
+				Arg: int64(len(s.dirty)), Val: float64(len(s.active)),
+			})
+		}
 		s.alloc.Reallocate()
 		if s.verify != nil {
 			s.checkAgainstBatch()
@@ -961,6 +1082,42 @@ func (s *Simulator) reallocate() {
 		s.cfg.Probe(s.now, s.active)
 	}
 	s.ensureTick()
+}
+
+// emitDecisions records the audit-log entries for one AssignQueues outcome:
+// a first assignment for every newly admitted flow and a reassignment (plus
+// a priority-change event) for every flow the scheduler reported moved, each
+// carrying the decision scalar when the scheduler exposes one. Only called
+// with a non-nil sink — the disabled path never reaches this function.
+func (s *Simulator) emitDecisions() {
+	dn := int32(len(s.dirty))
+	for _, f := range s.added {
+		s.emitDecision(f, dn, true)
+	}
+	for _, f := range s.dirty {
+		s.emitDecision(f, dn, false)
+		s.cfg.Obs.Event(obs.Event{
+			T: s.now, Kind: obs.KindPriorityChange,
+			Job: int64(f.Coflow.Job.Job.ID), Coflow: int64(f.Coflow.Coflow.ID),
+			Flow: int64(f.Flow.ID), Queue: int32(f.Demand.Queue),
+		})
+	}
+}
+
+func (s *Simulator) emitDecision(f *FlowState, dirty int32, isNew bool) {
+	d := obs.Decision{
+		T:      s.now,
+		Job:    int64(f.Coflow.Job.Job.ID),
+		Coflow: int64(f.Coflow.Coflow.ID),
+		Flow:   int64(f.Flow.ID),
+		Queue:  int32(f.Demand.Queue),
+		Dirty:  dirty,
+		New:    isNew,
+	}
+	if s.scorer != nil {
+		d.Score, d.HasScore = s.scorer.DecisionScore(f)
+	}
+	s.cfg.Obs.Decision(d)
 }
 
 // checkAgainstBatch re-solves the current demand set with the reference

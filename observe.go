@@ -1,0 +1,81 @@
+package gurita
+
+// This file is the observability facade: thin re-exports of internal/obs so
+// adopters can record, dump, and export a run without importing internal
+// packages. The subsystem is strictly observation-only — a Scenario runs the
+// same trajectory byte-for-byte whether Scenario.Obs is nil, a flight
+// recorder, or a full collector; sinks only watch.
+
+import (
+	"io"
+
+	"gurita/internal/obs"
+)
+
+// DefaultFlightRecorderCap is the flight recorder capacity used when
+// NewFlightRecorder is given a non-positive one (64Ki events).
+const DefaultFlightRecorderCap = obs.DefaultRingCap
+
+// NewFlightRecorder returns a fixed-capacity ring sink holding the most
+// recent capacity events (and as many decisions): cheap enough to leave on
+// for long campaigns, and dumped with WriteJSONL when a trial fails, an
+// invariant trips, or -obs-dump asks for it. capacity <= 0 selects
+// DefaultFlightRecorderCap.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return obs.NewRing(capacity)
+}
+
+// NewObsCollector returns an unbounded in-memory sink retaining every event
+// and decision, in emission order — the input for ExportChromeTrace.
+func NewObsCollector() *ObsCollector {
+	return &obs.Collector{}
+}
+
+// NewObsRegistry returns an empty counters/histograms registry to share
+// across runs via Scenario.ObsRegistry.
+func NewObsRegistry() *ObsRegistry {
+	return obs.NewRegistry()
+}
+
+// ObsJSONL streams events and decisions to a writer as JSON Lines while the
+// simulation runs; call Flush when done.
+type ObsJSONL = obs.JSONL
+
+// NewObsJSONL returns a streaming JSONL sink over w.
+func NewObsJSONL(w io.Writer) *ObsJSONL {
+	return obs.NewJSONL(w)
+}
+
+// ObsTee fans every event and decision out to each sink in order; nil sinks
+// are skipped, and a tee of one sink is that sink.
+func ObsTee(sinks ...ObsSink) ObsSink {
+	return obs.Tee(sinks...)
+}
+
+// WriteChromeTrace renders one or more recorded runs as a Chrome trace_event
+// JSON document loadable in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// one process per run, a thread per job plus a fabric thread, coflows as
+// spans and stage/fault happenings as instants. Output is deterministic for
+// identical inputs.
+func WriteChromeTrace(w io.Writer, procs ...ObsTraceProcess) error {
+	return obs.WriteChromeTrace(w, procs...)
+}
+
+// ExportChromeTrace is the one-run convenience over WriteChromeTrace: it
+// wraps the collector's events as a single process named name.
+func ExportChromeTrace(w io.Writer, name string, c *ObsCollector) error {
+	return obs.WriteChromeTrace(w, obs.TraceProcess{Name: name, PID: 1, Events: c.Events()})
+}
+
+// ValidateChromeTrace structurally checks a trace_event JSON document: the
+// required traceEvents array, known phase codes, and per-phase mandatory
+// fields. It is the same check the CI smoke step runs on exported traces.
+func ValidateChromeTrace(data []byte) error {
+	return obs.ValidateChromeTrace(data)
+}
+
+// ReadObsJSONL parses a JSONL dump (from ObsJSONL or FlightRecorder
+// WriteJSONL) back into events and decisions.
+func ReadObsJSONL(r io.Reader) ([]ObsEvent, []ObsDecision, error) {
+	return obs.ReadJSONL(r)
+}
