@@ -2,6 +2,7 @@ package gurita
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,13 +20,18 @@ import (
 // independent deterministic simulation, so campaigns parallelize
 // embarrassingly and cache hits are exact.
 
-// campaignSchema versions the cached trial layout. Bump it whenever
-// TrialSpec semantics, the simulator's deterministic behavior, or the
-// result document change in a way that invalidates old entries.
-//
-// v2: result documents carry engine counters (Result.Counters), so v1
-// entries decode without them and must not satisfy v2 lookups.
-const campaignSchema = "gurita-campaign-v2"
+// campaignSchema versions the cached trial layout; the constant itself lives
+// with the wire format it versions (metrics.CampaignSchema) and is shared by
+// every site that stamps it — the trial cache, failure manifests, and the
+// daemon's persisted campaign state. Bump it there whenever TrialSpec
+// semantics, the simulator's deterministic behavior, or the result document
+// change in a way that invalidates old entries.
+const campaignSchema = metrics.CampaignSchema
+
+// ErrCampaignDrained reports that a campaign was soft-stopped by
+// CampaignOptions.Drain before finishing its grid: completed trials are
+// valid (and cached), the rest were skipped. See CampaignStats.Skipped.
+var ErrCampaignDrained = runner.ErrDrained
 
 // CampaignScenario selects how a trial's workload is generated.
 type CampaignScenario string
@@ -79,6 +85,50 @@ type TrialSpec struct {
 	Faults *FaultProfile `json:"faults,omitempty"`
 	// CheckInvariants asserts engine invariants after every fault instant.
 	CheckInvariants bool `json:"check_invariants,omitempty"`
+}
+
+// Normalized maps distinct encodings of the same trial onto one canonical
+// spec, so semantically equal trials share one cache key. RunCampaign
+// normalizes implicitly; external submitters (the guritad daemon) normalize
+// at the API boundary so duplicate detection and key computation agree with
+// what the campaign will actually run.
+func (t TrialSpec) Normalized() TrialSpec { return t.normalized() }
+
+// Validate rejects specs RunCampaign could only fail on at execution time:
+// unknown scheduler, scenario, or topology, and non-positive fabric size.
+// It builds no workload, so it is cheap enough for an admission path.
+func (t TrialSpec) Validate() error {
+	n := t.normalized()
+	known := false
+	for _, k := range AllKinds() {
+		if n.Scheduler == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("gurita: unknown scheduler %q", n.Scheduler)
+	}
+	switch n.Scenario {
+	case CampaignTrace, CampaignBursty:
+	default:
+		return fmt.Errorf("gurita: unknown campaign scenario %q", n.Scenario)
+	}
+	switch n.Topo {
+	case "fattree", "leafspine", "bigswitch":
+	default:
+		return fmt.Errorf("gurita: unknown campaign topology %q", n.Topo)
+	}
+	if k := n.podCount(); k <= 0 {
+		return fmt.Errorf("gurita: campaign scenario %q needs a positive fabric size, got %d", n.Scenario, k)
+	}
+	if n.Queues < 1 {
+		return fmt.Errorf("gurita: need at least one queue, got %d", n.Queues)
+	}
+	if n.Tick < 0 || n.StageDelay < 0 || n.Oversub < 0 {
+		return fmt.Errorf("gurita: tick, stage delay, and oversubscription must be >= 0")
+	}
+	return nil
 }
 
 // normalized maps distinct encodings of the same trial onto one canonical
@@ -232,6 +282,22 @@ type CampaignOptions struct {
 	// this directory when the trial fails — error, invariant violation, or
 	// recovered panic. Healthy trials write nothing.
 	ObsDumpDir string
+	// Flight, when non-nil, coalesces concurrent executions of identical
+	// trials across every campaign sharing the instance (the daemon's
+	// cross-tenant dedup layer): per cache key, one campaign executes and the
+	// rest wait for its result. Requires a shared CacheDir with matching
+	// IncludeCoflows, so all sharers agree on keys and result shape.
+	Flight *runner.Flight
+	// Gate, when non-nil, is the admission hook called before each trial
+	// executes (cache and dedup hits bypass it). The daemon points it at its
+	// tenant-fair queue; the returned release frees the slot when the trial
+	// finishes. See runner.Gate.
+	Gate runner.Gate
+	// Drain, when non-nil and closed, soft-stops the campaign: in-flight
+	// trials finish (and are cached), unstarted trials are skipped, and
+	// RunCampaign returns ErrCampaignDrained with partial results and
+	// CampaignStats.Skipped set. A drained campaign resumes from its cache.
+	Drain <-chan struct{}
 }
 
 // schema returns the cache schema for these options; coflow-bearing entries
@@ -345,8 +411,13 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		TrialTimeout:    opts.TrialTimeout,
 		Retries:         opts.Retries,
 		ContinueOnError: opts.ContinueOnError,
+		Flight:          opts.Flight,
+		Gate:            opts.Gate,
+		Drain:           opts.Drain,
 	})
-	if err != nil {
+	// A drain is a soft stop, not a failure: the completed prefix of the grid
+	// is valid (and cached), so it is returned alongside ErrCampaignDrained.
+	if err != nil && !errorsIsDrained(err) {
 		return nil, stats, err
 	}
 	results := make([]*Result, len(docs))
@@ -355,8 +426,11 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 			results[i] = d.Result()
 		}
 	}
-	return results, stats, nil
+	return results, stats, err
 }
+
+// errorsIsDrained reports whether a campaign error is the drain soft-stop.
+func errorsIsDrained(err error) bool { return errors.Is(err, runner.ErrDrained) }
 
 // obsFileName names a trial's obs artifact by the first 16 hex characters of
 // its content-addressed key — long enough to be collision-free in practice,

@@ -25,14 +25,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
 	"strconv"
 	"strings"
-	"time"
 
 	gurita "gurita"
-	"gurita/internal/prof"
-	"gurita/internal/runner"
+	"gurita/internal/cliflags"
 )
 
 func main() {
@@ -47,25 +44,21 @@ var knownFigs = []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8
 
 func run() (err error) {
 	var (
-		fig      = flag.String("fig", "all", "which figure: "+strings.Join(knownFigs, ", "))
-		full     = flag.Bool("full", false, "paper-scale configuration (same as GURITA_FULLSCALE=1)")
-		csvDir   = flag.String("csv", "", "also write each table as <dir>/<name>.csv for plotting")
-		trials   = flag.Int("trials", 1, "average each figure over this many seeds")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size (output is identical for any value)")
-		cacheDir = flag.String("cache", "", "persist finished trials under this directory and resume/skip from it")
-		force    = flag.Bool("force", false, "re-run trials even when cached")
-		// -exectrace matches guritasim, where plain -trace means trace replay.
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
+		fig    = flag.String("fig", "all", "which figure: "+strings.Join(knownFigs, ", "))
+		full   = flag.Bool("full", false, "paper-scale configuration (same as GURITA_FULLSCALE=1)")
+		csvDir = flag.String("csv", "", "also write each table as <dir>/<name>.csv for plotting")
+		trials = flag.Int("trials", 1, "average each figure over this many seeds")
 
-		faultRates   = flag.String("faults", "", "comma-separated link-failure rates for the failures sweep (default 0,0.5,1,2,4)")
-		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall-clock bound, e.g. 90s (0 = unbounded)")
-		keepGoing    = flag.Bool("keep-going", false, "degrade gracefully: skip failed trials (reported at the end) instead of aborting")
+		// Shared flag groups (identical across gurita commands): the campaign
+		// pool/cache group, profiling (-exectrace matches guritasim, where
+		// plain -trace means trace replay), and observability. -faults stays
+		// local: here it is the failure sweep's rate list, not a single rate.
+		campaign = cliflags.RegisterCampaign(flag.CommandLine, "trials")
+		profFl   = cliflags.RegisterProf(flag.CommandLine)
+		obsFl    = cliflags.RegisterObs(flag.CommandLine, "for failed trials")
 
-		obsTrace  = flag.String("obs-trace", "", "export each executed trial as Chrome trace_event JSON under this directory (open in ui.perfetto.dev)")
-		obsDump   = flag.String("obs-dump", "", "write flight-recorder JSONL dumps for failed trials under this directory")
-		obsListen = flag.String("obs-listen", "", "serve live campaign introspection JSON on this address, e.g. localhost:6070")
+		faultRates = flag.String("faults", "", "comma-separated link-failure rates for the failures sweep (default 0,0.5,1,2,4)")
+		keepGoing  = flag.Bool("keep-going", false, "degrade gracefully: skip failed trials (reported at the end) instead of aborting")
 	)
 	flag.Parse()
 
@@ -83,21 +76,15 @@ func run() (err error) {
 	if *trials < 1 {
 		return fmt.Errorf("-trials must be >= 1, got %d (run 'figures -h' for usage)", *trials)
 	}
-	if *trialTimeout < 0 {
-		return fmt.Errorf("-trial-timeout must be >= 0, got %v (run 'figures -h' for usage)", *trialTimeout)
-	}
-	if *parallel <= 0 {
-		return fmt.Errorf("-parallel must be >= 1 workers, got %d (run 'figures -h' for usage)", *parallel)
-	}
-	if *force && *cacheDir == "" {
-		return fmt.Errorf("-force re-runs cached trials, so it needs -cache DIR (run 'figures -h' for usage)")
+	if err := campaign.Validate(); err != nil {
+		return fmt.Errorf("%w (run 'figures -h' for usage)", err)
 	}
 	rates, err := parseRates(*faultRates)
 	if err != nil {
 		return err
 	}
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile, *execTrace)
+	stopProf, err := profFl.Start()
 	if err != nil {
 		return err
 	}
@@ -117,30 +104,22 @@ func run() (err error) {
 		scale = gurita.PaperScale()
 	}
 	scale.Trials = *trials
-	progress := progressPrinter()
-	var inspect *runner.Introspector
-	if *obsListen != "" {
-		inspect, err = runner.NewIntrospector(*obsListen)
-		if err != nil {
-			return err
-		}
+	inspect, progress, err := obsFl.Introspection(cliflags.ProgressPrinter("trials"))
+	if err != nil {
+		return err
+	}
+	if inspect != nil {
 		defer inspect.Close()
-		fmt.Fprintf(os.Stderr, "introspection: http://%s/campaign\n", inspect.Addr())
-		inner := progress
-		progress = func(p gurita.CampaignProgress) {
-			inspect.Update(p)
-			inner(p)
-		}
 	}
 	opts := gurita.CampaignOptions{
-		Workers:         *parallel,
-		CacheDir:        *cacheDir,
-		Force:           *force,
+		Workers:         campaign.Parallel,
+		CacheDir:        campaign.CacheDir,
+		Force:           campaign.Force,
 		Progress:        progress,
-		TrialTimeout:    *trialTimeout,
+		TrialTimeout:    campaign.TrialTimeout,
 		ContinueOnError: *keepGoing,
-		ObsTraceDir:     *obsTrace,
-		ObsDumpDir:      *obsDump,
+		ObsTraceDir:     obsFl.TraceDir,
+		ObsDumpDir:      obsFl.DumpDir,
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -252,24 +231,4 @@ func parseRates(s string) ([]float64, error) {
 		rates = append(rates, v)
 	}
 	return rates, nil
-}
-
-// progressPrinter renders campaign progress as a single self-overwriting
-// stderr line, cleared when the campaign completes so table output stays
-// clean. stdout (the tables) is untouched.
-func progressPrinter() func(gurita.CampaignProgress) {
-	return func(p gurita.CampaignProgress) {
-		line := fmt.Sprintf("campaign: %d/%d trials", p.Done, p.Total)
-		if p.CacheHits > 0 {
-			line += fmt.Sprintf(" (%d cached)", p.CacheHits)
-		}
-		line += fmt.Sprintf("  elapsed %s", p.Elapsed.Round(time.Second))
-		if p.ETA > 0 {
-			line += fmt.Sprintf("  ETA %s", p.ETA.Round(time.Second))
-		}
-		fmt.Fprintf(os.Stderr, "\r%-70s", line)
-		if p.Done == p.Total {
-			fmt.Fprintf(os.Stderr, "\r%70s\r", "")
-		}
-	}
 }

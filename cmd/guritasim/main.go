@@ -25,13 +25,10 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
 	"sort"
-	"time"
 
 	gurita "gurita"
-	"gurita/internal/prof"
-	"gurita/internal/runner"
+	"gurita/internal/cliflags"
 )
 
 func main() {
@@ -73,31 +70,21 @@ func run() (err error) {
 		util      = flag.Bool("util", false, "sample and print fabric utilization (forces the serial path)")
 		taskDeps  = flag.Bool("taskdeps", false, "task-level DAG release (pipelined stages)")
 		jsonOut   = flag.String("json", "", "write per-job results as JSON to this file")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "campaign worker-pool size for synthetic workloads")
-		cacheDir  = flag.String("cache", "", "persist finished runs under this directory and resume/skip from it")
-		force     = flag.Bool("force", false, "re-run even when cached")
-		// -trace is taken by trace replay, so the runtime/trace flag is
-		// -exectrace here (and, for symmetry, in cmd/figures too).
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
 
-		faultRate    = flag.Float64("faults", 0, "injected link-failure rate, failures/s across the fabric (0 = perfect fabric)")
-		faultMTTR    = flag.Float64("fault-mttr", 1, "mean time to repair injected faults, seconds")
-		faultSeed    = flag.Int64("fault-seed", 0, "fault-schedule seed (0 = reuse -seed)")
-		checkInv     = flag.Bool("check-invariants", false, "assert engine invariants after every fault instant")
-		trialTimeout = flag.Duration("trial-timeout", 0, "per-run wall-clock bound, e.g. 90s or 5m (0 = unbounded)")
-
-		obsTrace  = flag.String("obs-trace", "", "export each run as Chrome trace_event JSON under this directory (open in ui.perfetto.dev)")
-		obsDump   = flag.String("obs-dump", "", "write flight-recorder JSONL dumps under this directory (always for serial runs; on failure for campaign runs)")
-		obsListen = flag.String("obs-listen", "", "serve live campaign introspection JSON on this address, e.g. localhost:6070")
+		// Shared flag groups (identical across gurita commands): the campaign
+		// pool/cache group, profiling (-trace is taken by trace replay, so the
+		// runtime/trace flag is -exectrace everywhere), fault injection, and
+		// observability.
+		campaign = cliflags.RegisterCampaign(flag.CommandLine, "runs")
+		profFl   = cliflags.RegisterProf(flag.CommandLine)
+		faults   = cliflags.RegisterFaults(flag.CommandLine)
+		obsFl    = cliflags.RegisterObs(flag.CommandLine, "(serial runs: always; campaign runs: on failure)")
 	)
 	flag.Parse()
 
 	// Which flags were given explicitly (vs defaulted): some combinations
 	// only make sense together, and a silently ignored flag is a lie.
-	setFlags := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	setFlags := cliflags.Set(flag.CommandLine)
 	// Trace replays and utilization probes run on the direct serial path;
 	// campaign-only flags contradict them.
 	serial := *traceFile != "" || *util
@@ -113,26 +100,18 @@ func run() (err error) {
 		return badUsage("-timescale must be a positive compression factor, got %v", *timeScale)
 	case *oversub < 1 || math.IsNaN(*oversub) || math.IsInf(*oversub, 0):
 		return badUsage("-oversub must be a finite ratio >= 1, got %v", *oversub)
-	case *faultRate < 0 || math.IsNaN(*faultRate) || math.IsInf(*faultRate, 0):
-		return badUsage("-faults must be a finite non-negative rate (failures/s), got %v", *faultRate)
-	case !(*faultMTTR > 0) || math.IsInf(*faultMTTR, 0):
-		return badUsage("-fault-mttr must be a positive repair time in seconds, got %v", *faultMTTR)
-	case *trialTimeout < 0:
-		return badUsage("-trial-timeout must be >= 0, got %v", *trialTimeout)
-	case *parallel <= 0:
-		return badUsage("-parallel must be >= 1 workers, got %d", *parallel)
-	case *force && *cacheDir == "":
-		return badUsage("-force re-runs cached trials, so it needs -cache DIR")
-	case serial && *cacheDir != "":
+	case serial && campaign.CacheDir != "":
 		return badUsage("-cache only applies to synthetic campaign runs; -trace and -util run serially and uncached")
-	case serial && setFlags["parallel"]:
+	case serial && setFlags("parallel"):
 		return badUsage("-parallel only applies to synthetic campaign runs; -trace and -util run serially")
-	case serial && *obsListen != "":
+	case serial && obsFl.Listen != "":
 		return badUsage("-obs-listen serves campaign introspection; -trace and -util run serially")
-	case setFlags["fault-seed"] && *faultRate == 0:
-		return badUsage("-fault-seed without -faults has no schedule to seed")
-	case setFlags["fault-mttr"] && *faultRate == 0:
-		return badUsage("-fault-mttr without -faults has no faults to repair")
+	}
+	if err := campaign.Validate(); err != nil {
+		return &usageError{err}
+	}
+	if err := faults.Validate(setFlags); err != nil {
+		return &usageError{err}
 	}
 	if *schedName != "all" {
 		known := false
@@ -146,12 +125,9 @@ func run() (err error) {
 			return badUsage("unknown -scheduler %q; valid: %v or \"all\"", *schedName, gurita.AllKinds())
 		}
 	}
-	fSeed := *faultSeed
-	if fSeed == 0 {
-		fSeed = *seed
-	}
+	fSeed := faults.SeedOr(*seed)
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile, *execTrace)
+	stopProf, err := profFl.Start()
 	if err != nil {
 		return err
 	}
@@ -233,36 +209,28 @@ func run() (err error) {
 				TaskLevelDependencies: *taskDeps,
 				Topo:                  *topoKind,
 				Oversub:               *oversub,
-				Faults:                faultProfile(*faultRate, *faultMTTR, fSeed),
-				CheckInvariants:       *checkInv,
+				Faults:                faultProfile(faults.Rate, faults.MTTR, fSeed),
+				CheckInvariants:       faults.Check,
 			}
 		}
-		progress := progressPrinter()
-		var inspect *runner.Introspector
-		if *obsListen != "" {
-			inspect, err = runner.NewIntrospector(*obsListen)
-			if err != nil {
-				return err
-			}
+		inspect, progress, err := obsFl.Introspection(cliflags.ProgressPrinter("runs"))
+		if err != nil {
+			return err
+		}
+		if inspect != nil {
 			defer inspect.Close()
-			fmt.Fprintf(os.Stderr, "introspection: http://%s/campaign\n", inspect.Addr())
-			inner := progress
-			progress = func(p gurita.CampaignProgress) {
-				inspect.Update(p)
-				inner(p)
-			}
 		}
 		results, stats, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
-			Workers:  *parallel,
-			CacheDir: *cacheDir,
-			Force:    *force,
+			Workers:  campaign.Parallel,
+			CacheDir: campaign.CacheDir,
+			Force:    campaign.Force,
 			// Coflow rows ride along so -json output carries avg_cct exactly
 			// as the serial path writes it.
 			IncludeCoflows: true,
 			Progress:       progress,
-			TrialTimeout:   *trialTimeout,
-			ObsTraceDir:    *obsTrace,
-			ObsDumpDir:     *obsDump,
+			TrialTimeout:   campaign.TrialTimeout,
+			ObsTraceDir:    obsFl.TraceDir,
+			ObsDumpDir:     obsFl.DumpDir,
 		})
 		if inspect != nil {
 			inspect.Finish(stats)
@@ -270,8 +238,8 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
-		if *faultRate > 0 {
-			fmt.Printf("faults: %g link failures/s, MTTR %gs, seed %d\n", *faultRate, *faultMTTR, fSeed)
+		if faults.Rate > 0 {
+			fmt.Printf("faults: %g link failures/s, MTTR %gs, seed %d\n", faults.Rate, faults.MTTR, fSeed)
 		}
 		fmt.Printf("fabric: %v, jobs: %d, structure: %v\n\n", tp, len(results[0].Jobs), st)
 		for i, kind := range kinds {
@@ -330,18 +298,18 @@ func run() (err error) {
 		Jobs:                  workload,
 		Queues:                *queues,
 		TaskLevelDependencies: *taskDeps,
-		CheckInvariants:       *checkInv,
+		CheckInvariants:       faults.Check,
 	}
-	if p := faultProfile(*faultRate, *faultMTTR, fSeed); p != nil {
+	if p := faultProfile(faults.Rate, faults.MTTR, fSeed); p != nil {
 		sc.Faults, err = p.Generate(tp)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("faults: %g link failures/s, MTTR %gs, seed %d (%d events)\n",
-			*faultRate, *faultMTTR, fSeed, len(sc.Faults.Events))
+			faults.Rate, faults.MTTR, fSeed, len(sc.Faults.Events))
 	}
 
-	for _, dir := range []string{*obsTrace, *obsDump} {
+	for _, dir := range []string{obsFl.TraceDir, obsFl.DumpDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return err
@@ -361,11 +329,11 @@ func run() (err error) {
 			ring  *gurita.FlightRecorder
 			sinks []gurita.ObsSink
 		)
-		if *obsTrace != "" {
+		if obsFl.TraceDir != "" {
 			col = gurita.NewObsCollector()
 			sinks = append(sinks, col)
 		}
-		if *obsDump != "" {
+		if obsFl.DumpDir != "" {
 			ring = gurita.NewFlightRecorder(0)
 			sinks = append(sinks, ring)
 		}
@@ -373,8 +341,8 @@ func run() (err error) {
 			sc.Obs = gurita.ObsTee(sinks...)
 		}
 		runCtx, cancel := ctx, context.CancelFunc(func() {})
-		if *trialTimeout > 0 {
-			runCtx, cancel = context.WithTimeout(ctx, *trialTimeout)
+		if campaign.TrialTimeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, campaign.TrialTimeout)
 		}
 		sc.Interrupt = runCtx.Err
 		res, err := sc.Run(kind)
@@ -383,7 +351,7 @@ func run() (err error) {
 		// whether the run finished or failed, so a crashed run still leaves
 		// its trailing event window behind.
 		if ring != nil {
-			if derr := writeObsDump(*obsDump, string(kind), ring); derr != nil && err == nil {
+			if derr := writeObsDump(obsFl.DumpDir, string(kind), ring); derr != nil && err == nil {
 				err = derr
 			}
 		}
@@ -391,7 +359,7 @@ func run() (err error) {
 			return err
 		}
 		if col != nil {
-			if err := writeObsTrace(*obsTrace, string(kind), col); err != nil {
+			if err := writeObsTrace(obsFl.TraceDir, string(kind), col); err != nil {
 				return err
 			}
 		}
@@ -461,25 +429,6 @@ func writeJSON(name string, res *gurita.Result) error {
 		return err
 	}
 	return f.Close()
-}
-
-// progressPrinter renders campaign progress as a self-overwriting stderr
-// line, cleared on completion; stdout stays clean for the result tables.
-func progressPrinter() func(gurita.CampaignProgress) {
-	return func(p gurita.CampaignProgress) {
-		line := fmt.Sprintf("campaign: %d/%d runs", p.Done, p.Total)
-		if p.CacheHits > 0 {
-			line += fmt.Sprintf(" (%d cached)", p.CacheHits)
-		}
-		line += fmt.Sprintf("  elapsed %s", p.Elapsed.Round(time.Second))
-		if p.ETA > 0 {
-			line += fmt.Sprintf("  ETA %s", p.ETA.Round(time.Second))
-		}
-		fmt.Fprintf(os.Stderr, "\r%-70s", line)
-		if p.Done == p.Total {
-			fmt.Fprintf(os.Stderr, "\r%70s\r", "")
-		}
-	}
 }
 
 func parseStructure(s string) (gurita.Structure, error) {

@@ -1,0 +1,202 @@
+// Package cliflags is the shared flag surface of the gurita commands: the
+// campaign pool/cache group, the profiling group, the observability group,
+// and the fault-injection group, each registered with identical names,
+// defaults, and help text everywhere they appear. cmd/guritasim and
+// cmd/figures register the groups on their FlagSets; cmd/guritad reuses the
+// same groups for its daemon configuration, so an operator who knows one
+// binary's -cache/-obs-trace/-cpuprofile flags knows them all.
+//
+// The package also centralizes the plumbing the groups imply — validation,
+// prof.Start wiring, the campaign progress printer, and the live
+// introspection tee — which used to be copied between the commands.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"gurita/internal/prof"
+	"gurita/internal/runner"
+)
+
+// Campaign is the worker-pool/cache flag group of every campaign-running
+// command: -parallel, -cache, -force, -trial-timeout.
+type Campaign struct {
+	Parallel     int
+	CacheDir     string
+	Force        bool
+	TrialTimeout time.Duration
+}
+
+// RegisterCampaign registers the campaign group on fs. noun names the unit
+// of campaign work in help text ("runs" for guritasim, "trials" for figures
+// and guritad).
+func RegisterCampaign(fs *flag.FlagSet, noun string) *Campaign {
+	c := &Campaign{}
+	fs.IntVar(&c.Parallel, "parallel", runtime.NumCPU(), "campaign worker-pool size (output is identical for any value)")
+	fs.StringVar(&c.CacheDir, "cache", "", "persist finished "+noun+" under this directory and resume/skip from it")
+	fs.BoolVar(&c.Force, "force", false, "re-run "+noun+" even when cached")
+	fs.DurationVar(&c.TrialTimeout, "trial-timeout", 0, "per-"+singular(noun)+" wall-clock bound, e.g. 90s or 5m (0 = unbounded)")
+	return c
+}
+
+func singular(noun string) string {
+	if n := len(noun); n > 1 && noun[n-1] == 's' {
+		return noun[:n-1]
+	}
+	return noun
+}
+
+// Validate enforces the group's cross-flag invariants.
+func (c *Campaign) Validate() error {
+	if c.Parallel <= 0 {
+		return fmt.Errorf("-parallel must be >= 1 workers, got %d", c.Parallel)
+	}
+	if c.TrialTimeout < 0 {
+		return fmt.Errorf("-trial-timeout must be >= 0, got %v", c.TrialTimeout)
+	}
+	if c.Force && c.CacheDir == "" {
+		return fmt.Errorf("-force re-runs cached trials, so it needs -cache DIR")
+	}
+	return nil
+}
+
+// Prof is the profiling flag group: -cpuprofile, -memprofile, -exectrace.
+// (The runtime-trace flag is -exectrace everywhere because guritasim's plain
+// -trace means trace replay.)
+type Prof struct {
+	CPUProfile string
+	MemProfile string
+	ExecTrace  string
+}
+
+// RegisterProf registers the profiling group on fs.
+func RegisterProf(fs *flag.FlagSet) *Prof {
+	p := &Prof{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&p.ExecTrace, "exectrace", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// Start arms the requested profilers; the returned stop flushes them. Wraps
+// prof.Start, so with no profiling flags set both are no-ops.
+func (p *Prof) Start() (stop func() error, err error) {
+	return prof.Start(p.CPUProfile, p.MemProfile, p.ExecTrace)
+}
+
+// Obs is the observability flag group: -obs-trace, -obs-dump, -obs-listen.
+type Obs struct {
+	TraceDir string
+	DumpDir  string
+	Listen   string
+}
+
+// RegisterObs registers the observability group on fs. dumpWhen documents
+// when flight-recorder dumps are written, which differs per command.
+func RegisterObs(fs *flag.FlagSet, dumpWhen string) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.TraceDir, "obs-trace", "", "export each executed trial as Chrome trace_event JSON under this directory (open in ui.perfetto.dev)")
+	fs.StringVar(&o.DumpDir, "obs-dump", "", "write flight-recorder JSONL dumps "+dumpWhen+" under this directory")
+	fs.StringVar(&o.Listen, "obs-listen", "", "serve live campaign introspection JSON on this address, e.g. localhost:6070")
+	return o
+}
+
+// Introspection starts the live introspection server when -obs-listen was
+// given and tees it into progress, announcing the URL on stderr. The caller
+// must Close the returned introspector (nil when the flag is unset) and feed
+// it Finish when the campaign ends.
+func (o *Obs) Introspection(progress func(runner.Progress)) (*runner.Introspector, func(runner.Progress), error) {
+	if o.Listen == "" {
+		return nil, progress, nil
+	}
+	in, err := runner.NewIntrospector(o.Listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "introspection: http://%s/campaign\n", in.Addr())
+	return in, func(p runner.Progress) {
+		in.Update(p)
+		if progress != nil {
+			progress(p)
+		}
+	}, nil
+}
+
+// Faults is guritasim's fault-injection flag group: -faults (a rate),
+// -fault-mttr, -fault-seed, -check-invariants. cmd/figures keeps its own
+// -faults (there it is the sweep's rate list, a different contract).
+type Faults struct {
+	Rate  float64
+	MTTR  float64
+	Seed  int64
+	Check bool
+}
+
+// RegisterFaults registers the fault group on fs.
+func RegisterFaults(fs *flag.FlagSet) *Faults {
+	f := &Faults{}
+	fs.Float64Var(&f.Rate, "faults", 0, "injected link-failure rate, failures/s across the fabric (0 = perfect fabric)")
+	fs.Float64Var(&f.MTTR, "fault-mttr", 1, "mean time to repair injected faults, seconds")
+	fs.Int64Var(&f.Seed, "fault-seed", 0, "fault-schedule seed (0 = reuse -seed)")
+	fs.BoolVar(&f.Check, "check-invariants", false, "assert engine invariants after every fault instant")
+	return f
+}
+
+// Validate enforces the group's invariants. set reports whether a flag was
+// given explicitly (see Set): a seed or MTTR without a fault rate is a lie
+// the group refuses to ignore silently.
+func (f *Faults) Validate(set func(string) bool) error {
+	switch {
+	case f.Rate < 0 || math.IsNaN(f.Rate) || math.IsInf(f.Rate, 0):
+		return fmt.Errorf("-faults must be a finite non-negative rate (failures/s), got %v", f.Rate)
+	case !(f.MTTR > 0) || math.IsInf(f.MTTR, 0):
+		return fmt.Errorf("-fault-mttr must be a positive repair time in seconds, got %v", f.MTTR)
+	case set("fault-seed") && f.Rate == 0:
+		return fmt.Errorf("-fault-seed without -faults has no schedule to seed")
+	case set("fault-mttr") && f.Rate == 0:
+		return fmt.Errorf("-fault-mttr without -faults has no faults to repair")
+	}
+	return nil
+}
+
+// SeedOr returns the fault-schedule seed, falling back to def (the workload
+// seed) when -fault-seed was not given.
+func (f *Faults) SeedOr(def int64) int64 {
+	if f.Seed == 0 {
+		return def
+	}
+	return f.Seed
+}
+
+// Set returns a lookup over the flags given explicitly on fs (vs defaulted).
+// Call it after fs.Parse.
+func Set(fs *flag.FlagSet) func(string) bool {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return func(name string) bool { return set[name] }
+}
+
+// ProgressPrinter renders campaign progress as a self-overwriting stderr
+// line, cleared on completion; stdout stays clean for result tables. noun
+// names the unit of work ("runs", "trials").
+func ProgressPrinter(noun string) func(runner.Progress) {
+	return func(p runner.Progress) {
+		line := fmt.Sprintf("campaign: %d/%d %s", p.Done, p.Total, noun)
+		if p.CacheHits > 0 {
+			line += fmt.Sprintf(" (%d cached)", p.CacheHits)
+		}
+		line += fmt.Sprintf("  elapsed %s", p.Elapsed.Round(time.Second))
+		if p.ETA > 0 {
+			line += fmt.Sprintf("  ETA %s", p.ETA.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r%-70s", line)
+		if p.Done == p.Total {
+			fmt.Fprintf(os.Stderr, "\r%70s\r", "")
+		}
+	}
+}

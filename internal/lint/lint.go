@@ -144,8 +144,15 @@ var outputBearing = append([]string{
 	"gurita/internal/trace",
 	"gurita/internal/runner",
 	"gurita/internal/obs",
+	// The daemon path: its queue dispatch order feeds the fair scheduler and
+	// its responses are result bytes, so it is output-bearing end to end
+	// (wall-clock use there must be justified per the DESIGN.md §11 contract).
+	"gurita/internal/serve",
+	"gurita/internal/serve/fairq",
+	"gurita/internal/cliflags",
 	"gurita/cmd/figures",
 	"gurita/cmd/guritasim",
+	"gurita/cmd/guritad",
 	"gurita/cmd/tracegen",
 	"gurita/cmd/obsvalidate",
 }, simCritical...)

@@ -10,6 +10,18 @@ import (
 	"gurita/internal/sim"
 )
 
+// CampaignSchema versions every artifact derived from cached trial result
+// documents: the campaign cache layout (internal/runner cache entries and the
+// Schema column of failure manifests, via CampaignOptions' schema), the
+// daemon's persisted campaign state, and the CI cache directories. It lives
+// here because what it actually versions is the ResultDoc wire format plus
+// the simulator behavior that produces it: bump it whenever either changes in
+// a way that invalidates old entries.
+//
+// v2: result documents carry engine counters (Result.Counters), so v1
+// entries decode without them and must not satisfy v2 lookups.
+const CampaignSchema = "gurita-campaign-v2"
+
 // ResultDoc is the stable on-disk schema for a simulation result; it
 // decouples external tooling — and the campaign runner's result cache —
 // from the sim package's internal layout. It round-trips: NewResultDoc

@@ -1,0 +1,47 @@
+package obs
+
+import "sync"
+
+// SyncRegistry is a concurrency-safe wrapper over Registry for servers: the
+// guritad daemon's request handlers, campaign workers, and stats scrapers all
+// feed and read one instance concurrently. The plain Registry stays lock-free
+// because the simulator is single-goroutine; a server is not, and wrapping
+// here keeps the cost off the simulation hot path entirely.
+//
+// Determinism note: counter values in a server depend on request interleaving
+// and are observability-only — they are never folded into trial results,
+// which remain a pure function of the spec.
+type SyncRegistry struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// NewSyncRegistry returns an empty concurrency-safe registry.
+func NewSyncRegistry() *SyncRegistry {
+	return &SyncRegistry{reg: NewRegistry()}
+}
+
+// Add increments the named counter by d.
+func (s *SyncRegistry) Add(name string, d int64) {
+	s.mu.Lock()
+	s.reg.Add(name, d)
+	s.mu.Unlock()
+}
+
+// Observe records one sample into the named histogram. Unlike
+// Registry.Histogram handles there is no lock-free fast path — server
+// observation rates are request-scale, not event-scale.
+func (s *SyncRegistry) Observe(name string, v float64) {
+	s.mu.Lock()
+	s.reg.Observe(name, v)
+	s.mu.Unlock()
+}
+
+// Snapshot flattens the registry into a fresh map (see Registry.Merge).
+func (s *SyncRegistry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	s.mu.Lock()
+	s.reg.Merge(out)
+	s.mu.Unlock()
+	return out
+}

@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"sync"
+)
+
+// Flight coalesces concurrent executions of the same cache key: when several
+// campaigns (the daemon's tenants) race to execute an identical trial, one
+// caller — the leader — runs it and every concurrent duplicate waits for the
+// leader's outcome instead of re-simulating. Combined with the shared
+// content-addressed cache this makes the cache a true cross-tenant dedup
+// layer: a key is computed at most once no matter how many tenants ask for
+// it, concurrently or after the fact.
+//
+// A Flight is shared across campaigns by passing the same instance in each
+// campaign's Options.Flight. All sharers must use the same result type R and
+// the same cache schema (distinct schemas produce distinct keys, so entries
+// of different shapes never meet inside one flight).
+//
+// The zero value is ready to use.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight execution; done closes when the leader
+// finishes and the outcome fields are final.
+type flightCall struct {
+	done     chan struct{}
+	val      any
+	attempts int
+	err      error
+}
+
+// do runs fn under the key's flight slot. The leader executes fn; duplicate
+// callers block until the leader finishes and receive its outcome with
+// shared=true. The slot is vacated when the leader returns, so later calls
+// for the same key (e.g. after a cancelled leader) start a fresh flight —
+// by then the cache normally answers first.
+func (f *Flight) do(key string, fn func() (any, int, error)) (val any, attempts int, shared bool, err error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall)
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.attempts, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.attempts, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, c.attempts, false, c.err
+}

@@ -9,6 +9,59 @@ import (
 	"time"
 )
 
+// ProgressDoc is the introspection JSON document: one campaign's live (or
+// final) progress in a stable wire schema. The Introspector serves it for
+// single-campaign CLI runs; the guritad daemon reuses the same document as
+// the per-campaign progress payload of its status API, so a scraper reads
+// one schema no matter which binary is serving.
+type ProgressDoc struct {
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	CacheHits      int     `json:"cache_hits"`
+	DedupHits      int     `json:"dedup_hits,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Failures       int     `json:"failures"`
+	Retries        int     `json:"retries"`
+	Skipped        int     `json:"skipped,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	EtaSeconds     float64 `json:"eta_seconds"`
+	Running        bool    `json:"running"`
+}
+
+// NewProgressDoc renders a live progress snapshot into the wire schema.
+func NewProgressDoc(p Progress, running bool) ProgressDoc {
+	return ProgressDoc{
+		Done:           p.Done,
+		Total:          p.Total,
+		CacheHits:      p.CacheHits,
+		DedupHits:      p.DedupHits,
+		CacheHitRate:   rate(p.CacheHits, p.Done),
+		Failures:       p.Failures,
+		Retries:        p.Retries,
+		ElapsedSeconds: p.Elapsed.Seconds(),
+		EtaSeconds:     p.ETA.Seconds(),
+		Running:        running,
+	}
+}
+
+// FinalProgressDoc renders a finished campaign's stats into the wire schema,
+// so a poll after completion reads the outcome rather than the last trial.
+func FinalProgressDoc(s Stats) ProgressDoc {
+	done := s.CacheHits + s.DedupHits + s.Executed + len(s.Failures)
+	return ProgressDoc{
+		Done:           done,
+		Total:          s.Total,
+		CacheHits:      s.CacheHits,
+		DedupHits:      s.DedupHits,
+		CacheHitRate:   rate(s.CacheHits, done),
+		Failures:       len(s.Failures),
+		Retries:        s.Retries,
+		Skipped:        s.Skipped,
+		ElapsedSeconds: s.Elapsed.Seconds(),
+		Running:        false,
+	}
+}
+
 // Introspector is the live campaign introspection endpoint: a tiny HTTP
 // server publishing the most recent Progress snapshot as expvar-style JSON.
 // It is read-only and observation-only — it never touches trial execution,
@@ -22,23 +75,10 @@ import (
 // "/" serves the same document for convenience.
 type Introspector struct {
 	mu   sync.Mutex
-	snap introspectDoc
+	snap ProgressDoc
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
-}
-
-// introspectDoc is the served JSON document.
-type introspectDoc struct {
-	Done           int     `json:"done"`
-	Total          int     `json:"total"`
-	CacheHits      int     `json:"cache_hits"`
-	CacheHitRate   float64 `json:"cache_hit_rate"`
-	Failures       int     `json:"failures"`
-	Retries        int     `json:"retries"`
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
-	EtaSeconds     float64 `json:"eta_seconds"`
-	Running        bool    `json:"running"`
 }
 
 // NewIntrospector starts serving on addr (e.g. "localhost:6070"; ":0" picks
@@ -69,7 +109,7 @@ func (in *Introspector) Addr() string { return in.ln.Addr().String() }
 // it from an existing progress callback). Safe for concurrent use.
 func (in *Introspector) Update(p Progress) {
 	in.mu.Lock()
-	in.snap = snapshotOf(p, true)
+	in.snap = NewProgressDoc(p, true)
 	in.mu.Unlock()
 }
 
@@ -77,16 +117,7 @@ func (in *Introspector) Update(p Progress) {
 // a poll after completion reads the outcome rather than the last trial.
 func (in *Introspector) Finish(s Stats) {
 	in.mu.Lock()
-	in.snap = introspectDoc{
-		Done:           s.CacheHits + s.Executed + len(s.Failures),
-		Total:          s.Total,
-		CacheHits:      s.CacheHits,
-		CacheHitRate:   rate(s.CacheHits, s.CacheHits+s.Executed+len(s.Failures)),
-		Failures:       len(s.Failures),
-		Retries:        s.Retries,
-		ElapsedSeconds: s.Elapsed.Seconds(),
-		Running:        false,
-	}
+	in.snap = FinalProgressDoc(s)
 	in.mu.Unlock()
 }
 
@@ -107,20 +138,6 @@ func (in *Introspector) handle(w http.ResponseWriter, r *http.Request) {
 	// Best-effort: a half-written response to a dead client is not an error
 	// worth propagating anywhere.
 	_ = enc.Encode(snap)
-}
-
-func snapshotOf(p Progress, running bool) introspectDoc {
-	return introspectDoc{
-		Done:           p.Done,
-		Total:          p.Total,
-		CacheHits:      p.CacheHits,
-		CacheHitRate:   rate(p.CacheHits, p.Done),
-		Failures:       p.Failures,
-		Retries:        p.Retries,
-		ElapsedSeconds: p.Elapsed.Seconds(),
-		EtaSeconds:     p.ETA.Seconds(),
-		Running:        running,
-	}
 }
 
 func rate(hits, done int) float64 {

@@ -1,11 +1,13 @@
 package runner
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"testing"
 	"time"
 )
@@ -79,6 +81,113 @@ func TestIntrospectorServesProgress(t *testing.T) {
 	}
 	if doc["done"].(float64) != 10 {
 		t.Fatalf("final done = %v", doc["done"])
+	}
+}
+
+// TestIntrospectorConcurrentScrapes hammers the endpoint from several
+// scraper goroutines while a campaign is publishing updates. Every scraped
+// body must decode strictly as a ProgressDoc (unknown fields are schema
+// drift), and every snapshot must be internally consistent — no torn reads.
+// Run under -race, this is also the data-race proof for Update/Finish/handle.
+func TestIntrospectorConcurrentScrapes(t *testing.T) {
+	in, err := NewIntrospector("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	const total = 40
+	specs := make([]int, total)
+	for i := range specs {
+		specs[i] = i
+	}
+
+	stop := make(chan struct{})
+	scrapeErr := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + in.Addr() + "/campaign")
+				if err != nil {
+					select {
+					case scrapeErr <- err:
+					default:
+					}
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					continue // a scrape racing Close may be cut off; not a schema problem
+				}
+				dec := json.NewDecoder(bytes.NewReader(body))
+				dec.DisallowUnknownFields()
+				var doc ProgressDoc
+				if err := dec.Decode(&doc); err != nil {
+					select {
+					case scrapeErr <- fmt.Errorf("scrape is not a strict ProgressDoc: %v\n%s", err, body):
+					default:
+					}
+					return
+				}
+				if doc.Total != 0 && doc.Total != total {
+					select {
+					case scrapeErr <- fmt.Errorf("torn snapshot: total = %d", doc.Total):
+					default:
+					}
+					return
+				}
+				if doc.Done < 0 || doc.Done > total || doc.CacheHits > doc.Done {
+					select {
+					case scrapeErr <- fmt.Errorf("inconsistent snapshot: %+v", doc):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	_, stats, err := Run(context.Background(), specs, func(_ context.Context, s int) (int, error) {
+		time.Sleep(200 * time.Microsecond) // keep the campaign alive across many scrapes
+		return s, nil
+	}, Options{Workers: 4, Progress: in.Update})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Finish(stats)
+
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-scrapeErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// The terminal snapshot reports the finished campaign.
+	var final ProgressDoc
+	resp, err := http.Get("http://" + in.Addr() + "/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	err = dec.Decode(&final)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	if final.Running || final.Done != total || final.Total != total {
+		t.Fatalf("final snapshot = %+v, want done=total=%d, running=false", final, total)
 	}
 }
 

@@ -11,6 +11,14 @@
 // persisted in a Cache keyed by it. Re-running the same grid, after a crash,
 // a Ctrl-C, or on a later day, skips every cache hit and recomputes only
 // what is missing; Options.Force is the escape hatch.
+//
+// Serving extensions: long-running drivers (the guritad daemon) share one
+// Cache and one Flight across many concurrent campaigns, gate each
+// execution through an admission hook (Options.Gate — the daemon's
+// per-tenant fair queue), and stop gracefully through Options.Drain, which
+// finishes in-flight trials, skips the rest, and returns ErrDrained with
+// partial results; the cache keeps everything already computed, so a
+// drained campaign resumes by resubmission.
 package runner
 
 import (
@@ -56,13 +64,37 @@ func SpecHash(spec any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// ErrDrained is the error Run returns after a soft stop through
+// Options.Drain: no trial failed, but the grid was not finished — in-flight
+// trials completed (and were cached), queued ones were skipped. The results
+// slice holds every completed trial in place; Stats.Skipped counts the rest.
+var ErrDrained = errors.New("runner: campaign drained")
+
+// Gate admits one trial execution. A driver that multiplexes many campaigns
+// over shared capacity (the daemon's per-tenant fair queue) installs one via
+// Options.Gate; the runner calls it after the cache and single-flight layers
+// miss — so cache hits and deduplicated duplicates never consume a slot —
+// and runs the trial only once the gate returns. The returned release
+// function is called exactly once, after the attempt ladder and cache
+// write-back finish. A gate error fails the trial, except that gate errors
+// raised by a drain (ErrDrained, or the gate context's cancellation) mark
+// the trial skipped rather than failed.
+//
+// The context passed to the gate is cancelled on campaign cancellation and
+// on drain — a trial still waiting for admission at drain time is exactly
+// the kind of work a drain abandons.
+type Gate func(ctx context.Context, index int, key string) (release func(), err error)
+
 // Progress is a snapshot of a running campaign, delivered to
 // Options.Progress after every finished trial.
 type Progress struct {
-	// Done trials out of Total (cache hits included).
+	// Done trials out of Total (cache and dedup hits included).
 	Done, Total int
 	// CacheHits among the Done trials.
 	CacheHits int
+	// DedupHits among the Done trials: duplicates coalesced onto another
+	// campaign's in-flight execution of the same key (Options.Flight).
+	DedupHits int
 	// Failures recorded so far (ContinueOnError manifests).
 	Failures int
 	// Retries is the number of extra attempts taken so far across all
@@ -83,9 +115,16 @@ type Stats struct {
 	Executed int
 	// CacheHits is how many trials were served from the cache.
 	CacheHits int
+	// DedupHits is how many trials were served by coalescing onto another
+	// campaign's concurrent execution of the same key (Options.Flight).
+	DedupHits int
 	// Retries is the number of extra attempts taken across all trials,
 	// successful and failed.
 	Retries int
+	// Skipped is how many trials were abandoned by a drain (Options.Drain):
+	// neither executed, served, nor failed. Only non-zero when Run returns
+	// ErrDrained.
+	Skipped int
 	// Failures is the failure manifest: trials that exhausted their attempts
 	// without a result, in grid order. Only populated under
 	// Options.ContinueOnError — without it the first failure aborts the
@@ -130,6 +169,22 @@ type Options struct {
 	// slot) and the campaign keeps going, so one poisoned trial cannot sink
 	// hours of healthy ones. Without it the first failure aborts the run.
 	ContinueOnError bool
+
+	// Flight, when non-nil and combined with a Cache, coalesces concurrent
+	// executions of identical keys across every campaign sharing the
+	// instance: one execution runs, duplicates wait and count as DedupHits.
+	// All sharers must use the same result type R and cache schema.
+	Flight *Flight
+	// Gate, when non-nil, admits each execution (cache misses only) through
+	// an external queue — see Gate. Nil runs every miss immediately.
+	Gate Gate
+	// Drain, when non-nil, soft-stops the campaign when it becomes
+	// receivable (normally: closed): no new trials start, trials waiting at
+	// the Gate are skipped, in-flight trials finish normally and are
+	// persisted, and Run returns partial results with ErrDrained. This is
+	// the checkpoint half of "finish or checkpoint": everything completed
+	// is in the cache, so resubmitting the same grid resumes it.
+	Drain <-chan struct{}
 }
 
 func (o Options) workers() int {
@@ -138,6 +193,15 @@ func (o Options) workers() int {
 	}
 	return o.Workers
 }
+
+// hitKind classifies how a trial's result was obtained.
+type hitKind int
+
+const (
+	hitNone  hitKind = iota // executed
+	hitCache                // served from the on-disk cache
+	hitDedup                // coalesced onto a concurrent execution
+)
 
 // Run executes every spec through exec on a pool of Options.Workers
 // goroutines and returns the results in spec order — position i of the
@@ -153,7 +217,8 @@ func (o Options) workers() int {
 // The first exec error, cache-write error, or context cancellation stops the
 // pool: no new trials start, in-flight trials finish (exec is not
 // preemptible), and the error is returned. Already-completed trials remain
-// in the cache, which is what makes campaigns resumable.
+// in the cache, which is what makes campaigns resumable. A drain
+// (Options.Drain) stops the pool the gentle way instead; see ErrDrained.
 func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context, spec S) (R, error), opts Options) ([]R, Stats, error) {
 	//lint:ignore nondetsource wall-clock is the campaign runner's own elapsed/ETA reporting; trial results depend only on specs, never on these timestamps
 	start := time.Now()
@@ -192,6 +257,36 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The gate context dies on cancellation like everything else, but also
+	// on drain — with ErrDrained as the cause, so a gate that surfaces
+	// context.Cause lets the worker tell "skipped by drain" from "failed".
+	gateCtx := ctx
+	drained := func() bool { return false }
+	if opts.Drain != nil {
+		var cancelGate context.CancelCauseFunc
+		gateCtx, cancelGate = context.WithCancelCause(ctx)
+		defer cancelGate(nil)
+		runDone := make(chan struct{})
+		defer close(runDone)
+		go func() {
+			select {
+			case <-opts.Drain:
+				cancelGate(ErrDrained)
+			case <-runDone:
+			case <-ctx.Done():
+			}
+		}()
+		drain := opts.Drain
+		drained = func() bool {
+			select {
+			case <-drain:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+
 	var (
 		mu       sync.Mutex // guards stats counters, firstErr, progress calls
 		firstErr error
@@ -208,7 +303,7 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 		if opts.Progress == nil {
 			return
 		}
-		done := stats.CacheHits + stats.Executed + len(stats.Failures)
+		done := stats.CacheHits + stats.DedupHits + stats.Executed + len(stats.Failures)
 		//lint:ignore nondetsource wall-clock progress/ETA display only; not part of any trial result
 		elapsed := time.Since(start)
 		var eta time.Duration
@@ -221,17 +316,21 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 			Done:      done,
 			Total:     len(specs),
 			CacheHits: stats.CacheHits,
+			DedupHits: stats.DedupHits,
 			Failures:  len(stats.Failures),
 			Retries:   stats.Retries,
 			Elapsed:   elapsed,
 			ETA:       eta,
 		})
 	}
-	finish := func(cached bool, attempts int) {
+	finish := func(hit hitKind, attempts int) {
 		mu.Lock()
-		if cached {
+		switch hit {
+		case hitCache:
 			stats.CacheHits++
-		} else {
+		case hitDedup:
+			stats.DedupHits++
+		default:
 			stats.Executed++
 		}
 		if attempts > 1 {
@@ -260,8 +359,14 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 				if ctx.Err() != nil {
 					return
 				}
-				res, cached, attempts, err := runOne(ctx, specs[i], keys[i], exec, opts)
+				res, hit, attempts, err := runOne(ctx, gateCtx, i, specs[i], keys[i], exec, opts)
 				if err != nil {
+					// A drain abandons trials still waiting for admission:
+					// they are skipped, not failed — the resubmission will
+					// pick them up from where the cache left off.
+					if drained() && ctx.Err() == nil && isDrainAbort(err) {
+						continue
+					}
 					// A trial failure degrades gracefully under
 					// ContinueOnError; infrastructure failures (cache
 					// writes) and campaign cancellation still abort.
@@ -274,15 +379,25 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 					return
 				}
 				results[i] = res
-				finish(cached, attempts)
+				finish(hit, attempts)
 			}
 		}()
 	}
 feed:
 	for i := range specs {
+		if opts.Drain == nil {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				break feed
+			}
+			continue
+		}
 		select {
 		case indices <- i:
 		case <-ctx.Done():
+			break feed
+		case <-opts.Drain:
 			break feed
 		}
 	}
@@ -302,39 +417,119 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
+	if drained() {
+		stats.Skipped = stats.Total - stats.CacheHits - stats.DedupHits - stats.Executed - len(stats.Failures)
+		if stats.Skipped > 0 {
+			return results, stats, ErrDrained
+		}
+	}
 	return results, stats, nil
 }
 
-// runOne resolves a single trial: cache lookup, then execution (through the
-// panic-recovering retry ladder) plus write-back on a miss.
-func runOne[S, R any](ctx context.Context, spec S, key string, exec func(context.Context, S) (R, error), opts Options) (res R, cached bool, attempts int, err error) {
+// isDrainAbort reports whether a trial error is the signature of a drain
+// interrupting admission rather than a genuine failure: the gate context's
+// drain cause, or a bare cancellation raised while the drain was in effect.
+func isDrainAbort(err error) bool {
+	return errors.Is(err, ErrDrained) || errors.Is(err, context.Canceled)
+}
+
+// runOne resolves a single trial: cache lookup, then single-flight
+// coalescing, then gated execution (through the panic-recovering retry
+// ladder) plus write-back on a miss.
+func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key string, exec func(context.Context, S) (R, error), opts Options) (res R, hit hitKind, attempts int, err error) {
 	if opts.Cache != nil && !opts.Force {
 		if raw, ok := opts.Cache.Get(key); ok {
 			if err := json.Unmarshal(raw, &res); err == nil {
-				return res, true, 0, nil
+				return res, hitCache, 0, nil
 			}
 			// An entry that passed the envelope check but does not decode
 			// into R is treated like any other corrupt entry: a miss.
 		}
 	}
-	res, attempts, err = attemptTrial(ctx, spec, exec, opts)
-	if err != nil {
-		return res, false, attempts, fmt.Errorf("runner: trial %s: %w", shortKey(key), err)
+	execute := func() (R, int, error) {
+		var zero R
+		if opts.Gate != nil {
+			release, gerr := opts.Gate(gateCtx, index, key)
+			if gerr != nil {
+				return zero, 0, fmt.Errorf("runner: trial %s: admission: %w", shortKey(key), gerr)
+			}
+			defer release()
+		}
+		r, att, aerr := attemptTrial(ctx, spec, exec, opts)
+		if aerr != nil {
+			return zero, att, fmt.Errorf("runner: trial %s: %w", shortKey(key), aerr)
+		}
+		if opts.Cache != nil {
+			specJSON, merr := json.Marshal(spec)
+			if merr != nil {
+				return zero, att, &infraError{fmt.Errorf("runner: marshaling spec: %w", merr)}
+			}
+			resultJSON, merr := json.Marshal(r)
+			if merr != nil {
+				return zero, att, &infraError{fmt.Errorf("runner: marshaling result: %w", merr)}
+			}
+			if perr := opts.Cache.Put(key, specJSON, resultJSON); perr != nil {
+				return zero, att, &infraError{perr}
+			}
+		}
+		return r, att, nil
 	}
-	if opts.Cache != nil {
-		specJSON, err := json.Marshal(spec)
-		if err != nil {
-			return res, false, attempts, &infraError{fmt.Errorf("runner: marshaling spec: %w", err)}
-		}
-		resultJSON, err := json.Marshal(res)
-		if err != nil {
-			return res, false, attempts, &infraError{fmt.Errorf("runner: marshaling result: %w", err)}
-		}
-		if err := opts.Cache.Put(key, specJSON, resultJSON); err != nil {
-			return res, false, attempts, &infraError{err}
-		}
+
+	if opts.Flight == nil || key == "" {
+		res, attempts, err = execute()
+		return res, hitNone, attempts, err
 	}
-	return res, false, attempts, nil
+
+	for {
+		val, att, shared, ferr := opts.Flight.do(key, func() (any, int, error) {
+			r, a, e := execute()
+			if e != nil {
+				return nil, a, e
+			}
+			return r, a, nil
+		})
+		if !shared {
+			if ferr != nil {
+				var zero R
+				return zero, hitNone, att, ferr
+			}
+			return val.(R), hitNone, att, nil
+		}
+		// Shared outcome from another campaign's leader.
+		if ferr == nil {
+			if r, ok := val.(R); ok {
+				return r, hitDedup, 0, nil
+			}
+			// Result type mismatch across sharers (a driver bug): fall back
+			// to the cache, which the leader just populated.
+			if opts.Cache != nil {
+				if raw, ok := opts.Cache.Get(key); ok {
+					if err := json.Unmarshal(raw, &res); err == nil {
+						return res, hitDedup, 0, nil
+					}
+				}
+			}
+			var zero R
+			return zero, hitNone, 0, fmt.Errorf("runner: trial %s: flight result type mismatch", shortKey(key))
+		}
+		// The leader failed. If its failure was its own campaign dying
+		// (cancellation or drain) while ours is still alive, take over:
+		// re-check the cache and start a fresh flight. Genuine trial errors
+		// propagate — a deterministic trial fails the same way everywhere.
+		if ctx.Err() == nil && gateCtx.Err() == nil &&
+			(errors.Is(ferr, context.Canceled) || errors.Is(ferr, context.DeadlineExceeded) || errors.Is(ferr, ErrDrained)) {
+			if opts.Cache != nil && !opts.Force {
+				if raw, ok := opts.Cache.Get(key); ok {
+					if err := json.Unmarshal(raw, &res); err == nil {
+						return res, hitCache, 0, nil
+					}
+				}
+			}
+			continue
+		}
+		var zero R
+		return zero, hitNone, att, ferr
+	}
 }
 
 // shortKey abbreviates a cache key for error messages; a spec without a

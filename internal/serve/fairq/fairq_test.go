@@ -1,0 +1,280 @@
+package fairq
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"gurita/internal/sched"
+)
+
+// waitFor spins until cond holds; queue state changes settle in microseconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; !cond(); i++ {
+		if i > 1e7 {
+			t.Fatal("condition never held")
+		}
+		runtime.Gosched()
+	}
+}
+
+// saturateOrder builds a full backlog behind a plugged slot, then releases
+// the plug and drains the queue, returning the grant order (plug excluded).
+// Slots=1 plus a pre-built backlog makes the order fully deterministic:
+// every release triggers exactly one dispatch decision over the whole
+// remaining backlog.
+func saturateOrder(t *testing.T, cfg Config, weights map[string]float64, backlog map[string]int) ([]string, *Queue) {
+	t.Helper()
+	var order []string
+	cfg.OnGrant = func(id string) { order = append(order, id) } // under q.mu: serialized
+	q := New(cfg)
+	// Register in sorted order: tenant coflow IDs are assigned at
+	// registration and break exact-service ties, so registration order is
+	// part of the deterministic input.
+	ids := make([]string, 0, len(weights))
+	for id := range weights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		q.SetTenant(id, weights[id])
+	}
+	plugRelease, err := q.Acquire(context.Background(), "plug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	var wg sync.WaitGroup
+	for id, n := range backlog {
+		total += n
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				release, err := q.Acquire(context.Background(), id)
+				if err != nil {
+					t.Errorf("Acquire(%s): %v", id, err)
+					return
+				}
+				release()
+			}(id)
+		}
+	}
+	waitFor(t, func() bool { return q.Snapshot().Waiting == total })
+	plugRelease()
+	wg.Wait()
+	if len(order) != total+1 || order[0] != "plug" {
+		t.Fatalf("grant order length %d (want %d), first %q", len(order), total+1, order[0])
+	}
+	return order[1:], q
+}
+
+// TestWeightedSharesUnderSaturation: tenants with weights 1/2/4 and deep
+// backlogs must receive grants in proportion to their weights, within
+// tolerance, over a window in which everyone stays backlogged.
+func TestWeightedSharesUnderSaturation(t *testing.T) {
+	weights := map[string]float64{"alice": 1, "bob": 2, "carol": 4}
+	backlog := map[string]int{"alice": 70, "bob": 140, "carol": 280}
+	order, q := saturateOrder(t, Config{Slots: 1, Capacity: 4096}, weights, backlog)
+
+	if len(order) != 490 {
+		t.Fatalf("grants = %d, want 490", len(order))
+	}
+	// Over the first 140 grants every tenant is still backlogged (alice's 70
+	// grants last well beyond this window at her 1/7 share), so shares must
+	// match weights within 10%.
+	window := order[:140]
+	counts := map[string]int{}
+	for _, id := range window {
+		counts[id]++
+	}
+	const totalW = 7.0
+	for id, w := range weights {
+		want := float64(len(window)) * w / totalW
+		got := float64(counts[id])
+		if math.Abs(got-want) > 0.1*float64(len(window)) {
+			t.Errorf("tenant %s: %v grants in window, want ~%v (counts %v)", id, got, want, counts)
+		}
+	}
+	snap := q.Snapshot()
+	if snap.Grants != 491 || snap.Waiting != 0 || snap.Granted != 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	for _, ts := range snap.Tenants {
+		if ts.ID == "plug" {
+			continue
+		}
+		if ts.Grants != uint64(backlog[ts.ID]) {
+			t.Errorf("tenant %s: %d grants, want %d", ts.ID, ts.Grants, backlog[ts.ID])
+		}
+	}
+}
+
+// TestDeterministicGrantOrder: the same backlog drains in the same order
+// every time — fairq runs on a virtual clock and has no nondeterminism to
+// hide behind.
+func TestDeterministicGrantOrder(t *testing.T) {
+	weights := map[string]float64{"a": 1, "b": 3}
+	backlog := map[string]int{"a": 40, "b": 40}
+	first, _ := saturateOrder(t, Config{Slots: 1, Capacity: 256}, weights, backlog)
+	for rep := 0; rep < 3; rep++ {
+		again, _ := saturateOrder(t, Config{Slots: 1, Capacity: 256}, weights, backlog)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("rep %d: grant %d = %s, first run had %s", rep, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// TestEqualWeightsConverge: equal-weight tenants split grants near-evenly.
+func TestEqualWeightsConverge(t *testing.T) {
+	backlog := map[string]int{"a": 60, "b": 60, "c": 60}
+	order, _ := saturateOrder(t, Config{Slots: 1, Capacity: 1024}, nil, backlog)
+	counts := map[string]int{}
+	for _, id := range order[:90] {
+		counts[id]++
+	}
+	for id, n := range counts {
+		if n < 24 || n > 36 { // 30 ± 20%
+			t.Errorf("tenant %s: %d grants in first 90, want ~30 (%v)", id, n, counts)
+		}
+	}
+}
+
+// TestCapacityRejects: the waiting set is bounded; the overflow Acquire
+// fails fast with ErrFull while earlier waiters are unaffected.
+func TestCapacityRejects(t *testing.T) {
+	q := New(Config{Slots: 1, Capacity: 2})
+	hold, err := q.Acquire(context.Background(), "a") // takes the only slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := q.Acquire(context.Background(), "a")
+			if err == nil {
+				r()
+			}
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return q.Snapshot().Waiting == 2 })
+	if _, err := q.Acquire(context.Background(), "b"); !errors.Is(err, ErrFull) {
+		t.Fatalf("overflow Acquire: %v, want ErrFull", err)
+	}
+	hold()
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Fatalf("queued waiter failed: %v", err)
+		}
+	}
+}
+
+// TestAcquireContextCancel: a cancelled waiter leaves no residue — its slot
+// is never consumed and later grants proceed.
+func TestAcquireContextCancel(t *testing.T) {
+	q := New(Config{Slots: 1, Capacity: 16})
+	hold, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx, "b")
+		done <- err
+	}()
+	waitFor(t, func() bool { return q.Snapshot().Waiting == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Acquire: %v", err)
+	}
+	if s := q.Snapshot(); s.Waiting != 0 {
+		t.Fatalf("waiting = %d after cancellation", s.Waiting)
+	}
+	hold()
+	r, err := q.Acquire(context.Background(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+}
+
+// TestCloseFailsWaiters: Close rejects waiters with ErrClosed, rejects
+// future Acquires, and leaves granted slots to finish.
+func TestCloseFailsWaiters(t *testing.T) {
+	q := New(Config{Slots: 1, Capacity: 16})
+	hold, err := q.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(context.Background(), "b")
+		done <- err
+	}()
+	waitFor(t, func() bool { return q.Snapshot().Waiting == 1 })
+	q.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("waiter after Close: %v, want ErrClosed", err)
+	}
+	if _, err := q.Acquire(context.Background(), "c"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Acquire after Close: %v, want ErrClosed", err)
+	}
+	hold() // release against a closed queue must not panic
+}
+
+// TestPluggablePolicy: the adapter honours the sim.Scheduler contract with a
+// stock policy from internal/sched. PFS queues everything at priority 0, so
+// dispatch degenerates to global FIFO by arrival sequence.
+func TestPluggablePolicy(t *testing.T) {
+	var order []string
+	q := New(Config{Slots: 1, Capacity: 64, Policy: sched.NewPFS(),
+		OnGrant: func(id string) { order = append(order, id) }})
+	if got := q.Snapshot().Policy; got != "pfs" {
+		t.Fatalf("policy = %q", got)
+	}
+	hold, err := q.Acquire(context.Background(), "z") // occupy the slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"b", "a", "c", "a", "b"}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, id := i, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := q.Acquire(context.Background(), id)
+			if err != nil {
+				t.Errorf("Acquire(%s): %v", id, err)
+				return
+			}
+			r()
+		}()
+		// Serialize enqueueing so arrival order is exactly ids.
+		waitFor(t, func() bool { return q.Snapshot().Waiting == i+1 })
+	}
+	hold()
+	wg.Wait()
+	if len(order) != 1+len(ids) {
+		t.Fatalf("grants = %d", len(order))
+	}
+	for i, id := range ids {
+		if order[i+1] != id {
+			t.Fatalf("FIFO violated: grant order %v, enqueue order %v", order[1:], ids)
+		}
+	}
+}

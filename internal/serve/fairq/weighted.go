@@ -1,0 +1,106 @@
+package fairq
+
+import (
+	"sort"
+
+	"gurita/internal/sim"
+)
+
+// WeightedFair is the daemon's default admission policy: least normalized
+// service first. It implements sim.Scheduler the same way the policies in
+// internal/sched do — it only assigns priority queues — and reads nothing but
+// the observable CoflowState.BytesSent, which the fairq dispatcher maintains
+// as weight-normalized accumulated service (1/weight per grant). Ranking
+// coflows by that counter and queueing each coflow's flows at its rank makes
+// the dispatcher's (queue, arrival) pick serve the most underserved tenant
+// first, which under saturation converges to grant shares proportional to
+// tenant weights.
+//
+// Inside the simulator the same policy is a coflow-level least-bytes-first
+// heuristic; nothing about it is daemon-specific.
+type WeightedFair struct {
+	queues int
+	rank   map[*sim.CoflowState]int
+	order  []*sim.CoflowState
+	marked map[*sim.FlowState]bool
+}
+
+// NewWeightedFair returns the least-normalized-service-first policy.
+func NewWeightedFair() *WeightedFair { return &WeightedFair{} }
+
+var _ sim.Scheduler = (*WeightedFair)(nil)
+
+// Name implements sim.Scheduler.
+func (*WeightedFair) Name() string { return "weighted-fair" }
+
+// Init implements sim.Scheduler.
+func (w *WeightedFair) Init(env sim.Env) {
+	w.queues = env.Queues
+	if w.queues < 1 {
+		w.queues = 1
+	}
+}
+
+// OnJobArrival implements sim.Scheduler.
+func (*WeightedFair) OnJobArrival(*sim.JobState) {}
+
+// OnCoflowStart implements sim.Scheduler.
+func (*WeightedFair) OnCoflowStart(*sim.CoflowState) {}
+
+// OnCoflowComplete implements sim.Scheduler.
+func (*WeightedFair) OnCoflowComplete(*sim.CoflowState) {}
+
+// OnJobComplete implements sim.Scheduler.
+func (*WeightedFair) OnJobComplete(*sim.JobState) {}
+
+// AssignQueues ranks the coflows present in flows by (BytesSent, ID)
+// ascending and queues every flow at its coflow's rank (clamped to the
+// lowest queue). Pre-existing flows whose queue moved are reported in dirty
+// per the contract; newly added flows are assigned unconditionally.
+func (w *WeightedFair) AssignQueues(_ float64, flows, added, dirty []*sim.FlowState) []*sim.FlowState {
+	if w.rank == nil {
+		w.rank = make(map[*sim.CoflowState]int)
+		w.marked = make(map[*sim.FlowState]bool)
+	}
+	clear(w.rank)
+	w.order = w.order[:0]
+	for _, f := range flows {
+		if _, ok := w.rank[f.Coflow]; !ok {
+			w.rank[f.Coflow] = 0
+			w.order = append(w.order, f.Coflow)
+		}
+	}
+	sort.Slice(w.order, func(a, b int) bool {
+		ca, cb := w.order[a], w.order[b]
+		if ca.BytesSent < cb.BytesSent {
+			return true
+		}
+		if ca.BytesSent > cb.BytesSent {
+			return false
+		}
+		return ca.Coflow.ID < cb.Coflow.ID
+	})
+	for r, cs := range w.order {
+		q := r
+		if q > w.queues-1 {
+			q = w.queues - 1
+		}
+		w.rank[cs] = q
+	}
+
+	clear(w.marked)
+	for _, f := range added {
+		w.marked[f] = true
+		f.SetQueue(w.rank[f.Coflow])
+	}
+	for _, f := range flows {
+		if w.marked[f] {
+			continue
+		}
+		if nq := w.rank[f.Coflow]; nq != f.Queue() {
+			f.SetQueue(nq)
+			dirty = append(dirty, f)
+		}
+	}
+	return dirty
+}

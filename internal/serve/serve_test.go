@@ -1,0 +1,525 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	gurita "gurita"
+	"gurita/internal/metrics"
+	"gurita/internal/runner"
+)
+
+// tinySpec is a sub-millisecond trial: 2 coflows on a 4-pod fabric. Distinct
+// seeds make distinct cache keys, so tests control overlap precisely.
+func tinySpec(seed int64) gurita.TrialSpec {
+	return gurita.TrialSpec{
+		Scheduler: gurita.KindGurita,
+		Structure: gurita.StructureSingle,
+		Scale: gurita.Scale{
+			Seed: seed, TraceCoflows: 2, FatTreeK: 4,
+			MaxSenders: 2, MaxReducers: 2, TraceTimeScale: 0.1,
+		},
+		Queues: 2,
+	}
+}
+
+// daemon spins up a Server on an httptest listener and tears both down.
+func daemon(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Wait(ctx); err != nil {
+			t.Errorf("draining test daemon: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+// submit posts a campaign and requires a 202.
+func submit(t *testing.T, ts *httptest.Server, tenant string, specs []gurita.TrialSpec) SubmitResponse {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/v1/campaigns", SubmitRequest{Tenant: tenant, Trials: specs})
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit for %s: status %d: %s", tenant, resp.StatusCode, body)
+	}
+	return decode[SubmitResponse](t, resp)
+}
+
+// await long-polls a campaign to its terminal state.
+func await(t *testing.T, ts *httptest.Server, id string) CampaignDoc {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "?wait=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := decode[CampaignDoc](t, resp)
+		if doc.State != StateRunning {
+			return doc
+		}
+	}
+	t.Fatalf("campaign %s never finished", id)
+	return CampaignDoc{}
+}
+
+// serialJSON renders a spec's result exactly as `guritasim -json` writes it:
+// the direct serial simulation, serialized without coflow rows.
+func serialJSON(t *testing.T, spec gurita.TrialSpec) []byte {
+	t.Helper()
+	sc, err := spec.Normalized().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(spec.Scheduler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gurita.WriteResultJSON(&buf, res, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestThreeTenantsEndToEnd is the acceptance scenario: three tenants submit
+// concurrent, overlapping campaigns; every fetched result is byte-identical
+// to a serial CLI-path run of the same spec, and the overlapping keys
+// execute at most once across the whole daemon.
+func TestThreeTenantsEndToEnd(t *testing.T) {
+	s, ts := daemon(t, Config{Workers: 4, Slots: 2, Capacity: 256})
+
+	// Seeds 1..3 are shared by all three tenants; each also brings two
+	// private seeds. 9 distinct trials across 15 submitted.
+	shared := []gurita.TrialSpec{tinySpec(1), tinySpec(2), tinySpec(3)}
+	grids := map[string][]gurita.TrialSpec{}
+	for i, tenant := range []string{"alice", "bob", "carol"} {
+		grid := append([]gurita.TrialSpec{}, shared...)
+		grid = append(grid, tinySpec(int64(100+2*i)), tinySpec(int64(101+2*i)))
+		grids[tenant] = grid
+	}
+
+	ids := map[string]string{}
+	for tenant, grid := range grids {
+		ids[tenant] = submit(t, ts, tenant, grid).ID
+	}
+	for tenant, id := range ids {
+		doc := await(t, ts, id)
+		if doc.State != StateDone {
+			t.Fatalf("tenant %s campaign %s: state %q, failures %+v, error %q",
+				tenant, id, doc.State, doc.Failures, doc.Error)
+		}
+		if doc.Progress.Done != len(grids[tenant]) {
+			t.Fatalf("tenant %s: done %d, want %d", tenant, doc.Progress.Done, len(grids[tenant]))
+		}
+	}
+
+	// Byte-identity: every trial of every tenant against the serial path.
+	for tenant, grid := range grids {
+		for i, spec := range grid {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/campaigns/%s/results/%d", ts.URL, ids[tenant], i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("tenant %s result %d: status %d: %s", tenant, i, resp.StatusCode, got)
+			}
+			if want := serialJSON(t, spec); !bytes.Equal(got, want) {
+				t.Errorf("tenant %s trial %d: daemon result differs from serial CLI path\n got: %s\nwant: %s",
+					tenant, i, got, want)
+			}
+		}
+	}
+
+	// Dedup: 15 submissions over 9 distinct keys → exactly 9 executions;
+	// the 6 duplicates were served by single-flight or the shared cache.
+	counters := s.reg.Snapshot()
+	if got := counters["serve.trials.executed"]; got != 9 {
+		t.Errorf("executed %d trials, want 9 (one per distinct key)", got)
+	}
+	if dup := counters["serve.trials.dedup_hits"] + counters["serve.trials.cache_hits"]; dup != 6 {
+		t.Errorf("dedup+cache hits = %d, want 6", dup)
+	}
+}
+
+// TestWeightedTenantShares saturates a one-slot daemon from three tenants
+// with weights 1:2:4 and asserts the grant shares track the weights while
+// all tenants stay backlogged.
+func TestWeightedTenantShares(t *testing.T) {
+	var mu sync.Mutex
+	var grants []string
+	weights := map[string]float64{"alice": 1, "bob": 2, "carol": 4}
+	_, ts := daemon(t, Config{
+		Workers:  256,
+		Slots:    1,
+		Capacity: 1024,
+		Tenants:  weights,
+		OnGrant: func(tenant string) {
+			mu.Lock()
+			grants = append(grants, tenant)
+			mu.Unlock()
+		},
+	})
+
+	// Backlogs proportional to weights, so every tenant still has queued
+	// trials through the measurement window. Seeds are disjoint per tenant:
+	// a shared key would dedup and bypass the fair queue.
+	backlog := map[string]int{"alice": 40, "bob": 80, "carol": 160}
+	ids := map[string]string{}
+	base := int64(1000)
+	for _, tenant := range []string{"alice", "bob", "carol"} {
+		n := backlog[tenant]
+		specs := make([]gurita.TrialSpec, n)
+		for i := range specs {
+			specs[i] = tinySpec(base + int64(i))
+		}
+		base += int64(n)
+		ids[tenant] = submit(t, ts, tenant, specs).ID
+	}
+	for _, id := range ids {
+		if doc := await(t, ts, id); doc.State != StateDone {
+			t.Fatalf("campaign %s: state %q, error %q", id, doc.State, doc.Error)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Measure from the moment all three tenants have been seen (saturation):
+	// before that, grants only reflect submission order.
+	seen := map[string]bool{}
+	start := -1
+	for i, tenant := range grants {
+		seen[tenant] = true
+		if len(seen) == len(weights) {
+			start = i + 1
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatalf("not all tenants appear in the grant log (%d grants)", len(grants))
+	}
+	const window = 70
+	if start+window > len(grants) {
+		t.Fatalf("grant log too short for the window: start %d + %d > %d", start, window, len(grants))
+	}
+	counts := map[string]int{}
+	for _, tenant := range grants[start : start+window] {
+		counts[tenant]++
+	}
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+	for tenant, w := range weights {
+		wantShare := w / totalW
+		gotShare := float64(counts[tenant]) / window
+		if diff := gotShare - wantShare; diff < -0.10 || diff > 0.10 {
+			t.Errorf("tenant %s: grant share %.3f over %d grants, want %.3f ±0.10 (counts %v)",
+				tenant, gotShare, window, wantShare, counts)
+		}
+	}
+}
+
+// TestAdmissionControl checks the bounded queue: an over-capacity submission
+// is shed with 429 + Retry-After, and capacity is returned once campaigns
+// settle.
+func TestAdmissionControl(t *testing.T) {
+	_, ts := daemon(t, Config{Workers: 2, Slots: 2, Capacity: 4, RetryAfter: 7})
+
+	resp := postJSON(t, ts.URL+"/v1/campaigns",
+		SubmitRequest{Tenant: "alice", Trials: []gurita.TrialSpec{
+			tinySpec(1), tinySpec(2), tinySpec(3), tinySpec(4), tinySpec(5),
+		}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submission: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+	resp.Body.Close()
+
+	// At capacity is admitted, and once it settles the budget is whole
+	// again: the next full-size submission is admitted too.
+	for i := 0; i < 2; i++ {
+		ack := submit(t, ts, "alice", []gurita.TrialSpec{
+			tinySpec(10), tinySpec(11), tinySpec(12), tinySpec(13),
+		})
+		if doc := await(t, ts, ack.ID); doc.State != StateDone {
+			t.Fatalf("round %d: state %q, error %q", i, doc.State, doc.Error)
+		}
+	}
+}
+
+// TestSubmissionValidation checks the 400 surface: malformed body, missing
+// tenant, empty grid, invalid spec.
+func TestSubmissionValidation(t *testing.T) {
+	_, ts := daemon(t, Config{})
+
+	bad, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", bad.StatusCode)
+	}
+
+	cases := []SubmitRequest{
+		{Tenant: "", Trials: []gurita.TrialSpec{tinySpec(1)}},
+		{Tenant: "alice"},
+		{Tenant: "alice", Trials: []gurita.TrialSpec{{Scheduler: "nope"}}},
+	}
+	for i, req := range cases {
+		resp := postJSON(t, ts.URL+"/v1/campaigns", req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/campaigns/c999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown campaign: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestDrainFlushesManifestsAndResumes drains mid-campaign and checks the
+// whole drain contract: skipped trials reported, a schema-stamped manifest
+// flushed, health flipped, new submissions refused, and the recorded grid
+// resumable on a fresh daemon over the same cache with only the skipped
+// trials executing.
+func TestDrainFlushesManifestsAndResumes(t *testing.T) {
+	cacheDir := t.TempDir()
+	granted := make(chan struct{}, 64)
+	s, err := New(Config{
+		CacheDir: cacheDir, Workers: 4, Slots: 1, Capacity: 256,
+		OnGrant: func(string) {
+			select {
+			case granted <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specs := make([]gurita.TrialSpec, 24)
+	for i := range specs {
+		specs[i] = tinySpec(int64(9000 + i))
+	}
+	ack := submit(t, ts, "alice", specs)
+
+	// Drain as soon as the first trial is granted: it (and possibly a few
+	// successors) finish and are cached; the rest are skipped at the gate.
+	<-granted
+	s.Drain()
+
+	doc := await(t, ts, ack.ID)
+	if doc.State != StateDrained {
+		t.Fatalf("state %q, want %q", doc.State, StateDrained)
+	}
+	if doc.Progress.Skipped == 0 {
+		t.Fatalf("drained campaign reports no skipped trials: %+v", doc.Progress)
+	}
+	finished := doc.Progress.Done
+	if finished == 0 {
+		t.Fatalf("drain should let the granted trial finish: %+v", doc.Progress)
+	}
+	if finished+doc.Progress.Skipped != len(specs) {
+		t.Errorf("done %d + skipped %d != %d trials", finished, doc.Progress.Skipped, len(specs))
+	}
+
+	// Draining daemon: health 503, submissions 503.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining health: status %d, want 503", resp.StatusCode)
+		}
+	}
+	if resp := postJSON(t, ts.URL+"/v1/campaigns", SubmitRequest{Tenant: "bob", Trials: []gurita.TrialSpec{tinySpec(1)}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit: status %d, want 503", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Wait(ctx); err != nil {
+		t.Fatalf("drain wait: %v", err)
+	}
+
+	// The manifest is on disk, schema-stamped, and records the full grid.
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(cacheDir, "campaigns", ack.ID+".json"))
+	if err != nil {
+		t.Fatalf("manifest not flushed: %v", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if m.Schema != metrics.CampaignSchema {
+		t.Errorf("manifest schema %q, want %q", m.Schema, metrics.CampaignSchema)
+	}
+	if m.State != StateDrained || m.ID != ack.ID || len(m.Trials) != len(specs) {
+		t.Errorf("manifest = {state %q, id %q, %d trials}, want {%q, %q, %d}",
+			m.State, m.ID, len(m.Trials), StateDrained, ack.ID, len(specs))
+	}
+
+	// Resume: a fresh daemon over the same cache re-runs the recorded grid;
+	// the finished prefix replays from the cache, only the skipped trials
+	// execute, and the campaign completes.
+	s2, ts2 := daemon(t, Config{CacheDir: cacheDir, Workers: 4, Slots: 2, Capacity: 256})
+	ack2 := submit(t, ts2, "alice", m.Trials)
+	doc2 := await(t, ts2, ack2.ID)
+	if doc2.State != StateDone {
+		t.Fatalf("resumed campaign: state %q, error %q", doc2.State, doc2.Error)
+	}
+	counters := s2.reg.Snapshot()
+	if got := counters["serve.trials.cache_hits"]; got != int64(finished) {
+		t.Errorf("resume served %d trials from cache, want %d (the pre-drain finishers)", got, finished)
+	}
+	if got := counters["serve.trials.executed"]; got != int64(len(specs)-finished) {
+		t.Errorf("resume executed %d trials, want %d (the skipped remainder)", got, len(specs)-finished)
+	}
+
+	// And the resumed results still match the serial path byte for byte.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/campaigns/%s/results/0", ts2.URL, ack2.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := serialJSON(t, m.Trials[0]); !bytes.Equal(got, want) {
+		t.Errorf("resumed result differs from serial CLI path\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestStatsAndTenantsEndpoints sanity-checks the observability surface.
+func TestStatsAndTenantsEndpoints(t *testing.T) {
+	_, ts := daemon(t, Config{Tenants: map[string]float64{"alice": 3}})
+	ack := submit(t, ts, "alice", []gurita.TrialSpec{tinySpec(1)})
+	await(t, ts, ack.ID)
+
+	stats := decode[StatsDoc](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.Campaigns[StateDone] != 1 {
+		t.Errorf("stats: %d done campaigns, want 1 (%+v)", stats.Campaigns[StateDone], stats.Campaigns)
+	}
+	if stats.Counters["serve.http.submit"] == 0 {
+		t.Error("stats: submit counter never incremented")
+	}
+	if stats.Outstanding != 0 {
+		t.Errorf("stats: %d outstanding trials after completion, want 0", stats.Outstanding)
+	}
+
+	type tenantsDoc struct {
+		Tenants []struct {
+			ID     string  `json:"id"`
+			Weight float64 `json:"weight"`
+			Grants uint64  `json:"grants"`
+		} `json:"tenants"`
+	}
+	tens := decode[tenantsDoc](t, mustGet(t, ts.URL+"/v1/tenants"))
+	found := false
+	for _, tn := range tens.Tenants {
+		if tn.ID == "alice" {
+			found = true
+			if tn.Weight != 3 || tn.Grants != 1 {
+				t.Errorf("alice = %+v, want weight 3, grants 1", tn)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("tenant alice missing from %+v", tens)
+	}
+
+	// The per-campaign progress payload is the introspector's wire schema:
+	// it must decode strictly as a runner.ProgressDoc.
+	resp := mustGet(t, ts.URL+"/v1/campaigns/"+ack.ID)
+	var probe struct {
+		Progress json.RawMessage `json:"progress"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	dec := json.NewDecoder(bytes.NewReader(probe.Progress))
+	dec.DisallowUnknownFields()
+	var pd runner.ProgressDoc
+	if err := dec.Decode(&pd); err != nil {
+		t.Errorf("campaign progress is not a strict runner.ProgressDoc: %v", err)
+	}
+	if pd.Done != 1 || pd.Total != 1 || pd.Running {
+		t.Errorf("final progress = %+v, want done=total=1, running=false", pd)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return resp
+}
