@@ -7,154 +7,402 @@ import (
 	"testing/quick"
 )
 
+// both runs a subtest against each queue implementation.
+func both(t *testing.T, f func(t *testing.T, q Queue)) {
+	t.Run("calendar", func(t *testing.T) { f(t, NewCalendar()) })
+	t.Run("heap", func(t *testing.T) { f(t, NewHeap()) })
+}
+
 func TestEmptyQueue(t *testing.T) {
-	var q Queue
-	if q.Len() != 0 {
-		t.Fatalf("Len() = %d, want 0", q.Len())
-	}
-	if q.Peek() != nil {
-		t.Fatal("Peek() on empty queue should be nil")
-	}
-	if q.Pop() != nil {
-		t.Fatal("Pop() on empty queue should be nil")
-	}
+	both(t, func(t *testing.T, q Queue) {
+		if q.Len() != 0 {
+			t.Fatalf("Len() = %d, want 0", q.Len())
+		}
+		if _, ok := q.PeekTime(); ok {
+			t.Fatal("PeekTime() on empty queue should report !ok")
+		}
+		if _, _, ok := q.Pop(); ok {
+			t.Fatal("Pop() on empty queue should report !ok")
+		}
+	})
 }
 
 func TestOrdering(t *testing.T) {
-	var q Queue
-	times := []float64{5, 1, 3, 2, 4, 0.5, 2.5}
-	for _, tm := range times {
+	both(t, func(t *testing.T, q Queue) {
+		times := []float64{5, 1, 3, 2, 4, 0.5, 2.5}
+		for _, tm := range times {
+			q.Schedule(tm, func() {})
+		}
+		sort.Float64s(times)
+		for i, want := range times {
+			tm, _, ok := q.Pop()
+			if !ok {
+				t.Fatalf("Pop() #%d empty", i)
+			}
+			if tm != want {
+				t.Fatalf("Pop() #%d time = %v, want %v", i, tm, want)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("queue not drained, Len() = %d", q.Len())
+		}
+	})
+}
+
+// TestFIFOTieBreak pins the replayability contract the engine depends on:
+// events scheduled for the same instant fire in insertion order, in both
+// implementations.
+func TestFIFOTieBreak(t *testing.T) {
+	both(t, func(t *testing.T, q Queue) {
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			q.Schedule(1.0, func() { order = append(order, i) })
+		}
+		// Interleave a second instant to make sure FIFO holds per instant,
+		// not just globally.
+		for i := 10; i < 20; i++ {
+			i := i
+			q.Schedule(0.5, func() { order = append(order, i) })
+		}
+		for {
+			_, fire, ok := q.Pop()
+			if !ok {
+				break
+			}
+			fire()
+		}
+		want := make([]int, 0, 20)
+		for i := 10; i < 20; i++ {
+			want = append(want, i)
+		}
+		for i := 0; i < 10; i++ {
+			want = append(want, i)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("same-time events fired out of order: got %v want %v", order, want)
+			}
+		}
+	})
+}
+
+func TestCancel(t *testing.T) {
+	both(t, func(t *testing.T, q Queue) {
+		fired := make(map[int]bool)
+		var handles []Handle
+		for i := 0; i < 20; i++ {
+			i := i
+			handles = append(handles, q.Schedule(float64(i), func() { fired[i] = true }))
+		}
+		// Cancel the odd ones.
+		for i := 1; i < 20; i += 2 {
+			if !q.Cancel(handles[i]) {
+				t.Fatalf("Cancel(%d) = false, want true", i)
+			}
+		}
+		// Double-cancel and cancel-zero must be no-ops.
+		if q.Cancel(handles[1]) {
+			t.Fatal("double Cancel reported true")
+		}
+		if q.Cancel(Handle{}) {
+			t.Fatal("Cancel(zero) reported true")
+		}
+
+		for {
+			_, fire, ok := q.Pop()
+			if !ok {
+				break
+			}
+			fire()
+		}
+		for i := 0; i < 20; i++ {
+			want := i%2 == 0
+			if fired[i] != want {
+				t.Fatalf("event %d fired = %v, want %v", i, fired[i], want)
+			}
+		}
+	})
+}
+
+// TestCancelAfterPop: a handle whose event already fired must be inert,
+// even after the slab slot is recycled by a new Schedule.
+func TestCancelAfterPop(t *testing.T) {
+	both(t, func(t *testing.T, q Queue) {
+		h := q.Schedule(1, func() {})
+		q.Schedule(2, func() {})
+		if tm, _, ok := q.Pop(); !ok || tm != 1 {
+			t.Fatalf("Pop() = %v, %v; want 1, true", tm, ok)
+		}
+		if q.Cancel(h) {
+			t.Fatal("Cancel after Pop reported true")
+		}
+		// Recycle the slot: the new occupancy bumps the generation, so the
+		// stale handle must stay dead and the fresh one must work.
+		h2 := q.Schedule(3, func() {})
+		if q.Cancel(h) {
+			t.Fatal("stale handle canceled a recycled slot")
+		}
+		if !q.Cancel(h2) {
+			t.Fatal("fresh handle failed to cancel")
+		}
+		if q.Len() != 1 {
+			t.Fatalf("Len() = %d, want 1", q.Len())
+		}
+	})
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	both(t, func(t *testing.T, q Queue) {
+		q.Schedule(3, func() {})
+		q.Schedule(1, func() {})
+		tm, ok := q.PeekTime()
+		if !ok || tm != 1 {
+			t.Fatalf("PeekTime() = %v, %v; want 1, true", tm, ok)
+		}
+		if q.Len() != 2 {
+			t.Fatalf("PeekTime() removed an event, Len() = %d", q.Len())
+		}
+	})
+}
+
+// TestCalendarPastInsert schedules an event earlier than everything the
+// cursor has advanced past — the rewind path — and checks order holds.
+func TestCalendarPastInsert(t *testing.T) {
+	q := NewCalendar()
+	for i := 0; i < 100; i++ {
+		q.Schedule(float64(i)*10, func() {})
+	}
+	// Drain half, moving the cursor deep into the calendar.
+	for i := 0; i < 50; i++ {
+		q.Pop()
+	}
+	// Now insert before the cursor's window.
+	q.Schedule(3, func() {})
+	tm, _, ok := q.Pop()
+	if !ok || tm != 3 {
+		t.Fatalf("Pop() after past-insert = %v, want 3", tm)
+	}
+	tm, _, _ = q.Pop()
+	if tm != 500 {
+		t.Fatalf("Pop() = %v, want 500", tm)
+	}
+}
+
+// TestCalendarResize pushes the population through grow and shrink
+// thresholds and verifies order across rebuilds.
+func TestCalendarResize(t *testing.T) {
+	q := NewCalendar()
+	rng := rand.New(rand.NewSource(7))
+	var times []float64
+	for i := 0; i < 5000; i++ {
+		tm := rng.Float64() * 1e4
+		times = append(times, tm)
 		q.Schedule(tm, func() {})
 	}
 	sort.Float64s(times)
 	for i, want := range times {
-		e := q.Pop()
-		if e == nil {
-			t.Fatalf("Pop() #%d = nil", i)
-		}
-		if e.Time != want {
-			t.Fatalf("Pop() #%d time = %v, want %v", i, e.Time, want)
+		tm, _, ok := q.Pop()
+		if !ok || tm != want {
+			t.Fatalf("Pop() #%d = %v, want %v", i, tm, want)
 		}
 	}
 	if q.Len() != 0 {
-		t.Fatalf("queue not drained, Len() = %d", q.Len())
+		t.Fatalf("Len() = %d after drain", q.Len())
 	}
 }
 
-func TestFIFOTieBreak(t *testing.T) {
-	var q Queue
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		q.Schedule(1.0, func() { order = append(order, i) })
-	}
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Fire()
-	}
-	for i, got := range order {
-		if got != i {
-			t.Fatalf("same-time events fired out of order: %v", order)
-		}
-	}
-}
-
-func TestCancel(t *testing.T) {
-	var q Queue
-	fired := make(map[int]bool)
-	var handles []*Event
-	for i := 0; i < 20; i++ {
-		i := i
-		handles = append(handles, q.Schedule(float64(i), func() { fired[i] = true }))
-	}
-	// Cancel the odd ones.
-	for i := 1; i < 20; i += 2 {
-		q.Cancel(handles[i])
-		if !handles[i].Canceled() {
-			t.Fatalf("event %d not marked canceled", i)
-		}
-	}
-	// Double-cancel and cancel-nil must be no-ops.
-	q.Cancel(handles[1])
-	q.Cancel(nil)
-
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Fire()
-	}
-	for i := 0; i < 20; i++ {
-		want := i%2 == 0
-		if fired[i] != want {
-			t.Fatalf("event %d fired = %v, want %v", i, fired[i], want)
-		}
-	}
-}
-
-func TestCancelAfterPop(t *testing.T) {
-	var q Queue
-	e := q.Schedule(1, func() {})
-	q.Schedule(2, func() {})
-	got := q.Pop()
-	if got != e {
-		t.Fatal("expected first event")
-	}
-	q.Cancel(e) // must not corrupt the heap or panic
-	if q.Len() != 1 {
-		t.Fatalf("Len() = %d, want 1", q.Len())
-	}
-}
-
-func TestPeekDoesNotRemove(t *testing.T) {
-	var q Queue
-	q.Schedule(3, func() {})
-	q.Schedule(1, func() {})
-	p := q.Peek()
-	if p == nil || p.Time != 1 {
-		t.Fatalf("Peek() = %+v, want time 1", p)
-	}
-	if q.Len() != 2 {
-		t.Fatalf("Peek() removed an event, Len() = %d", q.Len())
-	}
-}
-
-// TestHeapPropertyQuick drains a randomly built queue with random
-// interleaved cancels and verifies the pop order is nondecreasing.
-func TestHeapPropertyQuick(t *testing.T) {
-	f := func(seed int64, n uint8) bool {
+// TestCrossCheckCalendarVsHeap is the equivalence property test: random
+// interleavings of Schedule (with deliberately colliding timestamps), Pop,
+// and Cancel must produce identical observable behavior from the calendar
+// queue and the binary-heap reference — including the FIFO order of
+// same-timestamp ties. This is the test that lets the engine treat the two
+// implementations as interchangeable.
+func TestCrossCheckCalendarVsHeap(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
 		rng := rand.New(rand.NewSource(seed))
-		var q Queue
-		var handles []*Event
-		for i := 0; i < int(n)+1; i++ {
-			handles = append(handles, q.Schedule(rng.Float64()*100, func() {}))
-		}
-		for _, h := range handles {
-			if rng.Intn(3) == 0 {
-				q.Cancel(h)
+		cal, ref := NewCalendar(), NewHeap()
+		type pair struct{ ch, rh Handle }
+		var pending []pair
+		ops := int(n)%2000 + 50
+		// Coarse timestamps force plenty of exact ties; occasional negative
+		// and far-future times exercise rewind and epoch clamping.
+		randTime := func() float64 {
+			switch rng.Intn(10) {
+			case 0:
+				return -rng.Float64() * 5
+			case 1:
+				return 1e12 + float64(rng.Intn(5))
+			default:
+				return float64(rng.Intn(40))
 			}
 		}
-		prev := -1.0
-		for e := q.Pop(); e != nil; e = q.Pop() {
-			if e.Time < prev {
+		for i := 0; i < ops; i++ {
+			switch r := rng.Intn(10); {
+			case r < 6: // schedule
+				tm := randTime()
+				pending = append(pending, pair{cal.Schedule(tm, nil), ref.Schedule(tm, nil)})
+			case r < 8: // pop
+				ct, _, cok := cal.Pop()
+				rt, _, rok := ref.Pop()
+				if cok != rok || ct != rt {
+					t.Logf("pop mismatch: calendar (%v,%v) heap (%v,%v)", ct, cok, rt, rok)
+					return false
+				}
+			default: // cancel a random pending pair
+				if len(pending) == 0 {
+					continue
+				}
+				j := rng.Intn(len(pending))
+				p := pending[j]
+				pending = append(pending[:j], pending[j+1:]...)
+				if cal.Cancel(p.ch) != ref.Cancel(p.rh) {
+					t.Log("cancel result mismatch")
+					return false
+				}
+			}
+			if cal.Len() != ref.Len() {
+				t.Logf("len mismatch: calendar %d heap %d", cal.Len(), ref.Len())
 				return false
 			}
-			if e.Canceled() {
+		}
+		// Drain: pop order must match exactly. Same-time ties are resolved
+		// by insertion sequence, and both queues saw identical insertion
+		// order, so the time sequences must be identical element-wise; any
+		// tie-break divergence would swap equal times with unequal
+		// neighbors somewhere and show up here across the random trials.
+		for {
+			ct, _, cok := cal.Pop()
+			rt, _, rok := ref.Pop()
+			if cok != rok || ct != rt {
+				t.Logf("drain mismatch: calendar (%v,%v) heap (%v,%v)", ct, cok, rt, rok)
 				return false
 			}
-			prev = e.Time
+			if !cok {
+				return true
+			}
 		}
-		return q.Len() == 0
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func BenchmarkScheduleAndPop(b *testing.B) {
+// TestCrossCheckTieOrder verifies tie order by firing, not just by time:
+// both queues must run same-instant callbacks in the same (insertion)
+// order even when the inserts interleave with pops and cancels.
+func TestCrossCheckTieOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cal, ref := NewCalendar(), NewHeap()
+		var calOrder, refOrder []int
+		id := 0
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) > 0 {
+				tm := float64(rng.Intn(8))
+				k := id
+				id++
+				cal.Schedule(tm, func() { calOrder = append(calOrder, k) })
+				ref.Schedule(tm, func() { refOrder = append(refOrder, k) })
+			} else {
+				if _, fn, ok := cal.Pop(); ok {
+					fn()
+				}
+				if _, fn, ok := ref.Pop(); ok {
+					fn()
+				}
+			}
+		}
+		for {
+			_, fn, ok := cal.Pop()
+			if !ok {
+				break
+			}
+			fn()
+		}
+		for {
+			_, fn, ok := ref.Pop()
+			if !ok {
+				break
+			}
+			fn()
+		}
+		if len(calOrder) != len(refOrder) {
+			return false
+		}
+		for i := range calOrder {
+			if calOrder[i] != refOrder[i] {
+				t.Logf("fire order diverged at %d: calendar %v heap %v", i, calOrder, refOrder)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteadyStateZeroAlloc pins the slab contract: once the slab has grown
+// to the working-set size, the schedule/pop/cancel cycle allocates nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	noop := func() {}
+	for _, tc := range []struct {
+		name string
+		q    Queue
+	}{
+		{"calendar", NewCalendar()},
+		{"heap", NewHeap()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := tc.q
+			for i := 0; i < 256; i++ {
+				q.Schedule(float64(i), noop)
+			}
+			tm := 256.0
+			allocs := testing.AllocsPerRun(1000, func() {
+				h := q.Schedule(tm+0.5, noop)
+				q.Schedule(tm, noop)
+				q.Pop()
+				q.Cancel(h)
+				tm++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state schedule/pop/cancel allocates %v per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"", KindCalendar, false},
+		{"calendar", KindCalendar, false},
+		{"heap", KindHeap, false},
+		{"splay", 0, true},
+	} {
+		got, err := ParseKind(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}
+
+func benchScheduleAndPop(b *testing.B, q Queue) {
 	rng := rand.New(rand.NewSource(1))
-	var q Queue
+	noop := func() {}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		q.Schedule(rng.Float64(), func() {})
+		q.Schedule(rng.Float64()*1e3, noop)
 		if q.Len() > 1024 {
 			q.Pop()
 		}
 	}
 }
+
+func BenchmarkScheduleAndPopCalendar(b *testing.B) { benchScheduleAndPop(b, NewCalendar()) }
+func BenchmarkScheduleAndPopHeap(b *testing.B)     { benchScheduleAndPop(b, NewHeap()) }

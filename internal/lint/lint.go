@@ -133,6 +133,10 @@ var simCritical = []string{
 	"gurita/internal/hr",
 	"gurita/internal/faults",
 	"gurita/internal/eventq",
+	// The slab arenas back event-queue slots and Job/Coflow/FlowState
+	// identity: handle recycling order decides which pointer a policy sees,
+	// so allocation-order nondeterminism here is result nondeterminism.
+	"gurita/internal/slab",
 	"gurita/internal/coflow",
 }
 

@@ -21,6 +21,7 @@ package netmod
 
 import (
 	"fmt"
+	"math"
 
 	"gurita/internal/fmath"
 	"gurita/internal/topo"
@@ -122,8 +123,14 @@ type Allocator struct {
 	wrrWeights []float64
 	pool       []float64
 	spill      []*FlowDemand
-	touched    []topo.LinkID // links crossed by the current water-fill's flows
-	work       []*FlowDemand // unfrozen working set, compacted between rounds
+	touched    []topo.LinkID // links with >= 1 unfrozen crossing flow, compacted
+	touchedIdx []int32       // per-link position in touched (valid for touched links)
+	linkFlows  [][]int32     // per-link unfrozen-flow (work index) lists for the fill
+	satBuf     []topo.LinkID // links that saturated in the current round
+	work       []*FlowDemand // stable snapshot of the fill's unfrozen flows
+	workN      int           // high-water mark of work entries holding pointers
+	live       []int32       // work indices still unfrozen, compacted between rounds
+	livePos    []int32       // work index -> position in live
 
 	// Cumulative work counters (see Stats). Plain increments on paths that
 	// already do real work, so they cost nothing measurable and — being
@@ -190,6 +197,8 @@ func NewAllocator(t *topo.Topology, queues int, mode Mode, opts ...Option) (*All
 		wrrShares:  make([]float64, queues),
 		wrrWeights: make([]float64, queues),
 		pool:       make([]float64, n),
+		touchedIdx: make([]int32, n),
+		linkFlows:  make([][]int32, n),
 	}
 	for i := range a.usedIdx {
 		a.usedIdx[i] = -1
@@ -590,121 +599,197 @@ func (a *Allocator) reallocateWRR() {
 	a.spill = spill[:0]
 }
 
-// registerCounts records how many unfrozen flows cross each link and
-// rebuilds a.touched — the links crossed by at least one of them, which are
-// the only links the water-fill rounds need to visit.
+// registerCounts builds the water-fill's working indexes in one pass over
+// fl: the per-link unfrozen crossing counts, the compacted touched-link
+// list (with per-link positions so freezes can swap-remove), the per-link
+// flow lists the freeze sweep walks when a link saturates, and the stable
+// work/live arrays the rounds iterate. Link lists hold int32 work indices,
+// not pointers, so resetting them never touches the GC.
 func (a *Allocator) registerCounts(fl []*FlowDemand) {
 	for _, l := range a.used {
 		a.count[l] = 0
 	}
+	work := a.work[:0]
+	live := a.live[:0]
 	touched := a.touched[:0]
 	for _, f := range fl {
 		if f.frozen {
 			continue
 		}
+		j := int32(len(work))
+		work = append(work, f)
+		live = append(live, j)
+		if int(j) < len(a.livePos) {
+			a.livePos[j] = j
+		} else {
+			a.livePos = append(a.livePos, j)
+		}
 		for _, l := range f.Path {
 			if a.count[l] == 0 {
+				a.touchedIdx[l] = int32(len(touched))
 				touched = append(touched, l)
+				a.linkFlows[l] = a.linkFlows[l][:0]
 			}
 			a.count[l]++
+			a.linkFlows[l] = append(a.linkFlows[l], j)
 		}
 	}
+	// Drop demand pointers only beyond this fill's length: consecutive
+	// fills are similarly sized, so the per-call clearing cost is the size
+	// delta, not the whole working set.
+	n := len(work)
+	if a.workN > n {
+		tail := work[n:a.workN]
+		for i := range tail {
+			tail[i] = nil
+		}
+	}
+	a.work, a.workN = work, n
+	a.live = live
 	a.touched = touched
 }
 
-// waterfill runs progressive filling over fl against the current residual
-// capacities: all unfrozen flows' rates rise together; a flow freezes when a
-// link on its path saturates or it reaches MaxRate. Counts (and the touched
-// link list) must have been registered with registerCounts. Residuals are
-// decremented in place.
-//
-// The rounds iterate a compacted working set: frozen flows are swap-removed
-// and only links in a.touched are scanned. Both are bit-exact rewrites of
-// the naive full scans — the round's water level d is a pure min
-// (order-independent), rate increments and count decrements commute, and a
-// round's freeze decisions read only residuals fixed before the freeze
-// sweep — so only the iteration sets shrink, never the arithmetic.
-func (a *Allocator) waterfill(fl []*FlowDemand) {
-	a.stTierSolves++
-	work := a.work[:0]
-	for _, f := range fl {
-		if !f.frozen {
-			work = append(work, f)
+// freeze retires work flow j from the current fill: its path counts drop,
+// links left with no unfrozen crossing flow leave the touched list, and the
+// flow leaves the live set. All removals are O(1) swap-removes.
+func (a *Allocator) freeze(j int32) {
+	f := a.work[j]
+	f.frozen = true
+	for _, l := range f.Path {
+		a.count[l]--
+		if a.count[l] == 0 {
+			ti := a.touchedIdx[l]
+			last := len(a.touched) - 1
+			lastL := a.touched[last]
+			a.touched[ti] = lastL
+			a.touchedIdx[lastL] = ti
+			a.touched = a.touched[:last]
 		}
 	}
-	n0 := len(work)
+	p := a.livePos[j]
+	last := int32(len(a.live) - 1)
+	lastJ := a.live[last]
+	a.live[p] = lastJ
+	a.livePos[lastJ] = p
+	a.live = a.live[:last]
+}
+
+// capSlack over-bounds the float error the capLB bookkeeping in waterfill
+// can accumulate in one round (~1e-12 relative, versus ~1e-16 actual), so
+// the scan-skip decisions stay conservative. Slack only gates which scans
+// run — never the arithmetic — so overshooting costs a redundant scan, not
+// correctness.
+func capSlack(x, d float64) float64 {
+	return 1e-12 * (math.Abs(x) + math.Abs(d) + 1)
+}
+
+// waterfill runs progressive filling over the working set registerCounts
+// just built against the current residual capacities: all unfrozen flows'
+// rates rise together; a flow freezes when a link on its path saturates or
+// it reaches MaxRate. Residuals are decremented in place.
+//
+// Every structural shortcut below is a bit-exact rewrite of the naive full
+// scans — the iteration sets shrink, never the arithmetic:
+//
+//   - The round's water level d is a pure min, so scanning only touched
+//     links (all of which have count > 0 by construction) and skipping the
+//     cap scan when capLB proves no cap can bound d yields the same value.
+//   - Rate increments and count decrements commute, so freeze order within
+//     a round is free; a round's freeze set is determined by residuals
+//     fixed before the sweep, so walking only the flows of links that
+//     saturated this round (a.linkFlows) freezes exactly the flows the
+//     full per-flow path scan would.
+//   - capLB conservatively lower-bounds the live flows' smallest cap
+//     headroom (MaxRate − Rate). It decides only whether the exact scans
+//     run, never what they compute, so its float slack (capSlack) cannot
+//     perturb rates.
+func (a *Allocator) waterfill(fl []*FlowDemand) {
+	a.stTierSolves++
 	// Each round saturates at least one link or caps at least one flow, so
 	// rounds are bounded; the guard protects against float corner cases.
 	maxRounds := len(a.used) + len(fl) + 2
-	for round := 0; len(work) > 0 && round < maxRounds; round++ {
+	capLB := math.Inf(-1) // forces an exact cap scan in round one
+	for round := 0; len(a.live) > 0 && round < maxRounds; round++ {
 		a.stWFRounds++
 		// The water level can rise by the smallest per-link fair share...
-		d := -1.0
+		linkMin := -1.0
 		for _, l := range a.touched {
-			if a.count[l] == 0 {
-				continue
-			}
 			s := a.residual[l] / float64(a.count[l])
-			if d < 0 || s < d {
-				d = s
+			if linkMin < 0 || s < linkMin {
+				linkMin = s
 			}
 		}
-		// ...or until the nearest per-flow cap, whichever is smaller.
-		for _, f := range work {
-			if f.MaxRate <= 0 {
-				continue
+		// ...or until the nearest per-flow cap, whichever is smaller. The
+		// scan only runs when a cap could actually bound this round.
+		d := linkMin
+		if linkMin < 0 || linkMin > capLB {
+			rm := math.Inf(1)
+			hasCap := false
+			for _, j := range a.live {
+				f := a.work[j]
+				if f.MaxRate <= 0 {
+					continue
+				}
+				hasCap = true
+				if room := f.MaxRate - f.Rate; room < rm {
+					rm = room
+				}
 			}
-			if room := f.MaxRate - f.Rate; d < 0 || room < d {
-				d = room
+			capLB = rm // +Inf when no live flow is capped, skipping all cap work
+			if hasCap && (d < 0 || rm < d) {
+				d = rm
 			}
 		}
 		if d < 0 {
 			break // no constrained links and no caps: nothing bounds rates
 		}
+		// No live flow can reach its cap this round when the smallest
+		// headroom exceeds the rise by more than the freeze tolerance.
+		sweepCaps := !math.IsInf(capLB, 1) && capLB-d <= epsRate+capSlack(capLB, d)
+		a.satBuf = a.satBuf[:0]
 		if d > 0 {
-			for _, f := range work {
-				f.Rate += d
+			for _, j := range a.live {
+				a.work[j].Rate += d
 			}
 			for _, l := range a.touched {
-				if a.count[l] > 0 {
-					a.residual[l] -= d * float64(a.count[l])
-					if a.residual[l] < 0 {
-						a.residual[l] = 0
-					}
+				a.residual[l] -= d * float64(a.count[l])
+				if a.residual[l] < 0 {
+					a.residual[l] = 0
+				}
+				if a.residual[l] <= epsRate {
+					a.satBuf = append(a.satBuf, l)
+				}
+			}
+		} else {
+			// d == 0: nothing moved, but links may sit at (or below) the
+			// saturation tolerance already — their flows must still freeze.
+			for _, l := range a.touched {
+				if a.residual[l] <= epsRate {
+					a.satBuf = append(a.satBuf, l)
 				}
 			}
 		}
-		// Freeze flows that hit a saturated link or their cap. The swapped-in
-		// tail flow is re-examined at index i, so every surviving flow is
-		// checked exactly once per round.
-		for i := 0; i < len(work); i++ {
-			f := work[i]
-			capped := f.MaxRate > 0 && fmath.AtLeast(f.Rate, f.MaxRate, epsRate)
-			saturated := false
-			if !capped {
-				for _, l := range f.Path {
-					if a.residual[l] <= epsRate {
-						saturated = true
-						break
-					}
+		if !math.IsInf(capLB, 1) {
+			capLB -= d + capSlack(capLB, d)
+		}
+		// Freeze capped flows (only when one can exist this round)...
+		if sweepCaps {
+			for i := 0; i < len(a.live); i++ {
+				j := a.live[i]
+				f := a.work[j]
+				if f.MaxRate > 0 && fmath.AtLeast(f.Rate, f.MaxRate, epsRate) {
+					a.freeze(j)
+					i--
 				}
 			}
-			if capped || saturated {
-				f.frozen = true
-				for _, l := range f.Path {
-					a.count[l]--
+		}
+		// ...then every flow crossing a link that saturated this round.
+		for _, l := range a.satBuf {
+			for _, j := range a.linkFlows[l] {
+				if !a.work[j].frozen {
+					a.freeze(j)
 				}
-				work[i] = work[len(work)-1]
-				work = work[:len(work)-1]
-				i--
 			}
 		}
 	}
-	// Drop the demand pointers the scratch buffer picked up this call so a
-	// later Unregister does not leave them reachable.
-	stale := work[:n0]
-	for i := range stale {
-		stale[i] = nil
-	}
-	a.work = stale[:0]
 }

@@ -57,7 +57,7 @@ const (
 type stalledFlow struct {
 	fs       *FlowState
 	attempts int
-	retry    *eventq.Event
+	retry    eventq.Handle
 	idx      int // position in Simulator.stalled
 }
 
@@ -278,7 +278,15 @@ func (s *Simulator) stallFlow(fs *FlowState) {
 		})
 	}
 	s.reg.Add("flow_stalls", 1)
-	st := &stalledFlow{fs: fs, idx: len(s.stalled)}
+	var st *stalledFlow
+	if n := len(s.stalledPool); n > 0 {
+		st = s.stalledPool[n-1]
+		s.stalledPool = s.stalledPool[:n-1]
+		*st = stalledFlow{}
+	} else {
+		st = &stalledFlow{}
+	}
+	st.fs, st.idx = fs, len(s.stalled)
 	s.stalled = append(s.stalled, st)
 	s.scheduleRetry(st)
 }
@@ -302,9 +310,9 @@ func (s *Simulator) sweepStalled() {
 // the next AssignQueues exactly like a new connection (a reconnect after a
 // partition is a fresh connection from the fabric's point of view).
 func (s *Simulator) readmit(st *stalledFlow, path []topo.LinkID) {
-	if st.retry != nil {
+	if !st.retry.Zero() {
 		s.queue.Cancel(st.retry)
-		st.retry = nil
+		st.retry = eventq.Handle{}
 	}
 	last := len(s.stalled) - 1
 	moved := s.stalled[last]
@@ -314,6 +322,8 @@ func (s *Simulator) readmit(st *stalledFlow, path []topo.LinkID) {
 	s.stalled = s.stalled[:last]
 
 	fs := st.fs
+	st.fs = nil
+	s.stalledPool = append(s.stalledPool, st)
 	fs.Demand.Path = path
 	fs.activeIdx = len(s.active)
 	s.active = append(s.active, fs)
@@ -345,7 +355,7 @@ func (s *Simulator) scheduleRetry(st *stalledFlow) {
 // more repair events, so the partition is permanent and the job would never
 // complete — surfacing that beats spinning to MaxEvents).
 func (s *Simulator) retryStalled(st *stalledFlow) {
-	st.retry = nil
+	st.retry = eventq.Handle{}
 	if st.fs.activeIdx >= 0 || st.fs.Done {
 		return
 	}

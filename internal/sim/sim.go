@@ -25,6 +25,7 @@ import (
 	"gurita/internal/faults"
 	"gurita/internal/netmod"
 	"gurita/internal/obs"
+	"gurita/internal/slab"
 	"gurita/internal/topo"
 )
 
@@ -48,6 +49,11 @@ type FlowState struct {
 	Flow   *coflow.Flow
 	Coflow *CoflowState
 
+	// Handle is the flow's slab identity: a stable dense index assigned at
+	// construction (see Index). The zero Handle means the state was built by
+	// hand outside the engine (scheduler unit tests, alternative frontends).
+	Handle slab.Handle
+
 	// Demand carries the path, the priority queue assigned by the scheduler,
 	// and the allocated rate. Schedulers set Demand.Queue.
 	Demand netmod.FlowDemand
@@ -67,6 +73,12 @@ type FlowState struct {
 // Active reports whether the flow has started and not yet finished (an
 // "open connection" from the receiver's perspective).
 func (f *FlowState) Active() bool { return f.started && !f.Done }
+
+// Index returns the flow's dense slab index: engine-built states are
+// numbered 0..n-1 in construction order (job, then coflow, then flow order
+// — deterministic), so schedulers and instrumentation can use it to key
+// O(1) side arrays instead of maps. Hand-built states all report 0.
+func (f *FlowState) Index() int32 { return f.Handle.Index() }
 
 // MarkStarted records that the flow was admitted into the network at the
 // given time. The engine calls this internally; external drivers building
@@ -95,6 +107,9 @@ type CoflowState struct {
 	Job    *JobState
 	Flows  []*FlowState
 
+	// Handle is the coflow's slab identity (see FlowState.Handle).
+	Handle slab.Handle
+
 	Phase           CoflowPhase
 	PendingChildren int
 	RemainingFlows  int
@@ -114,6 +129,9 @@ type CoflowState struct {
 // ObservedWidth returns the number of flows currently transmitting — the
 // receiver-side "open connections" estimate of the horizontal dimension.
 func (c *CoflowState) ObservedWidth() int { return c.activeFlows }
+
+// Index returns the coflow's dense slab index (see FlowState.Index).
+func (c *CoflowState) Index() int32 { return c.Handle.Index() }
 
 // ObservedLargest returns the largest per-flow bytes received so far — the
 // receiver-side estimate of the vertical dimension L.
@@ -140,6 +158,9 @@ type JobState struct {
 	Job     *coflow.Job
 	Coflows []*CoflowState
 
+	// Handle is the job's slab identity (see FlowState.Handle).
+	Handle slab.Handle
+
 	// CompletedStages is the paper's s: the longest prefix of stages fully
 	// completed. stageLeft[k] counts unfinished coflows at stage k+1.
 	CompletedStages int
@@ -152,6 +173,9 @@ type JobState struct {
 	Finished float64
 	Done     bool
 }
+
+// Index returns the job's dense slab index (see FlowState.Index).
+func (j *JobState) Index() int32 { return j.Handle.Index() }
 
 // ByID returns the job's coflow state with the given ID, or nil.
 func (j *JobState) ByID(id coflow.CoflowID) *CoflowState {
@@ -305,6 +329,11 @@ type Config struct {
 	// always folded into Result.Counters: results are a pure function of the
 	// scenario, never of observability settings.
 	Registry *obs.Registry
+	// EventQueue selects the event-queue implementation (default calendar).
+	// Both kinds pop in identical (time, FIFO) order, so the trajectory is
+	// byte-identical either way; the knob exists for cross-implementation
+	// equivalence tests and as an escape hatch.
+	EventQueue eventq.Kind
 }
 
 func (c *Config) applyDefaults() {
@@ -420,6 +449,14 @@ type Simulator struct {
 	queue eventq.Queue
 	now   float64
 
+	// State slabs: every JobState/CoflowState/FlowState the engine builds
+	// lives in one of these (contiguous chunks, stable addresses — the
+	// pointers handed to schedulers stay valid for the run), and each state
+	// carries its slab handle as the dense identity side arrays key on.
+	jobSlab    *slab.Slab[JobState]
+	coflowSlab *slab.Slab[CoflowState]
+	flowSlab   *slab.Slab[FlowState]
+
 	jobs   []*JobState
 	active []*FlowState
 	// added collects flows admitted since the last AssignQueues call; dirty
@@ -433,13 +470,16 @@ type Simulator struct {
 	verifyPtrs []*netmod.FlowDemand
 	verifyErr  error
 
-	// Task-level dependency wiring (Config.Dependency == DepTask):
-	// dependents maps a child flow to the parent flows it feeds;
-	// feedersLeft counts a parent flow's outstanding feeder flows.
-	dependents  map[coflow.FlowID][]*FlowState
-	feedersLeft map[coflow.FlowID]int
+	// Task-level dependency wiring (Config.Dependency == DepTask), keyed by
+	// flow slab index: dependents[i] lists the parent flows that flow i
+	// feeds; feedersLeft[i] counts flow i's outstanding feeder flows.
+	taskDeps    bool
+	dependents  [][]*FlowState
+	feedersLeft []int32
 
-	pendingDone *eventq.Event
+	pendingDone eventq.Handle
+	tickFn      func() // periodic tick action, built once in New
+	noopFn      func() // completion marker action, built once in New
 	tickPending bool
 	rampPending bool
 	lastProbe   float64
@@ -458,6 +498,7 @@ type Simulator struct {
 	needReroute    bool
 	needReadmit    bool
 	stalled        []*stalledFlow
+	stalledPool    []*stalledFlow // recycled records: stall/readmit churn allocates nothing
 	faultErr       error
 	switchLinksBuf []topo.LinkID
 
@@ -511,6 +552,16 @@ func New(cfg Config, sched Scheduler, jobs []*coflow.Job) (*Simulator, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	s := &Simulator{cfg: cfg, sched: sched, alloc: alloc}
+	s.queue = eventq.New(cfg.EventQueue)
+	// The tick and completion-marker actions are hoisted here so the
+	// steady-state event path schedules them without materializing a new
+	// closure per event (part of the 0 allocs/op contract pinned by
+	// BenchmarkSteadyStateEvent).
+	s.tickFn = func() {
+		s.tickPending = false
+		s.ensureTick()
+	}
+	s.noopFn = func() {}
 	s.reg = cfg.Registry
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
@@ -527,10 +578,7 @@ func New(cfg Config, sched Scheduler, jobs []*coflow.Job) (*Simulator, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
-	if cfg.Dependency == DepTask {
-		s.dependents = make(map[coflow.FlowID][]*FlowState)
-		s.feedersLeft = make(map[coflow.FlowID]int)
-	}
+	s.taskDeps = cfg.Dependency == DepTask
 
 	// Schedulers key state on job, coflow, and flow IDs; duplicates across
 	// the workload silently corrupt those maps, so reject them up front.
@@ -558,35 +606,53 @@ func New(cfg Config, sched Scheduler, jobs []*coflow.Job) (*Simulator, error) {
 		}
 	}
 
+	// The workload's population is known up front, so each slab's first
+	// chunk holds everything: states of one type are contiguous in memory,
+	// numbered densely in construction order (jobs, then each job's coflows,
+	// then each coflow's flows — the deterministic workload order).
+	s.jobSlab = slab.New[JobState](len(jobs))
+	s.coflowSlab = slab.New[CoflowState](len(coflowIDs))
+	s.flowSlab = slab.New[FlowState](len(flowIDs))
+	if s.taskDeps {
+		s.dependents = make([][]*FlowState, len(flowIDs))
+		s.feedersLeft = make([]int32, len(flowIDs))
+	}
 	for _, j := range jobs {
 		if j.Arrival < 0 {
 			return nil, fmt.Errorf("sim: job %d has negative arrival %v", j.ID, j.Arrival)
 		}
-		js := &JobState{
+		jh, js := s.jobSlab.Alloc()
+		*js = JobState{
 			Job:              j,
+			Handle:           jh,
 			RemainingCoflows: len(j.Coflows),
 			stageLeft:        make([]int, j.NumStages),
 		}
 		for _, c := range j.Coflows {
-			cs := &CoflowState{
+			ch, cs := s.coflowSlab.Alloc()
+			*cs = CoflowState{
 				Coflow:          c,
 				Job:             js,
+				Handle:          ch,
 				Phase:           PhaseWaiting,
 				PendingChildren: len(c.Children),
 				RemainingFlows:  len(c.Flows),
 			}
 			for _, fl := range c.Flows {
-				cs.Flows = append(cs.Flows, &FlowState{
+				fh, fs := s.flowSlab.Alloc()
+				*fs = FlowState{
 					Flow:      fl,
 					Coflow:    cs,
+					Handle:    fh,
 					Remaining: float64(fl.Size),
 					activeIdx: -1,
-				})
+				}
+				cs.Flows = append(cs.Flows, fs)
 			}
 			js.Coflows = append(js.Coflows, cs)
 			js.stageLeft[c.Stage-1]++
 		}
-		if cfg.Dependency == DepTask {
+		if s.taskDeps {
 			s.wireTaskDependencies(js)
 		}
 		s.jobs = append(s.jobs, js)
@@ -643,21 +709,22 @@ func (s *Simulator) Run() (*Result, error) {
 				return nil, fmt.Errorf("sim: run interrupted at t=%v after %d events: %w", s.now, events, err)
 			}
 		}
-		ev := s.queue.Pop()
-		if s.cfg.CheckInvariants && ev.Time < s.now {
+		t, fire, _ := s.queue.Pop()
+		if s.cfg.CheckInvariants && t < s.now {
 			s.emitInvariant()
-			return nil, fmt.Errorf("sim: invariant violated: clock would move backwards from t=%v to t=%v", s.now, ev.Time)
+			return nil, fmt.Errorf("sim: invariant violated: clock would move backwards from t=%v to t=%v", s.now, t)
 		}
-		s.advanceTo(ev.Time)
-		ev.Fire()
+		s.advanceTo(t)
+		fire()
 		// Batch every event at this instant before reallocating.
 		for {
-			next := s.queue.Peek()
-			if next == nil || next.Time > s.now {
+			nt, ok := s.queue.PeekTime()
+			if !ok || nt > s.now {
 				break
 			}
 			events++
-			s.queue.Pop().Fire()
+			_, fire, _ := s.queue.Pop()
+			fire()
 		}
 		if s.faultFired {
 			// All same-instant events settled the failure set; now reroute
@@ -756,9 +823,9 @@ func (s *Simulator) wireTaskDependencies(js *JobState) {
 			if len(feeders) == 0 {
 				continue
 			}
-			s.feedersLeft[fs.Flow.ID] = len(feeders)
+			s.feedersLeft[fs.Index()] = int32(len(feeders))
 			for _, feeder := range feeders {
-				s.dependents[feeder.Flow.ID] = append(s.dependents[feeder.Flow.ID], fs)
+				s.dependents[feeder.Index()] = append(s.dependents[feeder.Index()], fs)
 			}
 		}
 	}
@@ -872,10 +939,10 @@ func (s *Simulator) finishFlow(fs *FlowState) {
 
 	// Task-level release: parent flows fed solely by completed child flows
 	// may start before the whole child coflow finishes (§I).
-	if s.dependents != nil {
-		for _, parent := range s.dependents[fs.Flow.ID] {
-			s.feedersLeft[parent.Flow.ID]--
-			if s.feedersLeft[parent.Flow.ID] == 0 {
+	if s.taskDeps {
+		for _, parent := range s.dependents[fs.Index()] {
+			s.feedersLeft[parent.Index()]--
+			if s.feedersLeft[parent.Index()] == 0 {
 				if s.cfg.StageDelay > 0 {
 					parent := parent
 					s.queue.Schedule(s.now+s.cfg.StageDelay, func() { s.startFlow(parent) })
@@ -998,9 +1065,9 @@ func (s *Simulator) reallocate() {
 		}
 	}
 
-	if s.pendingDone != nil {
+	if !s.pendingDone.Zero() {
 		s.queue.Cancel(s.pendingDone)
-		s.pendingDone = nil
+		s.pendingDone = eventq.Handle{}
 	}
 	if len(s.active) == 0 {
 		s.added = s.added[:0]
@@ -1070,7 +1137,7 @@ func (s *Simulator) reallocate() {
 		if at <= s.now {
 			at = s.now + 1e-12
 		}
-		s.pendingDone = s.queue.Schedule(at, func() {})
+		s.pendingDone = s.queue.Schedule(at, s.noopFn)
 	}
 	if ramping && !s.rampPending {
 		s.rampPending = true
@@ -1159,8 +1226,5 @@ func (s *Simulator) ensureTick() {
 		return
 	}
 	s.tickPending = true
-	s.queue.Schedule(s.now+s.cfg.Tick, func() {
-		s.tickPending = false
-		s.ensureTick()
-	})
+	s.queue.Schedule(s.now+s.cfg.Tick, s.tickFn)
 }

@@ -1,0 +1,89 @@
+package sim
+
+// BenchmarkSteadyStateEvent pins the engine's 0 allocs/op contract on the
+// steady-state event path: pop a tick, advance the clock across the active
+// set, fire, batch same-instant events, and reallocate. Nothing completes
+// and nothing arrives, so every structure involved — the event queue's slab
+// slots, the pooled tick/noop closures, the scheduler's dirty slice, the
+// allocator's scratch — must be recycled rather than reallocated. The
+// benchmark asserts via testing.AllocsPerRun before timing, so `go test
+// -bench SteadyStateEvent` fails outright if an allocation sneaks back in.
+
+import (
+	"testing"
+
+	"gurita/internal/coflow"
+	"gurita/internal/topo"
+)
+
+// steadyStateSim builds a simulator mid-run: flows admitted, rates
+// allocated, and only periodic ticks left on the queue. Flow sizes are
+// enormous so no completion fires during measurement.
+func steadyStateSim(b *testing.B) (*Simulator, func()) {
+	b.Helper()
+	tp, err := topo.NewBigSwitch(8, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []*coflow.Job
+	for i := 0; i < 4; i++ {
+		id := coflow.JobID(i + 1)
+		cid := coflow.CoflowID(id * 1000)
+		fid := coflow.FlowID(id * 1000)
+		bu := coflow.NewBuilder(id, 0, &cid, &fid)
+		bu.AddCoflow(coflow.FlowSpec{
+			Src: topo.ServerID(i), Dst: topo.ServerID(i + 4), Size: 1 << 50,
+		})
+		j, err := bu.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	s, err := New(Config{Topology: tp}, &fairSched{}, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.sched.Init(Env{Topo: s.cfg.Topology, Queues: s.cfg.Queues,
+		Now: func() float64 { return s.now }})
+
+	// One steady-state iteration of the Run loop body.
+	step := func() {
+		t, fire, ok := s.queue.Pop()
+		if !ok {
+			b.Fatal("queue drained; steady state requires a pending tick")
+		}
+		s.advanceTo(t)
+		fire()
+		for {
+			nt, ok := s.queue.PeekTime()
+			if !ok || nt > s.now {
+				break
+			}
+			_, f2, _ := s.queue.Pop()
+			f2()
+		}
+		s.reallocate()
+	}
+	// Warm up: fire the arrivals, allocate rates, and let every pool reach
+	// its high-water mark (event-queue slots, allocator scratch, histograms).
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	return s, step
+}
+
+func BenchmarkSteadyStateEvent(b *testing.B) {
+	s, step := steadyStateSim(b)
+	if a := testing.AllocsPerRun(200, step); a != 0 {
+		b.Fatalf("steady-state event path allocates %v/op, want 0", a)
+	}
+	if len(s.active) != 4 {
+		b.Fatalf("active flows = %d, want 4 (completions would leave steady state)", len(s.active))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

@@ -7,6 +7,7 @@ package gurita_test
 
 import (
 	"testing"
+	"time"
 
 	gurita "gurita"
 )
@@ -42,12 +43,27 @@ func TestPaperScaleFabricRunsJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore nondetsource wall-clock measures this test's own throughput floor; trial results depend only on the spec
+	start := time.Now()
 	res, err := gurita.Scenario{Topology: tp, Jobs: jobs}.Run(gurita.KindGurita)
+	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Jobs) != 25 {
 		t.Fatalf("drained %d/25 jobs on the 48-pod fabric", len(res.Jobs))
+	}
+	// Throughput floor: the hot-path engine rewrite (calendar queue, slab
+	// state, compacted water-fill) runs this smoke at ~31k events/sec on the
+	// 1-CPU development container (420 events, ~14 ms). The floor sits >15×
+	// below that so only a wholesale engine regression — not machine
+	// variance on a milliseconds-long sample — can trip it.
+	const floorEventsPerSec = 2_000
+	evps := float64(res.Events) / elapsed.Seconds()
+	t.Logf("48-pod smoke: %d events in %v (%.0f events/sec)", res.Events, elapsed, evps)
+	if evps < floorEventsPerSec {
+		t.Errorf("48-pod smoke ran at %.0f events/sec, floor is %d — the hot path has regressed wholesale",
+			evps, floorEventsPerSec)
 	}
 }
 
