@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"gurita/internal/lease"
 	"gurita/internal/metrics"
 	"gurita/internal/obs"
 	"gurita/internal/runner"
@@ -298,6 +300,53 @@ type CampaignOptions struct {
 	// RunCampaign returns ErrCampaignDrained with partial results and
 	// CampaignStats.Skipped set. A drained campaign resumes from its cache.
 	Drain <-chan struct{}
+	// MultiProcess, when non-nil, runs the campaign in crash-tolerant
+	// multi-process mode: trials are claimed through lease files under
+	// CacheDir (which becomes required), so any number of worker processes
+	// pointed at the same cache and grid split the work between them,
+	// reclaim trials from SIGKILLed peers, and each write a per-worker
+	// manifest shard accounting for what they did. See MultiProcessOptions.
+	MultiProcess *MultiProcessOptions
+}
+
+// MultiProcessOptions configures the crash-tolerant multi-process campaign
+// mode. Workers coordinate exclusively through the shared cache directory —
+// lease files for mutual exclusion, cache entries for result handoff — so
+// there is no coordinator process to crash: any worker (or all of them) can
+// be SIGKILLed and the survivors, or a later rerun, finish the grid with
+// byte-identical results.
+type MultiProcessOptions struct {
+	// Owner identifies this worker process in lease files and its manifest
+	// shard. It must be unique among concurrently live workers and contain
+	// no path separators; empty means DefaultWorkerID().
+	Owner string
+	// LeaseTTL is how long an unrenewed lease stays valid before peers may
+	// reclaim it (0 = lease.DefaultTTL). It bounds how long a SIGKILLed
+	// worker's trials stay stuck.
+	LeaseTTL time.Duration
+	// Heartbeat is the lease renewal interval (0 = LeaseTTL/3).
+	Heartbeat time.Duration
+	// MaxAttempts bounds the claim attempts per trial across all workers
+	// before the trial is quarantined as poisoned (0 = lease.DefaultMaxAttempts).
+	MaxAttempts int
+	// Registry receives the worker's operational counters (lease.*,
+	// runner.cache.*, runner.trials.*) and is snapshotted into the manifest
+	// shard; a private one is created when nil.
+	Registry *obs.SyncRegistry
+}
+
+// DefaultWorkerID derives a lease owner id from the host name and pid —
+// unique among live workers on a shared filesystem, stable for the life of
+// the process, and meaningful in a manifest written by a fleet.
+func DefaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	// Path separators would break lease and manifest file names; a hostname
+	// cannot legally contain them, but an operator-set one might.
+	host = strings.ReplaceAll(host, "/", "-")
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
 // schema returns the cache schema for these options; coflow-bearing entries
@@ -334,6 +383,52 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		if err != nil {
 			return nil, CampaignStats{}, err
 		}
+	}
+	// Multi-process mode: a lease manager over the shared cache plus the
+	// campaign's grid hash, which names this worker's manifest shard and lets
+	// shards from the same grid find each other.
+	var (
+		mgr      *lease.Manager
+		owner    string
+		gridHash string
+		reg      *obs.SyncRegistry
+	)
+	if mp := opts.MultiProcess; mp != nil {
+		if cache == nil {
+			return nil, CampaignStats{}, errors.New("gurita: multi-process campaigns need CacheDir (workers coordinate through it)")
+		}
+		if opts.Force {
+			return nil, CampaignStats{}, errors.New("gurita: Force re-executes unconditionally, which multi-process leases exist to prevent; drop one of them")
+		}
+		owner = mp.Owner
+		if owner == "" {
+			owner = DefaultWorkerID()
+		}
+		reg = mp.Registry
+		if reg == nil {
+			reg = obs.NewSyncRegistry()
+		}
+		cache.Counters = reg
+		var err error
+		mgr, err = lease.Open(lease.Config{
+			Dir:         filepath.Join(opts.CacheDir, runner.LeaseSubdir),
+			Owner:       owner,
+			Schema:      opts.schema(),
+			TTL:         mp.LeaseTTL,
+			Heartbeat:   mp.Heartbeat,
+			MaxAttempts: mp.MaxAttempts,
+			Counters:    reg,
+		})
+		if err != nil {
+			return nil, CampaignStats{}, err
+		}
+		keys := make([]string, len(norm))
+		for i, s := range norm {
+			if keys[i], err = runner.Key(opts.schema(), s); err != nil {
+				return nil, CampaignStats{}, err
+			}
+		}
+		gridHash = runner.GridHash(keys)
 	}
 	for _, dir := range []string{opts.ObsTraceDir, opts.ObsDumpDir} {
 		if dir != "" {
@@ -414,7 +509,23 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		Flight:          opts.Flight,
 		Gate:            opts.Gate,
 		Drain:           opts.Drain,
+		Lease:           mgr,
 	})
+	if mgr != nil {
+		// Fold the runner's trial tallies into the registry so the manifest
+		// shard's counters and its stats columns are cross-checkable (the
+		// chaos harness asserts they agree after merging), then flush the
+		// shard. Written even on drain or failure: a crashed-then-resumed
+		// fleet's accounting must include the partial incarnations.
+		reg.Add("runner.trials.executed", int64(stats.Executed))
+		reg.Add("runner.trials.retried", int64(stats.Retries))
+		reg.Add("runner.trials.cache_hits", int64(stats.CacheHits))
+		reg.Add("runner.trials.dedup_hits", int64(stats.DedupHits))
+		m := runner.NewWorkerManifest(metrics.WorkerManifestSchema, owner, gridHash, stats, reg.Snapshot())
+		if _, werr := runner.WriteWorkerManifest(opts.CacheDir, m); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	// A drain is a soft stop, not a failure: the completed prefix of the grid
 	// is valid (and cached), so it is returned alongside ErrCampaignDrained.
 	if err != nil && !errorsIsDrained(err) {

@@ -1,0 +1,415 @@
+// Command guritachaos is the kill -9 harness for multi-process campaigns:
+// it spawns a fleet of guritaworker processes against one shared cache,
+// SIGKILLs and SIGSTOPs them on a seeded schedule while they fight over the
+// grid, and then audits the wreckage. The audit is the multi-process
+// contract stated as assertions:
+//
+//   - the fleet (plus reclaims) finishes the whole grid, and every trial's
+//     result bytes are identical to a serial in-process run of the same grid;
+//   - no lease or poison files survive and the quarantine directory is empty
+//     (crashes leave garbage, the protocol cleans all of it up);
+//   - the merged worker manifests are self-consistent: the retry, reclaim,
+//     and execution tallies in the stats columns equal the obs counters the
+//     workers snapshotted alongside them.
+//
+// The schedule is deterministic in -seed (modulo OS scheduling, which is the
+// point: the chaos is real). Exit status 0 means every assertion held.
+//
+// Usage:
+//
+//	go build -o /tmp/bin ./cmd/guritaworker ./cmd/guritachaos
+//	/tmp/bin/guritachaos -workers 3 -kills 2 -stops 1 -seed 7
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	gurita "gurita"
+	"gurita/internal/metrics"
+	"gurita/internal/obs"
+	"gurita/internal/runner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "guritachaos: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workers   = flag.Int("workers", 3, "worker processes to keep in the fleet")
+		parallel  = flag.Int("parallel", 2, "per-worker pool size")
+		kills     = flag.Int("kills", 2, "SIGKILLs to deliver (each killed worker is respawned under a fresh id)")
+		stops     = flag.Int("stops", 1, "SIGSTOP/SIGCONT pauses to deliver, each longer than the lease TTL")
+		seed      = flag.Int64("seed", 1, "chaos-schedule seed")
+		leaseTTL  = flag.Duration("lease-ttl", time.Second, "worker lease TTL (short, so reclaims happen within the run)")
+		workerBin = flag.String("worker-bin", "", "guritaworker binary (default: next to this binary, then $PATH)")
+		cacheDir  = flag.String("cache", "", "shared cache directory (default: a temp dir, removed when the run passes)")
+		schedds   = flag.String("schedulers", "gurita,pfs", "comma-separated schedulers in the built-in grid")
+		seeds     = flag.Int("seeds", 3, "workload seeds per scheduler in the built-in grid")
+		jobs      = flag.Int("jobs", 30, "coflows per trial in the built-in grid")
+		timeout   = flag.Duration("timeout", 3*time.Minute, "overall harness deadline")
+	)
+	flag.Parse()
+	if *workers < 2 {
+		return fmt.Errorf("-workers must be >= 2 (chaos needs survivors), got %d", *workers)
+	}
+
+	bin, err := resolveWorkerBin(*workerBin)
+	if err != nil {
+		return err
+	}
+
+	work, err := os.MkdirTemp("", "guritachaos-")
+	if err != nil {
+		return err
+	}
+	cache := *cacheDir
+	if cache == "" {
+		cache = filepath.Join(work, "cache")
+	}
+	if err := os.MkdirAll(cache, 0o755); err != nil {
+		return err
+	}
+
+	// The built-in grid: small enough to finish in seconds, large enough
+	// that kills land mid-flight.
+	var specs []gurita.TrialSpec
+	for _, name := range strings.Split(*schedds, ",") {
+		for s := 1; s <= *seeds; s++ {
+			specs = append(specs, gurita.TrialSpec{
+				Scheduler: gurita.SchedulerKind(strings.TrimSpace(name)),
+				Scenario:  gurita.CampaignTrace,
+				Structure: gurita.StructureFBTao,
+				Scale: gurita.Scale{
+					Seed: int64(s), FatTreeK: 4, TraceCoflows: *jobs,
+					MaxSenders: 6, MaxReducers: 3, TraceTimeScale: 0.1,
+				},
+				Queues: 4,
+			})
+		}
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("grid trial %d: %w", i, err)
+		}
+	}
+	gridPath := filepath.Join(work, "grid.json")
+	gridJSON, err := json.MarshalIndent(specs, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(gridPath, gridJSON, 0o644); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Serial in-process reference: the bytes every trial must reproduce.
+	fmt.Fprintf(os.Stderr, "guritachaos: reference run (%d trials, serial)\n", len(specs))
+	reference, err := renderResults(ctx, specs, gurita.CampaignOptions{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	// Spawn the fleet and run the seeded chaos schedule against it.
+	fleet := &fleet{
+		bin: bin, grid: gridPath, cache: cache,
+		parallel: *parallel, ttl: *leaseTTL,
+	}
+	for i := 0; i < *workers; i++ {
+		if err := fleet.spawn(); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	killed, stopped := 0, 0
+	// The first kill lands fast, before a small grid can drain — the
+	// harness's one guarantee is that at least one worker actually dies
+	// mid-campaign.
+	time.Sleep(100*time.Millisecond + time.Duration(rng.Intn(100))*time.Millisecond)
+	for killed < *kills || stopped < *stops {
+		if ctx.Err() != nil {
+			fleet.killAll()
+			return fmt.Errorf("chaos schedule overran -timeout %v", *timeout)
+		}
+		doKill := killed < *kills && (stopped >= *stops || rng.Intn(2) == 0)
+		if doKill {
+			id, err := fleet.killRandom(rng)
+			if err != nil {
+				return err
+			}
+			killed++
+			fmt.Fprintf(os.Stderr, "guritachaos: SIGKILL %s (%d/%d), respawning\n", id, killed, *kills)
+			if err := fleet.spawn(); err != nil {
+				return err
+			}
+		} else {
+			id, err := fleet.stopRandom(rng, *leaseTTL+(*leaseTTL)/2)
+			if err != nil {
+				return err
+			}
+			stopped++
+			fmt.Fprintf(os.Stderr, "guritachaos: SIGSTOP/SIGCONT %s (%d/%d)\n", id, stopped, *stops)
+		}
+		time.Sleep(time.Duration(150+rng.Intn(450)) * time.Millisecond)
+	}
+	if err := fleet.wait(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "guritachaos: fleet done (%d spawned, %d killed, %d paused)\n", fleet.spawned, killed, stopped)
+
+	// Verification pass: an in-process lease-mode campaign over the same
+	// cache. It must see a fully populated cache, and it sweeps any stale
+	// lease the schedule left behind.
+	reg := obs.NewSyncRegistry()
+	verified, err := renderResults(ctx, specs, gurita.CampaignOptions{
+		Workers:  2,
+		CacheDir: cache,
+		MultiProcess: &gurita.MultiProcessOptions{
+			Owner: "chaos-verify", LeaseTTL: *leaseTTL, Registry: reg,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("verification pass: %w", err)
+	}
+
+	// Assertion 1: exactly-once result bytes.
+	for i := range specs {
+		if !bytes.Equal(reference[i], verified[i]) {
+			return fmt.Errorf("trial %d result bytes differ from the serial reference (%d vs %d bytes)",
+				i, len(reference[i]), len(verified[i]))
+		}
+	}
+	// Assertion 2: no leases, poisons, or quarantined entries survive.
+	if left := globNames(filepath.Join(cache, runner.LeaseSubdir), "*"); len(left) != 0 {
+		return fmt.Errorf("lease files left behind: %v", left)
+	}
+	if q := globNames(filepath.Join(cache, runner.QuarantineDir), "*"); len(q) != 0 {
+		return fmt.Errorf("quarantined cache entries: %v", q)
+	}
+	// Assertion 3: the merged manifests are self-consistent — stats columns
+	// equal the counters snapshotted next to them.
+	shards, err := runner.LoadWorkerManifests(cache, metrics.WorkerManifestSchema, "")
+	if err != nil {
+		return err
+	}
+	// Shards exist only for workers that finished; at minimum the survivors
+	// and the verify pass wrote one each.
+	if len(shards) < 2 {
+		return fmt.Errorf("only %d manifest shards found, want >= 2", len(shards))
+	}
+	merged, err := runner.MergeWorkerManifests(shards)
+	if err != nil {
+		return err
+	}
+	for col, want := range map[string]int{
+		"runner.trials.executed": merged.Executed,
+		"runner.trials.retried":  merged.Retries,
+		"lease.reclaimed":        merged.Reclaims,
+	} {
+		if got := merged.Counters[col]; got != int64(want) {
+			return fmt.Errorf("merged manifest disagrees with obs counters: %s = %d, stats column = %d", col, got, want)
+		}
+	}
+	if len(merged.Failures) != 0 {
+		return fmt.Errorf("healthy grid degraded: %+v", merged.Failures)
+	}
+	if merged.Executed+merged.CacheHits+merged.DedupHits < len(specs) {
+		return fmt.Errorf("accounting hole: %d trials but executed+cache+dedup = %d",
+			len(specs), merged.Executed+merged.CacheHits+merged.DedupHits)
+	}
+
+	fmt.Printf("guritachaos: PASS — %d trials, %d workers spawned, %d SIGKILLed, %d paused; executed %d, reclaims %d, retries %d, byte-identical\n",
+		len(specs), fleet.spawned, killed, stopped, merged.Executed, merged.Reclaims, merged.Retries)
+	if *cacheDir == "" {
+		os.RemoveAll(work)
+	}
+	return nil
+}
+
+// renderResults runs the grid and renders every trial's result with the same
+// writer guritasim -json uses, so byte comparison is end-to-end.
+func renderResults(ctx context.Context, specs []gurita.TrialSpec, opts gurita.CampaignOptions) ([][]byte, error) {
+	opts.IncludeCoflows = true
+	results, _, err := gurita.RunCampaign(ctx, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(results))
+	for i, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("trial %d produced no result", i)
+		}
+		var buf bytes.Buffer
+		if err := gurita.WriteResultJSON(&buf, res, false); err != nil {
+			return nil, err
+		}
+		out[i] = buf.Bytes()
+	}
+	return out, nil
+}
+
+// fleet manages the worker processes under chaos.
+type fleet struct {
+	bin, grid, cache string
+	parallel         int
+	ttl              time.Duration
+	spawned          int
+	live             []*worker
+}
+
+type worker struct {
+	id   string
+	cmd  *exec.Cmd
+	done chan error
+}
+
+func (f *fleet) spawn() error {
+	f.spawned++
+	id := fmt.Sprintf("chaos-w%d", f.spawned)
+	cmd := exec.Command(f.bin,
+		"-grid", f.grid, "-cache", f.cache,
+		"-parallel", strconv.Itoa(f.parallel),
+		"-lease-ttl", f.ttl.String(),
+		"-worker-id", id, "-retries", "1", "-quiet")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawning %s: %w", id, err)
+	}
+	w := &worker{id: id, cmd: cmd, done: make(chan error, 1)}
+	go func() { w.done <- cmd.Wait() }()
+	f.live = append(f.live, w)
+	return nil
+}
+
+// pick returns a random still-running worker, pruning finished ones.
+func (f *fleet) pick(rng *rand.Rand) (*worker, error) {
+	alive := f.live[:0]
+	for _, w := range f.live {
+		select {
+		case err := <-w.done:
+			if err != nil {
+				return nil, fmt.Errorf("worker %s exited under chaos: %w", w.id, err)
+			}
+		default:
+			alive = append(alive, w)
+		}
+	}
+	f.live = alive
+	if len(f.live) == 0 {
+		return nil, nil
+	}
+	return f.live[rng.Intn(len(f.live))], nil
+}
+
+// killRandom SIGKILLs one live worker and reaps it. When the fleet already
+// finished the grid there is nothing left to kill — that counts: the
+// surviving schedule was too gentle, but the contract under test is the
+// fleet's, not the schedule's.
+func (f *fleet) killRandom(rng *rand.Rand) (string, error) {
+	w, err := f.pick(rng)
+	if err != nil || w == nil {
+		return "(fleet already done)", err
+	}
+	if err := w.cmd.Process.Kill(); err != nil {
+		return "", fmt.Errorf("killing %s: %w", w.id, err)
+	}
+	<-w.done // reap; a kill-induced error is the expected outcome
+	for i, lw := range f.live {
+		if lw == w {
+			f.live = append(f.live[:i], f.live[i+1:]...)
+			break
+		}
+	}
+	return w.id, nil
+}
+
+// stopRandom SIGSTOPs one live worker for longer than the lease TTL, then
+// SIGCONTs it — the worker wakes to find its leases reclaimed and must
+// defer to its peers' results.
+func (f *fleet) stopRandom(rng *rand.Rand, pause time.Duration) (string, error) {
+	w, err := f.pick(rng)
+	if err != nil || w == nil {
+		return "(fleet already done)", err
+	}
+	if err := w.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		return "", fmt.Errorf("stopping %s: %w", w.id, err)
+	}
+	time.Sleep(pause)
+	if err := w.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		return "", fmt.Errorf("resuming %s: %w", w.id, err)
+	}
+	return w.id, nil
+}
+
+// wait blocks until every live worker exits cleanly or ctx expires.
+func (f *fleet) wait(ctx context.Context) error {
+	for _, w := range f.live {
+		select {
+		case err := <-w.done:
+			if err != nil {
+				return fmt.Errorf("worker %s failed: %w", w.id, err)
+			}
+		case <-ctx.Done():
+			f.killAll()
+			return fmt.Errorf("workers still running at -timeout: %s", w.id)
+		}
+	}
+	f.live = nil
+	return nil
+}
+
+func (f *fleet) killAll() {
+	for _, w := range f.live {
+		_ = w.cmd.Process.Kill()
+		<-w.done
+	}
+	f.live = nil
+}
+
+// resolveWorkerBin finds guritaworker: explicit flag, next to this binary,
+// then $PATH.
+func resolveWorkerBin(flagVal string) (string, error) {
+	if flagVal != "" {
+		return flagVal, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "guritaworker")
+		if _, err := os.Stat(cand); err == nil {
+			return cand, nil
+		}
+	}
+	if path, err := exec.LookPath("guritaworker"); err == nil {
+		return path, nil
+	}
+	return "", errors.New("guritaworker binary not found; build it next to guritachaos or pass -worker-bin")
+}
+
+// globNames lists base names matching pattern under dir (empty when the
+// directory does not exist).
+func globNames(dir, pattern string) []string {
+	matches, _ := filepath.Glob(filepath.Join(dir, pattern))
+	names := make([]string, 0, len(matches))
+	for _, m := range matches {
+		names = append(names, filepath.Base(m))
+	}
+	return names
+}

@@ -75,11 +75,13 @@ func run() error {
 		tenants      = tenantWeights{}
 
 		campaign = cliflags.RegisterCampaign(flag.CommandLine, "trials")
+		leaseFl  = cliflags.RegisterLease(flag.CommandLine, true)
 		profFl   = cliflags.RegisterProf(flag.CommandLine)
 		obsFl    = cliflags.RegisterObs(flag.CommandLine, "for failed trials")
 	)
 	flag.Var(&tenants, "tenant", "tenant weight as name=weight (repeatable); unknown tenants get weight 1")
 	flag.Parse()
+	setFlags := cliflags.Set(flag.CommandLine)
 
 	switch {
 	case campaign.CacheDir == "":
@@ -98,6 +100,9 @@ func run() error {
 		return badUsage("-obs-listen is the single-campaign introspector; the daemon's own API serves progress (GET /v1/campaigns/{id})")
 	}
 	if err := campaign.Validate(); err != nil {
+		return &usageError{err}
+	}
+	if err := leaseFl.Validate(setFlags, campaign); err != nil {
 		return &usageError{err}
 	}
 
@@ -123,6 +128,7 @@ func run() error {
 		Tenants:      tenants,
 		ObsTraceDir:  obsFl.TraceDir,
 		ObsDumpDir:   obsFl.DumpDir,
+		MultiProcess: leaseFl.Options(),
 	})
 	if err != nil {
 		return err

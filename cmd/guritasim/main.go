@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -70,12 +71,14 @@ func run() (err error) {
 		util      = flag.Bool("util", false, "sample and print fabric utilization (forces the serial path)")
 		taskDeps  = flag.Bool("taskdeps", false, "task-level DAG release (pipelined stages)")
 		jsonOut   = flag.String("json", "", "write per-job results as JSON to this file")
+		emitGrid  = flag.String("emit-grid", "", "write the campaign's trial-spec grid as JSON to this file and exit (feed it to guritaworker -grid)")
 
 		// Shared flag groups (identical across gurita commands): the campaign
 		// pool/cache group, profiling (-trace is taken by trace replay, so the
 		// runtime/trace flag is -exectrace everywhere), fault injection, and
 		// observability.
 		campaign = cliflags.RegisterCampaign(flag.CommandLine, "runs")
+		leaseFl  = cliflags.RegisterLease(flag.CommandLine, true)
 		profFl   = cliflags.RegisterProf(flag.CommandLine)
 		faults   = cliflags.RegisterFaults(flag.CommandLine)
 		obsFl    = cliflags.RegisterObs(flag.CommandLine, "(serial runs: always; campaign runs: on failure)")
@@ -106,8 +109,15 @@ func run() (err error) {
 		return badUsage("-parallel only applies to synthetic campaign runs; -trace and -util run serially")
 	case serial && obsFl.Listen != "":
 		return badUsage("-obs-listen serves campaign introspection; -trace and -util run serially")
+	case serial && leaseFl.External:
+		return badUsage("-workers-external only applies to synthetic campaign runs; -trace and -util run serially")
+	case serial && *emitGrid != "":
+		return badUsage("-emit-grid exports the campaign grid; -trace and -util have none")
 	}
 	if err := campaign.Validate(); err != nil {
+		return &usageError{err}
+	}
+	if err := leaseFl.Validate(setFlags, campaign); err != nil {
 		return &usageError{err}
 	}
 	if err := faults.Validate(setFlags); err != nil {
@@ -213,6 +223,11 @@ func run() (err error) {
 				CheckInvariants:       faults.Check,
 			}
 		}
+		if *emitGrid != "" {
+			// The exported grid is what this invocation would run — workers
+			// fed the file compute the same cache keys and grid hash.
+			return writeGrid(*emitGrid, specs)
+		}
 		inspect, progress, err := obsFl.Introspection(cliflags.ProgressPrinter("runs"))
 		if err != nil {
 			return err
@@ -231,6 +246,7 @@ func run() (err error) {
 			TrialTimeout:   campaign.TrialTimeout,
 			ObsTraceDir:    obsFl.TraceDir,
 			ObsDumpDir:     obsFl.DumpDir,
+			MultiProcess:   leaseFl.Options(),
 		})
 		if inspect != nil {
 			inspect.Finish(stats)
@@ -417,6 +433,16 @@ func writeObsDump(dir, kind string, ring *gurita.FlightRecorder) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeGrid exports the campaign grid as a JSON array of trial specs, the
+// format guritaworker -grid consumes.
+func writeGrid(name string, specs []gurita.TrialSpec) error {
+	data, err := json.MarshalIndent(specs, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(name, append(data, '\n'), 0o644)
 }
 
 func writeJSON(name string, res *gurita.Result) error {

@@ -1,0 +1,198 @@
+// Command guritaworker is one worker process of a crash-tolerant
+// multi-process campaign: it reads a trial-spec grid (the JSON file
+// guritasim -emit-grid writes), claims trials through crash-safe lease files
+// under the shared -cache directory, executes what it wins, and serves the
+// rest from peers' published results. Any number of workers pointed at the
+// same grid and cache split the work; a SIGKILLed worker's in-flight trials
+// go stale and are reclaimed by survivors after -lease-ttl, so the fleet as
+// a whole finishes the grid with results byte-identical to a serial run.
+//
+// Each worker writes a per-owner manifest shard under <cache>/manifests/
+// accounting for what it executed, retried, and reclaimed; merge the shards
+// with the library's runner.MergeWorkerManifests (the guritachaos harness
+// does this to audit a fleet).
+//
+// Usage:
+//
+//	guritasim -scheduler all -jobs 50 -k 4 -emit-grid grid.json
+//	guritaworker -grid grid.json -cache /shared/cache &   # repeat per worker
+//	guritaworker -grid grid.json -cache /shared/cache -json-dir out/
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+
+	gurita "gurita"
+	"gurita/internal/cliflags"
+	"gurita/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "guritaworker:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintln(os.Stderr, "run 'guritaworker -h' for flag usage")
+		}
+		os.Exit(1)
+	}
+}
+
+// usageError marks bad-invocation errors so main can point at -h.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func badUsage(format string, args ...any) error {
+	return &usageError{fmt.Errorf(format, args...)}
+}
+
+func run() error {
+	var (
+		gridFile = flag.String("grid", "", "trial-spec grid to execute, a JSON array of specs (see guritasim -emit-grid); required")
+		jsonDir  = flag.String("json-dir", "", "write each trial's result as trial-NNNN.json under this directory (same bytes as guritasim -json)")
+		retries  = flag.Int("retries", 0, "re-run transiently failed trials up to this many extra times with backoff")
+		keepOn   = flag.Bool("continue-on-error", true, "degrade past failed trials into the manifest instead of aborting the grid")
+		quiet    = flag.Bool("quiet", false, "suppress the progress line")
+
+		campaign = cliflags.RegisterCampaign(flag.CommandLine, "trials")
+		leaseFl  = cliflags.RegisterLease(flag.CommandLine, false)
+		profFl   = cliflags.RegisterProf(flag.CommandLine)
+		obsFl    = cliflags.RegisterObs(flag.CommandLine, "for failed trials")
+	)
+	flag.Parse()
+	setFlags := cliflags.Set(flag.CommandLine)
+
+	switch {
+	case *gridFile == "":
+		return badUsage("-grid FILE is required: the worker needs the grid it is splitting")
+	case *retries < 0:
+		return badUsage("-retries must be >= 0, got %d", *retries)
+	}
+	if err := campaign.Validate(); err != nil {
+		return &usageError{err}
+	}
+	// The lease group is always-on here (no -workers-external switch), so
+	// its validation enforces the cache requirement and tuning sanity.
+	if err := leaseFl.Validate(setFlags, campaign); err != nil {
+		return &usageError{err}
+	}
+
+	data, err := os.ReadFile(*gridFile)
+	if err != nil {
+		return err
+	}
+	var specs []gurita.TrialSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return badUsage("parsing -grid %s: %v", *gridFile, err)
+	}
+	if len(specs) == 0 {
+		return badUsage("-grid %s holds no trials", *gridFile)
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return badUsage("grid trial %d: %v", i, err)
+		}
+	}
+
+	stopProf, err := profFl.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	mp := leaseFl.Options()
+	mp.Registry = obs.NewSyncRegistry()
+	owner := mp.Owner
+	if owner == "" {
+		owner = gurita.DefaultWorkerID()
+		mp.Owner = owner
+	}
+
+	var progress func(gurita.CampaignProgress)
+	if !*quiet {
+		progress = cliflags.ProgressPrinter("trials")
+	}
+	inspect, progress, err := obsFl.Introspection(progress)
+	if err != nil {
+		return err
+	}
+	if inspect != nil {
+		defer inspect.Close()
+	}
+
+	results, stats, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
+		Workers:  campaign.Parallel,
+		CacheDir: campaign.CacheDir,
+		// Coflow rows ride through the cache so every fleet member — and the
+		// serial guritasim run a chaos audit compares against — shares one
+		// schema and one set of cache keys.
+		IncludeCoflows:  true,
+		Progress:        progress,
+		TrialTimeout:    campaign.TrialTimeout,
+		Retries:         *retries,
+		ContinueOnError: *keepOn,
+		ObsTraceDir:     obsFl.TraceDir,
+		ObsDumpDir:      obsFl.DumpDir,
+		MultiProcess:    mp,
+	})
+	if inspect != nil {
+		inspect.Finish(stats)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "guritaworker %s: %d trials — executed %d, cache %d, dedup %d, retries %d, reclaims %d\n",
+		owner, stats.Total, stats.Executed, stats.CacheHits, stats.DedupHits, stats.Retries, stats.Reclaims)
+	if n := len(stats.Failures); n > 0 {
+		fmt.Fprintf(os.Stderr, "guritaworker %s: %d trials failed (see manifest shard)\n", owner, n)
+	}
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
+		for i, res := range results {
+			if res == nil {
+				continue
+			}
+			if err := writeResult(filepath.Join(*jsonDir, fmt.Sprintf("trial-%04d.json", i)), res); err != nil {
+				return err
+			}
+		}
+	}
+	if len(stats.Failures) > 0 {
+		return fmt.Errorf("%d of %d trials failed", len(stats.Failures), stats.Total)
+	}
+	return nil
+}
+
+// writeResult writes one trial's result document with the exact bytes
+// guritasim -json produces for the same spec.
+func writeResult(name string, res *gurita.Result) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := gurita.WriteResultJSON(f, res, false); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"time"
 
+	gurita "gurita"
 	"gurita/internal/prof"
 	"gurita/internal/runner"
 )
@@ -63,6 +64,80 @@ func (c *Campaign) Validate() error {
 		return fmt.Errorf("-force re-runs cached trials, so it needs -cache DIR")
 	}
 	return nil
+}
+
+// Lease is the multi-process campaign flag group: -workers-external plus the
+// lease tuning knobs (-worker-id, -lease-ttl, -lease-heartbeat,
+// -lease-max-attempts). It maps onto gurita.MultiProcessOptions.
+type Lease struct {
+	// External enables multi-process mode (claim trials through lease files
+	// under the shared cache). Commands that are always external
+	// (guritaworker) get it pre-set by RegisterLease.
+	External    bool
+	WorkerID    string
+	TTL         time.Duration
+	Heartbeat   time.Duration
+	MaxAttempts int
+}
+
+// RegisterLease registers the lease group on fs. When toggle is true the
+// group includes the -workers-external switch and the tuning flags only
+// apply once it is set; commands whose whole purpose is external execution
+// pass false and get External pre-set with no switch registered.
+func RegisterLease(fs *flag.FlagSet, toggle bool) *Lease {
+	l := &Lease{External: !toggle}
+	if toggle {
+		fs.BoolVar(&l.External, "workers-external", false, "coordinate with external worker processes sharing -cache via crash-safe trial leases")
+	}
+	fs.StringVar(&l.WorkerID, "worker-id", "", "lease owner id for this process; must be unique per live worker (default host-pid)")
+	fs.DurationVar(&l.TTL, "lease-ttl", 0, "how long an unrenewed trial lease stays valid before peers reclaim it (0 = 5s)")
+	fs.DurationVar(&l.Heartbeat, "lease-heartbeat", 0, "lease renewal interval (0 = lease-ttl/3)")
+	fs.IntVar(&l.MaxAttempts, "lease-max-attempts", 0, "claim attempts per trial across all workers before it is quarantined as poisoned (0 = 5)")
+	return l
+}
+
+// Validate enforces the group's cross-flag invariants against the campaign
+// group it rides on. set reports whether a flag was given explicitly.
+func (l *Lease) Validate(set func(string) bool, c *Campaign) error {
+	if !l.External {
+		for _, name := range []string{"worker-id", "lease-ttl", "lease-heartbeat", "lease-max-attempts"} {
+			if set(name) {
+				return fmt.Errorf("-%s tunes multi-process leasing, so it needs -workers-external", name)
+			}
+		}
+		return nil
+	}
+	switch {
+	case c.CacheDir == "":
+		return fmt.Errorf("-workers-external coordinates workers through the cache, so it needs -cache DIR")
+	case c.Force:
+		return fmt.Errorf("-force re-executes unconditionally, which -workers-external leases exist to prevent; drop one of them")
+	case l.TTL < 0:
+		return fmt.Errorf("-lease-ttl must be >= 0, got %v", l.TTL)
+	case l.Heartbeat < 0:
+		return fmt.Errorf("-lease-heartbeat must be >= 0, got %v", l.Heartbeat)
+	case l.TTL > 0 && l.Heartbeat > 0 && l.Heartbeat >= l.TTL:
+		return fmt.Errorf("-lease-heartbeat (%v) must renew faster than -lease-ttl (%v) expires", l.Heartbeat, l.TTL)
+	case l.MaxAttempts < 0:
+		return fmt.Errorf("-lease-max-attempts must be >= 0, got %d", l.MaxAttempts)
+	}
+	return nil
+}
+
+// Options maps the group onto campaign options: nil when multi-process mode
+// is off, so callers can assign it unconditionally. The Registry is left nil
+// (a private one is created by RunCampaign) — callers that snapshot counters
+// themselves set it after the fact.
+func (l *Lease) Options() *gurita.MultiProcessOptions {
+	if !l.External {
+		return nil
+	}
+	return &gurita.MultiProcessOptions{
+		Owner:       l.WorkerID,
+		LeaseTTL:    l.TTL,
+		Heartbeat:   l.Heartbeat,
+		MaxAttempts: l.MaxAttempts,
+	}
 }
 
 // Prof is the profiling flag group: -cpuprofile, -memprofile, -exectrace.

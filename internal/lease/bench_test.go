@@ -1,0 +1,29 @@
+package lease
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkLeaseClaim measures the uncontended acquire+release cycle — the
+// cost lease mode adds to every *executed* trial (warm-cache trials never
+// reach the lease layer). Pinned in BENCH_baseline.json.
+func BenchmarkLeaseClaim(b *testing.B) {
+	m, err := Open(Config{Dir: b.TempDir(), Owner: "bench", Schema: "bench-v1", TTL: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := m.Claim(fmt.Sprintf("%016x", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.State != StateAcquired {
+			b.Fatalf("state = %v", c.State)
+		}
+		c.Release()
+	}
+}

@@ -1,0 +1,437 @@
+package lease
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testSchema = "lease-test-v1"
+
+func mustOpen(t *testing.T, dir, owner string, mut ...func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{Dir: dir, Owner: owner, Schema: testSchema, TTL: 200 * time.Millisecond}
+	for _, f := range mut {
+		f(&cfg)
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m
+}
+
+// age rewinds the lease file's mtime so staleness tests don't sleep.
+func age(t *testing.T, m *Manager, key string, by time.Duration) {
+	t.Helper()
+	past := time.Now().Add(-by)
+	if err := os.Chtimes(m.leasePath(key), past, past); err != nil {
+		t.Fatalf("Chtimes: %v", err)
+	}
+}
+
+func TestOpenValidates(t *testing.T) {
+	dir := t.TempDir()
+	cases := []Config{
+		{Owner: "w", Schema: "s"},                // no dir
+		{Dir: dir, Schema: "s"},                  // no owner
+		{Dir: dir, Owner: "w", Schema: ""},       // no schema
+		{Dir: dir, Owner: "a/b", Schema: "s"},    // unsafe owner
+		{Dir: dir, Owner: "a\x00b", Schema: "s"}, // unsafe owner
+	}
+	for i, cfg := range cases {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("case %d: Open(%+v) succeeded, want error", i, cfg)
+		}
+	}
+	m := mustOpen(t, filepath.Join(dir, "sub"), "w1")
+	if m.TTL() != 200*time.Millisecond {
+		t.Errorf("TTL = %v", m.TTL())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sub")); err != nil {
+		t.Errorf("lease dir not created: %v", err)
+	}
+}
+
+func TestClaimAcquireReleaseCycle(t *testing.T) {
+	m := mustOpen(t, t.TempDir(), "w1")
+	c, err := m.Claim("k1")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if c.State != StateAcquired || c.Attempt != 1 || c.Reclaimed {
+		t.Fatalf("first claim = %+v, want acquired attempt 1", c)
+	}
+	// The lease file exists and carries our identity.
+	rec, mtime, ok := m.readLease("k1")
+	if !ok || mtime.IsZero() {
+		t.Fatal("lease file unreadable after acquire")
+	}
+	if rec.Owner != "w1" || rec.Schema != testSchema || rec.Attempt != 1 {
+		t.Fatalf("lease record = %+v", rec)
+	}
+	c.Release()
+	if _, err := os.Stat(m.leasePath("k1")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("lease file survives Release: %v", err)
+	}
+	st := m.Stats()
+	if st.Acquired != 1 || st.Released != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Released leases are immediately re-claimable.
+	c2, err := m.Claim("k1")
+	if err != nil || c2.State != StateAcquired {
+		t.Fatalf("re-claim after release: %+v, %v", c2, err)
+	}
+	c2.Release()
+}
+
+func TestClaimBusyWhileFresh(t *testing.T) {
+	dir := t.TempDir()
+	m1 := mustOpen(t, dir, "w1")
+	m2 := mustOpen(t, dir, "w2")
+	c1, err := m1.Claim("k")
+	if err != nil || c1.State != StateAcquired {
+		t.Fatalf("w1 claim: %+v, %v", c1, err)
+	}
+	c2, err := m2.Claim("k")
+	if err != nil {
+		t.Fatalf("w2 claim: %v", err)
+	}
+	if c2.State != StateBusy {
+		t.Fatalf("w2 claim state = %v, want busy", c2.State)
+	}
+	if c2.Holder != "w1" {
+		t.Errorf("holder = %q, want w1", c2.Holder)
+	}
+	if c2.Remaining <= 0 || c2.Remaining > m2.TTL() {
+		t.Errorf("remaining = %v, want within (0, TTL]", c2.Remaining)
+	}
+	c1.Release()
+}
+
+func TestReclaimStaleLease(t *testing.T) {
+	dir := t.TempDir()
+	m1 := mustOpen(t, dir, "w1")
+	m2 := mustOpen(t, dir, "w2")
+	c1, _ := m1.Claim("k")
+	if c1.State != StateAcquired {
+		t.Fatal("setup claim failed")
+	}
+	// w1 "dies": no heartbeat, lease goes stale.
+	age(t, m1, "k", m1.TTL()+time.Second)
+	c2, err := m2.Claim("k")
+	if err != nil {
+		t.Fatalf("reclaim: %v", err)
+	}
+	if c2.State != StateAcquired || !c2.Reclaimed || c2.Attempt != 2 {
+		t.Fatalf("reclaim = %+v, want acquired attempt 2 reclaimed", c2)
+	}
+	rec, _, ok := m2.readLease("k")
+	if !ok || rec.Owner != "w2" || rec.Attempt != 2 {
+		t.Fatalf("post-reclaim record = %+v", rec)
+	}
+	if m2.Stats().Reclaimed != 1 {
+		t.Errorf("reclaimed stat = %d", m2.Stats().Reclaimed)
+	}
+	c2.Release()
+}
+
+func TestReclaimUnparsableLease(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1")
+	if err := os.WriteFile(m.leasePath("k"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	age(t, m, "k", m.TTL()+time.Second)
+	c, err := m.Claim("k")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	// One unknown prior attempt assumed.
+	if c.State != StateAcquired || c.Attempt != 2 {
+		t.Fatalf("claim = %+v, want acquired attempt 2", c)
+	}
+	c.Release()
+}
+
+func TestForeignSchemaLeaseReclaimableWhenStale(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1")
+	old, _ := json.Marshal(record{Schema: "other-schema", Key: "k", Owner: "ghost", Attempt: 4})
+	if err := os.WriteFile(m.leasePath("k"), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh foreign lease: still busy (mtime rules).
+	c, err := m.Claim("k")
+	if err != nil || c.State != StateBusy {
+		t.Fatalf("fresh foreign lease claim = %+v, %v, want busy", c, err)
+	}
+	age(t, m, "k", m.TTL()+time.Second)
+	c, err = m.Claim("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Foreign attempts don't count toward our budget: restart at 2.
+	if c.State != StateAcquired || c.Attempt != 2 {
+		t.Fatalf("stale foreign lease claim = %+v, want acquired attempt 2", c)
+	}
+	c.Release()
+}
+
+func TestPoisonAfterMaxAttempts(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1", func(c *Config) { c.MaxAttempts = 3 })
+	// Simulate a crash loop: claim, age, reclaim, never release.
+	c, _ := m.Claim("k")
+	if c.State != StateAcquired {
+		t.Fatal("setup")
+	}
+	for want := 2; want <= 3; want++ {
+		age(t, m, "k", m.TTL()+time.Second)
+		c, _ = m.Claim("k")
+		if c.State != StateAcquired || c.Attempt != want {
+			t.Fatalf("attempt %d claim = %+v", want, c)
+		}
+	}
+	age(t, m, "k", m.TTL()+time.Second)
+	c, err := m.Claim("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State != StatePoisoned {
+		t.Fatalf("claim after budget = %+v, want poisoned", c)
+	}
+	if c.Poison == nil || c.Poison.Attempts != 3 {
+		t.Fatalf("poison record = %+v", c.Poison)
+	}
+	// Lease file is gone; poison marker persists across managers.
+	if _, err := os.Stat(m.leasePath("k")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("lease file survives poisoning: %v", err)
+	}
+	m2 := mustOpen(t, dir, "w2")
+	c2, err := m2.Claim("k")
+	if err != nil || c2.State != StatePoisoned {
+		t.Fatalf("peer claim of poisoned trial = %+v, %v", c2, err)
+	}
+}
+
+func TestPoisonTrialExplicit(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1")
+	c, _ := m.Claim("k")
+	if err := c.PoisonTrial("abcd1234", 3, errors.New("deterministic trial failure")); err != nil {
+		t.Fatalf("PoisonTrial: %v", err)
+	}
+	c2, err := m.Claim("k")
+	if err != nil || c2.State != StatePoisoned {
+		t.Fatalf("claim after explicit poison = %+v, %v", c2, err)
+	}
+	if c2.Poison.SpecHash != "abcd1234" || c2.Poison.Attempts != 3 {
+		t.Fatalf("poison record = %+v", c2.Poison)
+	}
+	if !strings.Contains(c2.Poison.Err, "deterministic trial failure") {
+		t.Errorf("poison err = %q", c2.Poison.Err)
+	}
+	if _, err := os.Stat(m.leasePath("k")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("lease survives PoisonTrial: %v", err)
+	}
+}
+
+func TestForeignSchemaPoisonIgnored(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1")
+	old, _ := json.Marshal(Poison{Schema: "other", Key: "k", Attempts: 9, Err: "ancient"})
+	if err := os.WriteFile(m.poisonPath("k"), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Claim("k")
+	if err != nil || c.State != StateAcquired {
+		t.Fatalf("claim with foreign poison = %+v, %v, want acquired", c, err)
+	}
+	if _, err := os.Stat(m.poisonPath("k")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("foreign poison marker not cleaned up: %v", err)
+	}
+	c.Release()
+}
+
+func TestHeartbeatKeepsLeaseFresh(t *testing.T) {
+	dir := t.TempDir()
+	m1 := mustOpen(t, dir, "w1", func(c *Config) {
+		c.TTL = 300 * time.Millisecond
+		c.Heartbeat = 50 * time.Millisecond
+	})
+	m2 := mustOpen(t, dir, "w2", func(c *Config) { c.TTL = 300 * time.Millisecond })
+	c1, _ := m1.Claim("k")
+	if c1.State != StateAcquired {
+		t.Fatal("setup")
+	}
+	c1.StartHeartbeat()
+	// Wait well past the TTL: without heartbeats the lease would be stale.
+	time.Sleep(600 * time.Millisecond)
+	c2, err := m2.Claim("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.State != StateBusy {
+		t.Fatalf("peer claim during heartbeat = %+v, want busy", c2)
+	}
+	c1.Release()
+	if c1.Lost() {
+		t.Error("claim reports lost despite continuous heartbeat")
+	}
+}
+
+func TestHeartbeatDetectsTakeover(t *testing.T) {
+	dir := t.TempDir()
+	m1 := mustOpen(t, dir, "w1", func(c *Config) {
+		c.TTL = 10 * time.Second // never stale by itself
+		c.Heartbeat = 30 * time.Millisecond
+	})
+	m2 := mustOpen(t, dir, "w2", func(c *Config) { c.TTL = 10 * time.Second })
+	c1, _ := m1.Claim("k")
+	c1.StartHeartbeat()
+	// A peer force-reclaims (simulating our process having been SIGSTOPped
+	// long enough to be presumed dead, from the peer's point of view).
+	age(t, m2, "k", 11*time.Second)
+	c2, err := m2.Claim("k")
+	if err != nil || c2.State != StateAcquired || !c2.Reclaimed {
+		t.Fatalf("forced reclaim = %+v, %v", c2, err)
+	}
+	// Our next beat must discover the takeover and mark the claim lost
+	// without touching the usurper's lease.
+	deadline := time.Now().Add(2 * time.Second)
+	for !c1.Lost() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !c1.Lost() {
+		t.Fatal("heartbeat never detected takeover")
+	}
+	rec, _, ok := m2.readLease("k")
+	if !ok || rec.Owner != "w2" {
+		t.Fatalf("usurper lease disturbed: %+v ok=%v", rec, ok)
+	}
+	// Release on a lost claim must not remove the usurper's lease.
+	c1.Release()
+	if _, _, ok := m2.readLease("k"); !ok {
+		t.Fatal("lost claim's Release removed the usurper's lease")
+	}
+	if m1.Stats().Lost != 1 {
+		t.Errorf("lost stat = %d, want 1", m1.Stats().Lost)
+	}
+	c2.Release()
+}
+
+func TestConcurrentClaimSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	const workers = 8
+	managers := make([]*Manager, workers)
+	for i := range managers {
+		managers[i] = mustOpen(t, dir, fmt.Sprintf("w%d", i))
+	}
+	for round := 0; round < 20; round++ {
+		key := fmt.Sprintf("k%d", round)
+		var mu sync.Mutex
+		var winners []*Claim
+		var wg sync.WaitGroup
+		for _, m := range managers {
+			wg.Add(1)
+			go func(m *Manager) {
+				defer wg.Done()
+				c, err := m.Claim(key)
+				if err != nil {
+					t.Errorf("Claim: %v", err)
+					return
+				}
+				if c.State == StateAcquired {
+					mu.Lock()
+					winners = append(winners, c)
+					mu.Unlock()
+				}
+			}(m)
+		}
+		wg.Wait()
+		if len(winners) != 1 {
+			t.Fatalf("round %d: %d winners, want exactly 1 (O_EXCL arbitration)", round, len(winners))
+		}
+		winners[0].Release()
+	}
+}
+
+func TestSweepRemovesOnlyStaleLeases(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1")
+	cs, _ := m.Claim("stale")
+	cf, _ := m.Claim("fresh")
+	if cs.State != StateAcquired || cf.State != StateAcquired {
+		t.Fatal("setup")
+	}
+	age(t, m, "stale", m.TTL()+time.Second)
+	removed := m.Sweep([]string{"stale", "fresh", "absent"})
+	if removed != 1 {
+		t.Fatalf("Sweep removed %d, want 1", removed)
+	}
+	if _, err := os.Stat(m.leasePath("stale")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stale lease survived sweep")
+	}
+	if _, err := os.Stat(m.leasePath("fresh")); err != nil {
+		t.Errorf("fresh lease swept: %v", err)
+	}
+	cf.Release()
+}
+
+// countingRegistry is a minimal Counters for asserting emission.
+type countingRegistry struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (r *countingRegistry) Add(name string, d int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = map[string]int64{}
+	}
+	r.m[name] += d
+}
+
+func TestCountersEmitted(t *testing.T) {
+	dir := t.TempDir()
+	reg := &countingRegistry{}
+	m := mustOpen(t, dir, "w1", func(c *Config) { c.Counters = reg })
+	c, _ := m.Claim("a")
+	c.Release()
+	c, _ = m.Claim("b")
+	age(t, m, "b", m.TTL()+time.Second)
+	m2 := mustOpen(t, dir, "w2", func(c *Config) { c.Counters = reg })
+	c2, _ := m2.Claim("b")
+	if !c2.Reclaimed {
+		t.Fatal("setup: reclaim failed")
+	}
+	c2.Release()
+
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	want := map[string]int64{"lease.acquired": 2, "lease.released": 2, "lease.reclaimed": 1}
+	for k, v := range want {
+		if reg.m[k] != v {
+			t.Errorf("counter %s = %d, want %d", k, reg.m[k], v)
+		}
+	}
+}
+
+func TestStatsMatchCounters(t *testing.T) {
+	m := mustOpen(t, t.TempDir(), "w1")
+	c, _ := m.Claim("x")
+	c.Release()
+	st := m.Stats()
+	if st.Acquired != 1 || st.Released != 1 || st.Reclaimed != 0 || st.Lost != 0 || st.Poisoned != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -147,6 +147,12 @@ var outputBearing = append([]string{
 	"gurita/internal/topo",
 	"gurita/internal/trace",
 	"gurita/internal/runner",
+	// The lease protocol gates which process executes a trial; a
+	// nondeterministic claim path would not corrupt result bytes (cache
+	// publishes are idempotent) but would corrupt the retry/reclaim
+	// accounting the manifests promise. Wall-clock staleness arithmetic is
+	// its one justified nondeterminism source, carrying a lint waiver.
+	"gurita/internal/lease",
 	"gurita/internal/obs",
 	// The daemon path: its queue dispatch order feeds the fair scheduler and
 	// its responses are result bytes, so it is output-bearing end to end
@@ -157,6 +163,11 @@ var outputBearing = append([]string{
 	"gurita/cmd/figures",
 	"gurita/cmd/guritasim",
 	"gurita/cmd/guritad",
+	// guritaworker writes result JSON byte-for-byte equal to guritasim's, so
+	// it is output-bearing end to end. guritachaos is deliberately NOT in
+	// scope: its whole job is wall-clock kill schedules and seeded jitter,
+	// and none of its output feeds figures or caches.
+	"gurita/cmd/guritaworker",
 	"gurita/cmd/tracegen",
 	"gurita/cmd/obsvalidate",
 }, simCritical...)

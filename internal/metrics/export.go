@@ -22,6 +22,14 @@ import (
 // entries decode without them and must not satisfy v2 lookups.
 const CampaignSchema = "gurita-campaign-v2"
 
+// WorkerManifestSchema versions the per-worker manifest shards multi-process
+// campaigns write under <cache>/manifests/ (runner.WorkerManifest). It is a
+// format version, deliberately independent of CampaignSchema: shards bind to
+// their campaign through the grid hash, which is computed over trial cache
+// keys and therefore already embeds the campaign schema. Bump it only when
+// the shard layout itself changes incompatibly.
+const WorkerManifestSchema = "gurita-worker-manifest-v1"
+
 // ResultDoc is the stable on-disk schema for a simulation result; it
 // decouples external tooling — and the campaign runner's result cache —
 // from the sim package's internal layout. It round-trips: NewResultDoc

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime/debug"
 	"time"
 )
@@ -24,6 +25,27 @@ type PanicError struct {
 }
 
 func (p *PanicError) Error() string { return fmt.Sprintf("trial panicked: %v", p.Value) }
+
+// PoisonedError is the error a trial resolves to when a peer worker (or a
+// previous run) quarantined it: the trial either crash-looped through its
+// cross-worker lease attempts or failed permanently elsewhere, and the
+// poison marker in the lease directory tells every other worker to fail it
+// fast into the manifest instead of feeding it more processes.
+type PoisonedError struct {
+	// Key is the trial's cache key.
+	Key string
+	// SpecHash identifies the spec across schema bumps ("" when the
+	// quarantining worker could not record it — e.g. a crash-loop poison).
+	SpecHash string
+	// Attempts is how many executions the trial consumed before quarantine.
+	Attempts int
+	// Cause is the recorded reason.
+	Cause string
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("trial %s quarantined after %d attempts: %s", shortKey(e.Key), e.Attempts, e.Cause)
+}
 
 // TrialFailure is one entry of a campaign's failure manifest: a trial that
 // exhausted its attempts without producing a result. The campaign's healthy
@@ -50,6 +72,10 @@ type TrialFailure struct {
 	// SpecHash is the schema-independent content hash of the trial's spec
 	// (see SpecHash).
 	SpecHash string `json:"specHash,omitempty"`
+	// Quarantined marks failures resolved from a poison marker: the trial
+	// was not executed by this worker, it inherited a peer's verdict that
+	// the trial is unrunnable (see PoisonedError).
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // DefaultTransient is the retry classifier used when Options.Transient is
@@ -91,11 +117,25 @@ func execOnce[S, R any](ctx context.Context, spec S, exec func(context.Context, 
 	return exec(ctx, spec)
 }
 
+// retryJitter derates a backoff delay deterministically: the factor is in
+// [0.5, 1.0), keyed by the trial's spec hash and the attempt number, so
+// concurrent workers retrying *different* trials desynchronize (no
+// thundering herd against a shared resource) while a rerun of the same
+// campaign backs off identically — seeded jitter, not sampled jitter.
+func retryJitter(specHash string, attempt int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(specHash))
+	h.Write([]byte{byte(attempt), byte(attempt >> 8)})
+	// Top 53 bits → uniform in [0, 1), halved into [0.5, 1.0).
+	return 0.5 + float64(h.Sum64()>>11)/float64(1<<53)*0.5
+}
+
 // attemptTrial runs a trial through the retry ladder: up to 1+Options.Retries
 // attempts, retrying only errors the Transient classifier accepts, with
-// exponential backoff between attempts. Returns the last attempt's outcome
-// and the number of attempts made.
-func attemptTrial[S, R any](ctx context.Context, spec S, exec func(context.Context, S) (R, error), opts Options) (res R, attempts int, err error) {
+// exponential backoff between attempts, jittered deterministically by the
+// trial's spec hash. Returns the last attempt's outcome and the number of
+// attempts made.
+func attemptTrial[S, R any](ctx context.Context, spec S, specHash string, exec func(context.Context, S) (R, error), opts Options) (res R, attempts int, err error) {
 	transient := opts.Transient
 	if transient == nil {
 		transient = DefaultTransient
@@ -114,6 +154,7 @@ func attemptTrial[S, R any](ctx context.Context, spec S, exec func(context.Conte
 		if delay > maxRetryBackoff || delay <= 0 {
 			delay = maxRetryBackoff
 		}
+		delay = time.Duration(float64(delay) * retryJitter(specHash, attempt))
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
@@ -126,7 +167,7 @@ func attemptTrial[S, R any](ctx context.Context, spec S, exec func(context.Conte
 // attempts.
 func failureFor(index int, key, schema, specHash string, attempts int, err error) TrialFailure {
 	var pe *PanicError
-	return TrialFailure{
+	f := TrialFailure{
 		Index:    index,
 		Key:      key,
 		Err:      err.Error(),
@@ -136,4 +177,15 @@ func failureFor(index int, key, schema, specHash string, attempts int, err error
 		Schema:   schema,
 		SpecHash: specHash,
 	}
+	var qe *PoisonedError
+	if errors.As(err, &qe) {
+		f.Quarantined = true
+		if f.Attempts == 0 {
+			f.Attempts = qe.Attempts
+		}
+		if f.SpecHash == "" {
+			f.SpecHash = qe.SpecHash
+		}
+	}
+	return f
 }

@@ -1,8 +1,28 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"time"
 )
+
+// DefaultTakeoverStall is the follower-takeover deadline used when
+// Flight.TakeoverStall is zero: how long a duplicate caller waits on an
+// in-flight leader before presuming the leader's process dead and
+// re-executing independently. One minute comfortably exceeds any healthy
+// trial's flight bookkeeping latency (the wait covers the leader's whole
+// execution, so it must dwarf a trial, not a syscall) while bounding the
+// damage of a leader that vanished without signaling — a SIGKILLed worker
+// in a multi-process campaign, where the in-process done channel will
+// simply never close.
+const DefaultTakeoverStall = time.Minute
+
+// ErrFlightStalled is returned to a follower whose leader exceeded the
+// takeover deadline without completing. The runner reacts by re-checking
+// the cache and executing independently — the idempotent-publish property
+// makes the duplicate harmless.
+var ErrFlightStalled = errors.New("runner: flight leader stalled past takeover deadline")
 
 // Flight coalesces concurrent executions of the same cache key: when several
 // campaigns (the daemon's tenants) race to execute an identical trial, one
@@ -19,6 +39,13 @@ import (
 //
 // The zero value is ready to use.
 type Flight struct {
+	// TakeoverStall bounds how long a follower waits for its leader before
+	// giving up with ErrFlightStalled and executing independently. Zero
+	// selects DefaultTakeoverStall; negative disables the deadline (trust
+	// the leader unconditionally — correct only when every sharer lives in
+	// this process and leaders cannot die silently).
+	TakeoverStall time.Duration
+
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }
@@ -34,18 +61,41 @@ type flightCall struct {
 
 // do runs fn under the key's flight slot. The leader executes fn; duplicate
 // callers block until the leader finishes and receive its outcome with
-// shared=true. The slot is vacated when the leader returns, so later calls
-// for the same key (e.g. after a cancelled leader) start a fresh flight —
-// by then the cache normally answers first.
-func (f *Flight) do(key string, fn func() (any, int, error)) (val any, attempts int, shared bool, err error) {
+// shared=true. A follower stops waiting when ctx dies (its own campaign is
+// over) or when the takeover deadline passes without the leader signaling —
+// both come back shared=true with the corresponding error, and the caller
+// decides whether to re-execute. The slot is vacated when the leader
+// returns, so later calls for the same key (e.g. after a cancelled leader)
+// start a fresh flight — by then the cache normally answers first.
+func (f *Flight) do(ctx context.Context, key string, fn func() (any, int, error)) (val any, attempts int, shared bool, err error) {
 	f.mu.Lock()
 	if f.calls == nil {
 		f.calls = make(map[string]*flightCall)
 	}
 	if c, ok := f.calls[key]; ok {
 		f.mu.Unlock()
-		<-c.done
-		return c.val, c.attempts, true, c.err
+		stall := f.TakeoverStall
+		if stall == 0 {
+			stall = DefaultTakeoverStall
+		}
+		if stall < 0 {
+			select {
+			case <-c.done:
+				return c.val, c.attempts, true, c.err
+			case <-ctx.Done():
+				return nil, 0, true, context.Cause(ctx)
+			}
+		}
+		t := time.NewTimer(stall)
+		defer t.Stop()
+		select {
+		case <-c.done:
+			return c.val, c.attempts, true, c.err
+		case <-ctx.Done():
+			return nil, 0, true, context.Cause(ctx)
+		case <-t.C:
+			return nil, 0, true, ErrFlightStalled
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	f.calls[key] = c

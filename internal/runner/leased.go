@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"gurita/internal/lease"
+)
+
+// Lease-wait polling bounds. A worker waiting on a busy peer polls the
+// cache (for the peer's publish) and the lease (for staleness) at TTL/4,
+// clamped so short TTLs don't busy-spin and long TTLs don't add seconds of
+// latency to noticing a publish.
+const (
+	leasePollFloor = 10 * time.Millisecond
+	leasePollCeil  = 500 * time.Millisecond
+)
+
+// runLeased resolves one cache-missed trial under cross-process lease
+// coordination. It loops claim → (execute | wait | inherit-poison) until
+// the trial has a result or a verdict:
+//
+//   - Acquired: this worker executes (through exec — the gate + retry
+//     ladder + cache write-back), heartbeating the lease throughout, and
+//     releases on success or poisons on a permanent failure so peers
+//     inherit the verdict instead of re-executing a deterministic error.
+//   - Busy: a live peer is executing. Poll the shared cache until its
+//     publish lands (served=true: a cross-process dedup hit) or its lease
+//     goes stale (loop back and reclaim — the peer died).
+//   - Poisoned: the trial is quarantined; fail fast with PoisonedError.
+//
+// Duplicate execution remains possible in takeover races and is harmless:
+// every executor publishes byte-identical results through the same atomic
+// cache write. The lease only needs to make duplicates rare.
+func runLeased[R any](ctx, gateCtx context.Context, key, specHash string, opts Options, exec func() (R, int, error)) (res R, attempts int, served bool, err error) {
+	var zero R
+	m := opts.Lease
+	for {
+		if gateCtx.Err() != nil {
+			return zero, 0, false, gateCause(gateCtx)
+		}
+		c, cerr := m.Claim(key)
+		if cerr != nil {
+			// The lease directory is campaign infrastructure like the cache:
+			// failing to coordinate must abort, not silently degrade to
+			// uncoordinated duplicate execution.
+			return zero, 0, false, &infraError{cerr}
+		}
+		switch c.State {
+		case lease.StateAcquired:
+			// A peer may have published and released between our cache miss
+			// and this claim; don't re-execute what the cache already holds.
+			if !opts.Force {
+				if raw, ok := opts.Cache.Get(key); ok {
+					if jerr := json.Unmarshal(raw, &res); jerr == nil {
+						c.Release()
+						return res, 0, true, nil
+					}
+				}
+			}
+			c.StartHeartbeat()
+			r, att, e := exec()
+			if e == nil {
+				c.Release()
+				return r, att, false, nil
+			}
+			// A permanent trial failure under ContinueOnError is poisoned so
+			// peers fail it fast instead of burning their own attempts on a
+			// deterministic error. Campaign-level interruptions (cancel,
+			// drain), infrastructure errors, and admission rejections
+			// (att == 0: the trial never ran) just release — the trial is
+			// still runnable.
+			var infra *infraError
+			if opts.ContinueOnError && att >= 1 &&
+				ctx.Err() == nil && gateCtx.Err() == nil &&
+				!errors.As(e, &infra) && !errors.Is(e, ErrDrained) {
+				_ = c.PoisonTrial(specHash, att, e)
+			} else {
+				c.Release()
+			}
+			return zero, att, false, e
+
+		case lease.StateBusy:
+			delay := m.TTL() / 4
+			if delay < leasePollFloor {
+				delay = leasePollFloor
+			}
+			if delay > leasePollCeil {
+				delay = leasePollCeil
+			}
+			// No point sleeping past the moment the lease could go stale.
+			if c.Remaining > 0 && c.Remaining < delay {
+				delay = c.Remaining
+				if delay < leasePollFloor {
+					delay = leasePollFloor
+				}
+			}
+			select {
+			case <-gateCtx.Done():
+				return zero, 0, false, gateCause(gateCtx)
+			case <-time.After(delay):
+			}
+			if raw, ok := opts.Cache.Get(key); ok {
+				if jerr := json.Unmarshal(raw, &res); jerr == nil {
+					return res, 0, true, nil
+				}
+			}
+
+		case lease.StatePoisoned:
+			return zero, 0, false, &PoisonedError{
+				Key:      key,
+				SpecHash: c.Poison.SpecHash,
+				Attempts: c.Poison.Attempts,
+				Cause:    c.Poison.Err,
+			}
+		}
+	}
+}
+
+// gateCause reports why the gate context died, preferring the recorded
+// cause (ErrDrained on drain) over the bare cancellation error.
+func gateCause(gateCtx context.Context) error {
+	if cause := context.Cause(gateCtx); cause != nil {
+		return cause
+	}
+	return gateCtx.Err()
+}

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"gurita/internal/lease"
 )
 
 // Key returns the content-addressed cache key of a spec: the hex SHA-256 of
@@ -116,11 +118,22 @@ type Stats struct {
 	// CacheHits is how many trials were served from the cache.
 	CacheHits int
 	// DedupHits is how many trials were served by coalescing onto another
-	// campaign's concurrent execution of the same key (Options.Flight).
+	// campaign's concurrent execution of the same key (Options.Flight), or —
+	// in multi-process mode — by a peer worker process publishing the key
+	// into the shared cache while this worker waited on its lease.
 	DedupHits int
 	// Retries is the number of extra attempts taken across all trials,
 	// successful and failed.
 	Retries int
+	// Reclaims is how many stale peer leases this campaign took over in
+	// multi-process mode (Options.Lease): each one is a trial some worker
+	// process started and died (or wedged) inside.
+	Reclaims int
+	// LeaseLost is how many of this campaign's own leases were taken over by
+	// peers that presumed this process dead (e.g. after a long SIGSTOP). The
+	// affected trials still completed here — duplicates publish identical
+	// bytes — so this is a health signal, not a correctness problem.
+	LeaseLost int
 	// Skipped is how many trials were abandoned by a drain (Options.Drain):
 	// neither executed, served, nor failed. Only non-zero when Run returns
 	// ErrDrained.
@@ -185,6 +198,17 @@ type Options struct {
 	// the checkpoint half of "finish or checkpoint": everything completed
 	// is in the cache, so resubmitting the same grid resumes it.
 	Drain <-chan struct{}
+
+	// Lease, when non-nil and combined with a Cache, turns the campaign
+	// multi-process: before executing a cache miss the worker claims the
+	// trial's key through the lease manager (crash-safe lease files in the
+	// shared cache directory), heartbeats while executing, waits out live
+	// peers (their publish lands in the cache and counts as a DedupHit),
+	// reclaims stale leases from dead peers, and inherits poison markers as
+	// quarantined failures. Requires Cache; ignored under Force (a forced
+	// run re-executes unconditionally, so coordination would only serialize
+	// it — drivers that want both should partition the grid instead).
+	Lease *lease.Manager
 }
 
 func (o Options) workers() int {
@@ -287,6 +311,14 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 		}
 	}
 
+	// Multi-process lease bookkeeping: the manager may be shared across
+	// concurrent campaigns in one process, so per-campaign reclaim/lost
+	// counts are deltas over its lifetime counters.
+	var leaseBase lease.Stats
+	if opts.Lease != nil {
+		leaseBase = opts.Lease.Stats()
+	}
+
 	var (
 		mu       sync.Mutex // guards stats counters, firstErr, progress calls
 		firstErr error
@@ -359,7 +391,7 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 				if ctx.Err() != nil {
 					return
 				}
-				res, hit, attempts, err := runOne(ctx, gateCtx, i, specs[i], keys[i], exec, opts)
+				res, hit, attempts, err := runOne(ctx, gateCtx, i, specs[i], keys[i], specHashes[i], exec, opts)
 				if err != nil {
 					// A drain abandons trials still waiting for admission:
 					// they are skipped, not failed — the resubmission will
@@ -404,6 +436,18 @@ feed:
 	close(indices)
 	wg.Wait()
 
+	if opts.Lease != nil {
+		now := opts.Lease.Stats()
+		stats.Reclaims = int(now.Reclaimed - leaseBase.Reclaimed)
+		stats.LeaseLost = int(now.Lost - leaseBase.Lost)
+		// Sweep stale leases over this grid's keys: leftovers of workers
+		// that died after publishing but before releasing, and of our own
+		// claims lost to takeover races. Live peers' fresh leases survive.
+		if opts.Cache != nil && !opts.Force {
+			opts.Lease.Sweep(keys)
+		}
+	}
+
 	//lint:ignore nondetsource wall-clock campaign duration for the stats report; not part of any trial result
 	stats.Elapsed = time.Since(start)
 	// Workers append failures in completion order; the manifest reads in
@@ -434,9 +478,10 @@ func isDrainAbort(err error) bool {
 }
 
 // runOne resolves a single trial: cache lookup, then single-flight
-// coalescing, then gated execution (through the panic-recovering retry
-// ladder) plus write-back on a miss.
-func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key string, exec func(context.Context, S) (R, error), opts Options) (res R, hit hitKind, attempts int, err error) {
+// coalescing (in-process), then lease coordination (cross-process), then
+// gated execution (through the panic-recovering retry ladder) plus
+// write-back on a miss.
+func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, specHash string, exec func(context.Context, S) (R, error), opts Options) (res R, hit hitKind, attempts int, err error) {
 	if opts.Cache != nil && !opts.Force {
 		if raw, ok := opts.Cache.Get(key); ok {
 			if err := json.Unmarshal(raw, &res); err == nil {
@@ -446,7 +491,7 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key strin
 			// into R is treated like any other corrupt entry: a miss.
 		}
 	}
-	execute := func() (R, int, error) {
+	executeDirect := func() (R, int, error) {
 		var zero R
 		if opts.Gate != nil {
 			release, gerr := opts.Gate(gateCtx, index, key)
@@ -455,7 +500,7 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key strin
 			}
 			defer release()
 		}
-		r, att, aerr := attemptTrial(ctx, spec, exec, opts)
+		r, att, aerr := attemptTrial(ctx, spec, specHash, exec, opts)
 		if aerr != nil {
 			return zero, att, fmt.Errorf("runner: trial %s: %w", shortKey(key), aerr)
 		}
@@ -475,13 +520,34 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key strin
 		return r, att, nil
 	}
 
+	// In multi-process mode the lease layer wraps direct execution: it sits
+	// inside the flight (one lease negotiation per process per key) and
+	// outside the gate (a trial waiting on a peer holds no admission slot).
+	// peerServed distinguishes "the leader executed" from "the leader's wait
+	// was answered by a peer's publish" for hit classification.
+	peerServed := false
+	execute := executeDirect
+	if opts.Lease != nil && opts.Cache != nil && !opts.Force && key != "" {
+		execute = func() (R, int, error) {
+			r, att, served, lerr := runLeased[R](ctx, gateCtx, key, specHash, opts, executeDirect)
+			peerServed = served
+			return r, att, lerr
+		}
+	}
+	leaderHit := func() hitKind {
+		if peerServed {
+			return hitDedup
+		}
+		return hitNone
+	}
+
 	if opts.Flight == nil || key == "" {
 		res, attempts, err = execute()
-		return res, hitNone, attempts, err
+		return res, leaderHit(), attempts, err
 	}
 
 	for {
-		val, att, shared, ferr := opts.Flight.do(key, func() (any, int, error) {
+		val, att, shared, ferr := opts.Flight.do(gateCtx, key, func() (any, int, error) {
 			r, a, e := execute()
 			if e != nil {
 				return nil, a, e
@@ -493,7 +559,21 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key strin
 				var zero R
 				return zero, hitNone, att, ferr
 			}
-			return val.(R), hitNone, att, nil
+			return val.(R), leaderHit(), att, nil
+		}
+		// A stalled leader (a dead process in a shared flight, or a wedged
+		// trial) is presumed gone: re-check the cache it may have populated,
+		// then execute independently — duplicates publish identical bytes.
+		if errors.Is(ferr, ErrFlightStalled) {
+			if opts.Cache != nil && !opts.Force {
+				if raw, ok := opts.Cache.Get(key); ok {
+					if err := json.Unmarshal(raw, &res); err == nil {
+						return res, hitDedup, 0, nil
+					}
+				}
+			}
+			res, attempts, err = execute()
+			return res, leaderHit(), attempts, err
 		}
 		// Shared outcome from another campaign's leader.
 		if ferr == nil {

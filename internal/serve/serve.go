@@ -97,6 +97,13 @@ type Config struct {
 	// OnGrant, when non-nil, observes fair-queue grants (tenant ID, in
 	// grant order). Test instrumentation; see fairq.Config.OnGrant.
 	OnGrant func(tenant string)
+	// MultiProcess, when non-nil, runs every campaign in crash-tolerant
+	// multi-process mode: trials are claimed through lease files under
+	// CacheDir, so external guritaworker processes pointed at the same cache
+	// share the daemon's work and survive each other's crashes. The options'
+	// Registry defaults to the server's own, so lease and reclaim counters
+	// surface in /v1/stats. Incompatible with Force.
+	MultiProcess *gurita.MultiProcessOptions
 }
 
 // Campaign states, in lifecycle order. A campaign is created running and
@@ -155,6 +162,9 @@ type campaign struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.CacheDir == "" {
 		return nil, errors.New("serve: Config.CacheDir is required (the shared cache is the dedup layer)")
+	}
+	if cfg.MultiProcess != nil && cfg.Force {
+		return nil, errors.New("serve: Config.Force re-executes unconditionally, which Config.MultiProcess leases exist to prevent")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
@@ -410,6 +420,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // run executes one campaign to a terminal state and flushes its manifest.
 func (s *Server) run(c *campaign) {
 	defer s.wg.Done()
+	// Multi-process mode rides the server's registry so lease and reclaim
+	// counters surface in /v1/stats alongside the serve.* family.
+	var mp *gurita.MultiProcessOptions
+	if s.cfg.MultiProcess != nil {
+		m := *s.cfg.MultiProcess
+		if m.Registry == nil {
+			m.Registry = s.reg
+		}
+		mp = &m
+	}
 	results, stats, err := gurita.RunCampaign(s.ctx, c.specs, gurita.CampaignOptions{
 		Workers:  s.cfg.Workers,
 		CacheDir: s.cfg.CacheDir,
@@ -428,7 +448,8 @@ func (s *Server) run(c *campaign) {
 		Gate: func(ctx context.Context, _ int, _ string) (func(), error) {
 			return s.fair.Acquire(ctx, c.tenant)
 		},
-		Drain: s.drain,
+		Drain:        s.drain,
+		MultiProcess: mp,
 		Progress: func(p runner.Progress) {
 			c.mu.Lock()
 			c.progress = runner.NewProgressDoc(p, true)
