@@ -1,9 +1,11 @@
 // Command guritalint is the repo's determinism-and-invariant lint suite:
 // a multichecker over the analyzers in internal/lint (maprange,
-// nondetsource, floatcmp, seedplumb, lintdirective). It makes the
-// determinism contracts that the replay tests enforce dynamically —
-// delta≡batch byte-identity, fault-replay identity, content-addressed
-// cache keys — into static build errors.
+// nondetsource, floatcmp, seedplumb, lockcheck, ctxflow, durability,
+// allocbound, lintdirective). It makes the contracts that the replay,
+// chaos, and benchmark harnesses enforce dynamically — delta≡batch
+// byte-identity, fault-replay identity, content-addressed cache keys,
+// crash-safe temp+fsync+rename writes, cancellable wait loops, and the
+// 0 allocs/op hot path — into static build errors.
 //
 // Two modes:
 //
@@ -15,6 +17,12 @@
 // as JSON, and each package arrives as a vet.cfg whose export data the go
 // command has already compiled; diagnostics go to stderr and exit code 2
 // marks findings, matching x/tools' unitchecker.
+//
+// Standalone mode additionally runs allocbound's escape gate: it recompiles
+// the hot-path packages with -gcflags=-m and holds every //alloc:free
+// function to the compiler's verdict. The vet driver skips the gate (one
+// compile per vetted package would thrash the build); -escapes=false skips
+// it standalone too, for a faster annotation-only pass.
 package main
 
 import (
@@ -39,6 +47,8 @@ func run(args []string) int {
 	for _, an := range lint.Analyzers() {
 		enabled[an.Name] = fs.Bool(an.Name, true, an.Doc)
 	}
+	// Standalone-only; deliberately absent from the vet -flags handshake.
+	escapes := fs.Bool("escapes", true, "run allocbound's -gcflags=-m escape gate (standalone mode only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,16 +84,30 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVet(rest[0], analyzers)
 	}
-	return runStandalone(rest, analyzers)
+	return runStandalone(rest, analyzers, *escapes && *enabled[lint.AllocBound.Name])
 }
 
 // runStandalone loads the named packages (default ./...) and reports every
 // finding to stderr; exit 1 on findings, 2 on load failure.
-func runStandalone(patterns []string, analyzers []*lint.Analyzer) int {
+func runStandalone(patterns []string, analyzers []*lint.Analyzer, escapeGate bool) int {
 	pkgs, err := lint.LoadPackages(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "guritalint:", err)
 		return 2
+	}
+	if escapeGate {
+		// One escape set serves every package: generic hot-path code (the
+		// slabs) reports its escapes from the instantiating package's
+		// compilation, so the gate compiles the whole scope at once and
+		// analyzers match diagnostics by source position.
+		set, err := lint.CollectEscapes(".", lint.AllocGatePackages())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "guritalint:", err)
+			return 2
+		}
+		for _, p := range pkgs {
+			p.Escapes = set
+		}
 	}
 	diags, err := lint.RunAnalyzers(pkgs, analyzers)
 	if err != nil {

@@ -35,7 +35,10 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed by the FlagSet
+		}
 		fmt.Fprintln(os.Stderr, "guritaworker:", err)
 		var ue *usageError
 		if errors.As(err, &ue) {
@@ -55,21 +58,28 @@ func badUsage(format string, args ...any) error {
 	return &usageError{fmt.Errorf(format, args...)}
 }
 
-func run() error {
+// run is main minus the process plumbing: it parses args on its own FlagSet
+// (so tests can drive several workers inside one process) and returns rather
+// than exits. The named return lets the profiler-stop defer surface flush
+// errors from otherwise-successful runs.
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("guritaworker", flag.ContinueOnError)
 	var (
-		gridFile = flag.String("grid", "", "trial-spec grid to execute, a JSON array of specs (see guritasim -emit-grid); required")
-		jsonDir  = flag.String("json-dir", "", "write each trial's result as trial-NNNN.json under this directory (same bytes as guritasim -json)")
-		retries  = flag.Int("retries", 0, "re-run transiently failed trials up to this many extra times with backoff")
-		keepOn   = flag.Bool("continue-on-error", true, "degrade past failed trials into the manifest instead of aborting the grid")
-		quiet    = flag.Bool("quiet", false, "suppress the progress line")
+		gridFile = fs.String("grid", "", "trial-spec grid to execute, a JSON array of specs (see guritasim -emit-grid); required")
+		jsonDir  = fs.String("json-dir", "", "write each trial's result as trial-NNNN.json under this directory (same bytes as guritasim -json)")
+		retries  = fs.Int("retries", 0, "re-run transiently failed trials up to this many extra times with backoff")
+		keepOn   = fs.Bool("continue-on-error", true, "degrade past failed trials into the manifest instead of aborting the grid")
+		quiet    = fs.Bool("quiet", false, "suppress the progress line")
 
-		campaign = cliflags.RegisterCampaign(flag.CommandLine, "trials")
-		leaseFl  = cliflags.RegisterLease(flag.CommandLine, false)
-		profFl   = cliflags.RegisterProf(flag.CommandLine)
-		obsFl    = cliflags.RegisterObs(flag.CommandLine, "for failed trials")
+		campaign = cliflags.RegisterCampaign(fs, "trials")
+		leaseFl  = cliflags.RegisterLease(fs, false)
+		profFl   = cliflags.RegisterProf(fs)
+		obsFl    = cliflags.RegisterObs(fs, "for failed trials")
 	)
-	flag.Parse()
-	setFlags := cliflags.Set(flag.CommandLine)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	setFlags := cliflags.Set(fs)
 
 	switch {
 	case *gridFile == "":

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	gurita "gurita"
+	"gurita/internal/leakcheck"
+)
+
+// writeGrid emits an n-trial grid file in the shape `guritasim -emit-grid`
+// produces, scaled small enough that a trial executes in milliseconds.
+func writeGrid(t *testing.T, dir string, n int) string {
+	t.Helper()
+	scale := gurita.QuickScale()
+	scale.TraceCoflows = 3
+	scale.MaxSenders = 3
+	scale.MaxReducers = 2
+	specs := make([]gurita.TrialSpec, n)
+	for i := range specs {
+		s := scale
+		s.Seed = int64(i + 1)
+		specs[i] = gurita.TrialSpec{
+			Scheduler: gurita.KindGurita,
+			Scenario:  gurita.CampaignTrace,
+			Structure: gurita.StructureFBTao,
+			Scale:     s,
+		}
+	}
+	data, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBadUsage: every bad invocation is a usageError (so main points at -h)
+// whose message names the offending flag or file.
+func TestBadUsage(t *testing.T) {
+	dir := t.TempDir()
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing grid", nil, "-grid FILE is required"},
+		{"negative retries", []string{"-grid", badJSON, "-cache", dir, "-retries", "-1"}, "-retries must be >= 0"},
+		{"force fights leases", []string{"-grid", badJSON, "-cache", dir, "-force"}, "drop one of them"},
+		{"unparsable grid", []string{"-grid", badJSON, "-cache", dir}, "parsing -grid"},
+		{"empty grid", []string{"-grid", empty, "-cache", dir}, "holds no trials"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+			var ue *usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("run(%v) error %v is not a usageError", tc.args, err)
+			}
+		})
+	}
+}
+
+// TestWorkersRaceOneCache runs two in-process workers over the same grid and
+// shared cache — the unit-test shape of the CI chaos smoke, cheap enough for
+// the race detector. Both must finish the whole grid, write byte-identical
+// result JSON for every trial, and leave no lease files or goroutines behind.
+func TestWorkersRaceOneCache(t *testing.T) {
+	snap := leakcheck.Take()
+	defer snap.Check(t)
+	dir := t.TempDir()
+	grid := writeGrid(t, dir, 3)
+	cache := filepath.Join(dir, "cache")
+	outs := []string{filepath.Join(dir, "out-a"), filepath.Join(dir, "out-b")}
+	var wg sync.WaitGroup
+	errs := make([]error, len(outs))
+	for i, out := range outs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = run([]string{
+				"-grid", grid, "-cache", cache, "-quiet",
+				"-worker-id", fmt.Sprintf("w%d", i),
+				"-parallel", "2", "-json-dir", out,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("trial-%04d.json", i)
+		a, err := os.ReadFile(filepath.Join(outs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(outs[1], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 || !bytes.Equal(a, b) {
+			t.Errorf("%s differs between workers (or is empty)", name)
+		}
+	}
+	if entries, err := os.ReadDir(filepath.Join(cache, "leases")); err == nil && len(entries) > 0 {
+		t.Errorf("leases dir not empty after a clean finish: %d entries", len(entries))
+	}
+}

@@ -213,6 +213,8 @@ func NewHeap() *Heap { return &Heap{} }
 func (q *Heap) Len() int { return q.n }
 
 // Schedule implements Queue.
+//
+//alloc:free slot recycling + sift-up; heap growth amortizes to zero steady-state
 func (q *Heap) Schedule(t float64, fn func()) Handle {
 	slot := q.alloc(t, fn)
 	i := int32(len(q.heap))
@@ -223,6 +225,8 @@ func (q *Heap) Schedule(t float64, fn func()) Handle {
 }
 
 // Cancel implements Queue.
+//
+//alloc:free eager unlink returns the slot to the free list in place
 func (q *Heap) Cancel(h Handle) bool {
 	slot := q.resolve(h)
 	if slot < 0 {
@@ -242,6 +246,8 @@ func (q *Heap) PeekTime() (float64, bool) {
 }
 
 // Pop implements Queue.
+//
+//alloc:free sift-down over preallocated storage; the fn value is returned, not boxed
 func (q *Heap) Pop() (float64, func(), bool) {
 	if len(q.heap) == 0 {
 		return 0, nil, false
@@ -379,6 +385,8 @@ func (c *Calendar) bucketIndex(t float64) int {
 func (c *Calendar) Len() int { return c.n }
 
 // Schedule implements Queue.
+//
+//alloc:free bucket chain insert; resizes are amortized out of steady state
 func (c *Calendar) Schedule(t float64, fn func()) Handle {
 	slot := c.alloc(t, fn)
 	c.insert(slot)
@@ -417,6 +425,8 @@ func (c *Calendar) insert(slot int32) {
 }
 
 // Cancel implements Queue.
+//
+//alloc:free chain unlink + slot release, both over preallocated arrays
 func (c *Calendar) Cancel(h Handle) bool {
 	slot := c.resolve(h)
 	if slot < 0 {
@@ -493,6 +503,8 @@ func (c *Calendar) PeekTime() (float64, bool) {
 }
 
 // Pop implements Queue.
+//
+//alloc:free cursor walk over buckets; no per-event boxing
 func (c *Calendar) Pop() (float64, func(), bool) {
 	slot := c.next()
 	if slot < 0 {

@@ -1,0 +1,119 @@
+// Package leakcheck provides stdlib-only goroutine-leak assertions for
+// tests: snapshot the live goroutines before the code under test runs, and
+// afterwards require every goroutine created since to have exited.
+//
+// The repo's drain and cancellation contracts (lease heartbeats stop on
+// Release and on context cancel, the daemon's campaign runners exit on
+// Drain, worker pools join before Run returns) are exactly goroutine-
+// lifetime claims, and a test that only checks return values would pass
+// while a forgotten goroutine spins forever. The ctxflow analyzer forbids
+// the code shapes that leak; this package makes the tests prove the
+// runtime behavior matches.
+//
+// Teardown is asynchronous — a heartbeat goroutine observes its stop
+// channel one scheduling quantum after Release returns — so Check retries
+// with a settle window instead of asserting on the instantaneous count.
+// Identity is by goroutine ID parsed from runtime.Stack dumps, not by
+// runtime.NumGoroutine arithmetic: a leak cannot be masked by an unrelated
+// goroutine exiting at the right moment, and the failure message carries
+// the leaked stacks, which name the culprit directly.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A Snapshot is the set of goroutines that were live at Take time.
+type Snapshot struct {
+	ids map[string]bool
+}
+
+// Take snapshots the currently-live goroutines. Call it before the code
+// under test starts anything.
+func Take() Snapshot {
+	ids := map[string]bool{}
+	for _, g := range parse(stacks()) {
+		ids[g.id] = true
+	}
+	return Snapshot{ids: ids}
+}
+
+// Check fails the test if a goroutine created since the snapshot is still
+// running after the settle window. Benign goroutines — the testing
+// framework's runners and the runtime's background workers — are never
+// charged to the test.
+func (s Snapshot) Check(t testing.TB) {
+	t.Helper()
+	const (
+		settle = 2 * time.Second
+		step   = 20 * time.Millisecond
+	)
+	deadline := time.Now().Add(settle)
+	var leaked []goroutine
+	for {
+		leaked = leaked[:0]
+		for _, g := range parse(stacks()) {
+			if !s.ids[g.id] && !benign(g) {
+				leaked = append(leaked, g)
+			}
+		}
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(step)
+	}
+	var b strings.Builder
+	for _, g := range leaked {
+		fmt.Fprintf(&b, "%s\n\n", g.stack)
+	}
+	t.Errorf("leakcheck: %d goroutine(s) leaked past the settle window:\n%s", len(leaked), b.String())
+}
+
+// goroutine is one stanza of a runtime.Stack dump.
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// stacks returns the all-goroutine dump, growing the buffer until it fits.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// parse splits a dump into stanzas. Headers look like "goroutine 12 [select]:".
+func parse(dump string) []goroutine {
+	var out []goroutine
+	for _, stanza := range strings.Split(dump, "\n\n") {
+		header, _, _ := strings.Cut(stanza, "\n")
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		out = append(out, goroutine{id: fields[1], stack: stanza})
+	}
+	return out
+}
+
+// benign reports goroutines no test owns: parallel-test runners spawned by
+// the framework between Take and Check, runtime services (finalizers, GC
+// workers) that start lazily, and os/signal's delivery loop — a process-
+// lifetime singleton the first signal.Notify starts and nothing ever stops.
+func benign(g goroutine) bool {
+	return strings.Contains(g.stack, "created by testing.") ||
+		strings.Contains(g.stack, "created by runtime.") ||
+		strings.Contains(g.stack, "created by os/signal.")
+}

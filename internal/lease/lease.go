@@ -26,6 +26,7 @@
 package lease
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -400,11 +401,13 @@ type Claim struct {
 }
 
 // StartHeartbeat begins renewing the lease every Config.Heartbeat until
-// Release/Poison (or a discovered takeover) stops it. Each beat verifies
-// ownership before touching the file: a worker that was stopped long enough
-// for a peer to reclaim discovers the loss here, marks the claim Lost, and
-// stops — it must not resurrect or extend a lease it no longer owns.
-func (c *Claim) StartHeartbeat() {
+// Release/Poison (or a discovered takeover) stops it, or ctx is cancelled —
+// a campaign abort must not leave detached heartbeats extending leases for
+// trials nobody is executing. Each beat verifies ownership before touching
+// the file: a worker that was stopped long enough for a peer to reclaim
+// discovers the loss here, marks the claim Lost, and stops — it must not
+// resurrect or extend a lease it no longer owns.
+func (c *Claim) StartHeartbeat(ctx context.Context) {
 	if c.State != StateAcquired || c.stopHB != nil {
 		return
 	}
@@ -416,6 +419,8 @@ func (c *Claim) StartHeartbeat() {
 		defer t.Stop()
 		for {
 			select {
+			case <-ctx.Done():
+				return
 			case <-c.stopHB:
 				return
 			case <-t.C:
@@ -569,6 +574,7 @@ func SyncDir(dir string) error {
 		return fmt.Errorf("lease: opening dir for sync: %w", err)
 	}
 	err = d.Sync()
+	//lint:ignore durability read-only directory handle; Sync's error above is the durable signal
 	d.Close()
 	if err != nil && (errors.Is(err, errInvalid) || errors.Is(err, errNotSupported)) {
 		return nil

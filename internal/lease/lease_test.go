@@ -1,6 +1,7 @@
 package lease
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"gurita/internal/leakcheck"
 )
 
 const testSchema = "lease-test-v1"
@@ -262,6 +265,8 @@ func TestForeignSchemaPoisonIgnored(t *testing.T) {
 }
 
 func TestHeartbeatKeepsLeaseFresh(t *testing.T) {
+	snap := leakcheck.Take()
+	defer snap.Check(t) // Release must join the heartbeat goroutine
 	dir := t.TempDir()
 	m1 := mustOpen(t, dir, "w1", func(c *Config) {
 		c.TTL = 300 * time.Millisecond
@@ -272,7 +277,7 @@ func TestHeartbeatKeepsLeaseFresh(t *testing.T) {
 	if c1.State != StateAcquired {
 		t.Fatal("setup")
 	}
-	c1.StartHeartbeat()
+	c1.StartHeartbeat(context.Background())
 	// Wait well past the TTL: without heartbeats the lease would be stale.
 	time.Sleep(600 * time.Millisecond)
 	c2, err := m2.Claim("k")
@@ -288,6 +293,30 @@ func TestHeartbeatKeepsLeaseFresh(t *testing.T) {
 	}
 }
 
+// TestHeartbeatStopsOnContextCancel: cancelling the context handed to
+// StartHeartbeat stops the heartbeat goroutine on its own, before any
+// Release — a campaign abort must not leave detached heartbeats extending
+// leases for trials nobody is executing.
+func TestHeartbeatStopsOnContextCancel(t *testing.T) {
+	snap := leakcheck.Take()
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1", func(c *Config) { c.Heartbeat = 20 * time.Millisecond })
+	c, err := m.Claim("k")
+	if err != nil || c.State != StateAcquired {
+		t.Fatalf("claim = %+v, %v, want acquired", c, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.StartHeartbeat(ctx)
+	cancel()
+	select {
+	case <-c.hbDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("heartbeat goroutine did not exit on context cancel")
+	}
+	c.Release()
+	snap.Check(t)
+}
+
 func TestHeartbeatDetectsTakeover(t *testing.T) {
 	dir := t.TempDir()
 	m1 := mustOpen(t, dir, "w1", func(c *Config) {
@@ -296,7 +325,7 @@ func TestHeartbeatDetectsTakeover(t *testing.T) {
 	})
 	m2 := mustOpen(t, dir, "w2", func(c *Config) { c.TTL = 10 * time.Second })
 	c1, _ := m1.Claim("k")
-	c1.StartHeartbeat()
+	c1.StartHeartbeat(context.Background())
 	// A peer force-reclaims (simulating our process having been SIGSTOPped
 	// long enough to be presumed dead, from the peer's point of view).
 	age(t, m2, "k", 11*time.Second)

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllocBound runs the allocbound fixture with an injected contract and
+// injected escape diagnostics, standing in for allocFreeContract and `go
+// build -gcflags=-m` respectively. This is the demonstration the gate's
+// failure modes demand: the fixture's `demoted` function shows that
+// deleting an //alloc:free annotation from a contracted function fails
+// lint, and its `escapes` function shows that an introduced heap escape in
+// an annotated function fails lint — with neither the real hot-path code
+// nor the compiler in the loop.
+func TestAllocBound(t *testing.T) {
+	saved := allocFreeContract["allocbound"]
+	allocFreeContract["allocbound"] = []string{"hot", "demoted", "vanished"}
+	defer func() {
+		if saved == nil {
+			delete(allocFreeContract, "allocbound")
+		} else {
+			allocFreeContract["allocbound"] = saved
+		}
+	}()
+	runFixtureWith(t, AllocBound, "allocbound", func(p *Pass) {
+		p.Escapes = syntheticEscapes(t, "allocbound")
+	})
+}
+
+// syntheticEscapes builds an EscapeSet from "ESCAPE:" marker comments in
+// the fixture's sources: each marked line contributes one diagnostic at
+// that line, positioned at its first non-blank column (where the compiler
+// points), with the marker's text as the message.
+func syntheticEscapes(t *testing.T, fixture string) *EscapeSet {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &EscapeSet{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, ok := strings.Cut(line, "ESCAPE: ")
+			if !ok {
+				continue
+			}
+			msg := after
+			if j := strings.Index(msg, " */"); j >= 0 {
+				msg = msg[:j]
+			}
+			col := 1 + len(line) - len(strings.TrimLeft(line, " \t"))
+			set.Add(path, i+1, col, strings.TrimSpace(msg))
+		}
+	}
+	return set
+}

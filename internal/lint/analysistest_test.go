@@ -45,7 +45,8 @@ func stdExportData(t *testing.T) map[string]string {
 	t.Helper()
 	stdOnce.Do(func() {
 		cmd := exec.Command("go", "list", "-export", "-deps",
-			"-json=ImportPath,Export", "time", "math/rand", "os", "sort", "fmt")
+			"-json=ImportPath,Export", "time", "math/rand", "os", "sort", "fmt",
+			"sync", "context")
 		var stderr bytes.Buffer
 		cmd.Stderr = &stderr
 		out, err := cmd.Output()
@@ -137,6 +138,14 @@ func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
 // and matches diagnostics against the fixture's want comments.
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
+	runFixtureWith(t, a, fixture, nil)
+}
+
+// runFixtureWith is runFixture with a hook to mutate the Pass before the
+// analyzer runs — how the allocbound fixture injects synthetic escape
+// diagnostics without shelling out to the compiler.
+func runFixtureWith(t *testing.T, a *Analyzer, fixture string, setup func(*Pass)) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", fixture)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -179,6 +188,9 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 		Pkg:        pkg,
 		TypesInfo:  info,
 		Directives: ParseDirectives(fset, files),
+	}
+	if setup != nil {
+		setup(pass)
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s on fixture %s: %v", a.Name, fixture, err)

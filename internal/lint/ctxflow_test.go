@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCtxFlow(t *testing.T) {
+	runFixture(t, CtxFlow, "ctxflow")
+}

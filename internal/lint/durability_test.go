@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDurability(t *testing.T) {
+	runFixture(t, Durability, "durability")
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// An EscapeDiag is one heap-allocation diagnostic parsed from the
+// compiler's escape analysis (`go build -gcflags=-m`).
+type EscapeDiag struct {
+	Line int
+	Col  int
+	Msg  string // e.g. "make([]event, 512) escapes to heap"
+}
+
+// An EscapeSet indexes escape diagnostics by cleaned absolute file path.
+// One set covers every gate package: generic functions report their
+// escapes from the *instantiating* package's compilation (a make inside
+// slab.Alloc surfaces while compiling sim), so diagnostics must be matched
+// by position regardless of which compilation produced them.
+type EscapeSet struct {
+	byFile map[string][]EscapeDiag
+}
+
+// Add records a diagnostic, deduplicating by position (generic shape
+// instantiations repeat the same source position per shape).
+func (s *EscapeSet) Add(file string, line, col int, msg string) {
+	if s.byFile == nil {
+		s.byFile = map[string][]EscapeDiag{}
+	}
+	key := normFile(file)
+	for _, d := range s.byFile[key] {
+		if d.Line == line && d.Col == col {
+			return
+		}
+	}
+	s.byFile[key] = append(s.byFile[key], EscapeDiag{Line: line, Col: col, Msg: msg})
+}
+
+// InFile returns the diagnostics recorded for a file.
+func (s *EscapeSet) InFile(file string) []EscapeDiag {
+	if s == nil || s.byFile == nil {
+		return nil
+	}
+	return s.byFile[normFile(file)]
+}
+
+func normFile(file string) string {
+	if abs, err := filepath.Abs(file); err == nil {
+		return abs
+	}
+	return filepath.Clean(file)
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// CollectEscapes compiles the named packages (import paths or ./ patterns,
+// resolved relative to dir) with -gcflags=-m and parses the heap-escape
+// diagnostics. The go command replays compiler output from the build cache,
+// so repeat runs are incremental and still see every diagnostic.
+func CollectEscapes(dir string, pkgs []string) (*EscapeSet, error) {
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	set := &EscapeSet{}
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		// Only allocation verdicts count: "x escapes to heap" and
+		// "moved to heap: x". Inlining reports, leak summaries, and
+		// "does not escape" confirmations are noise here.
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		ln, err1 := strconv.Atoi(m[2])
+		col, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		set.Add(file, ln, col, msg)
+	}
+	return set, nil
+}

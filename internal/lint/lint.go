@@ -64,6 +64,10 @@ type Pass struct {
 	Pkg        *types.Package
 	TypesInfo  *types.Info
 	Directives *Directives
+	// Escapes carries parsed `go build -gcflags=-m` diagnostics when the
+	// driver ran the allocbound escape gate (standalone/CI); nil under the
+	// vet driver, where allocbound runs its static checks only.
+	Escapes *EscapeSet
 
 	diags []Diagnostic
 }
@@ -179,6 +183,10 @@ func Analyzers() []*Analyzer {
 		NonDetSource,
 		FloatCmp,
 		SeedPlumb,
+		LockCheck,
+		CtxFlow,
+		Durability,
+		AllocBound,
 		LintDirective,
 	}
 }
@@ -210,6 +218,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:        pkg.Types,
 				TypesInfo:  pkg.Info,
 				Directives: dirs,
+				Escapes:    pkg.Escapes,
 			}
 			if err := an.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, an.Name, err)

@@ -28,6 +28,9 @@ type Package struct {
 	// TypeErrors collects soft type-check problems; analysis still runs
 	// on the partial information.
 	TypeErrors []error
+	// Escapes is attached by drivers that run the allocbound escape gate
+	// (see CollectEscapes); nil otherwise.
+	Escapes *EscapeSet
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.

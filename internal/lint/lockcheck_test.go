@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockCheck(t *testing.T) {
+	runFixture(t, LockCheck, "lockcheck")
+}

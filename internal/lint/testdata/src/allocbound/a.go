@@ -1,0 +1,54 @@
+// Package allocbound exercises the allocation-budget analyzer: directive
+// placement and verbs, the hot-path contract (the test injects a contract
+// for this package naming hot, demoted, and vanished), and the escape gate
+// (the test injects a synthetic diagnostic at every line carrying an
+// "ESCAPE:" marker, standing in for `go build -gcflags=-m` output).
+package allocbound // want "vanished is in the allocbound hot-path contract but no longer exists"
+
+// hot is annotated, in the injected contract, and allocation-free: the
+// clean case, no findings.
+//
+//alloc:free fixture: index arithmetic only
+func hot(xs []int, i int) int {
+	return xs[i%len(xs)]
+}
+
+// demoted is in the injected contract but its annotation was "deleted" —
+// the regression the gate exists to catch.
+func demoted() {} // want "demoted is in the allocbound hot-path contract but has no //alloc:free annotation"
+
+// escapes is annotated but its body heap-allocates (per the injected
+// diagnostic): an introduced escape fails lint.
+//
+//alloc:free fixture: the test injects an escape at the marker line
+func escapes(n int) *int {
+	x := n + 1
+	return &x /* ESCAPE: moved to heap: x */ // want "heap escape in //alloc:free function escapes: moved to heap: x"
+}
+
+// coldPath carries the same injected escape but justifies it at the line:
+// the suppression path for deliberate cold-path allocations.
+//
+//alloc:free fixture: the cold-path escape below is justified
+func coldPath(n int) *int {
+	y := n * 2
+	//lint:ignore allocbound fixture: cold path, deliberately boxed
+	return &y // ESCAPE: moved to heap: y
+}
+
+// unannotated is not in the contract and not annotated: escapes inside it
+// are nobody's business.
+func unannotated(n int) *int {
+	z := n * 3
+	return &z // ESCAPE: moved to heap: z
+}
+
+//alloc:fast fixture: unknown verb
+// want:-1 "unknown //alloc: directive \"fast\""
+func wrongVerb() {}
+
+func strayDirective() {
+	//alloc:free
+	// want:-1 "stray //alloc:free: the annotation must sit in a function declaration's doc comment"
+	_ = 0
+}

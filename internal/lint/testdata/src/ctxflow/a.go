@@ -1,0 +1,107 @@
+// Package ctxflow exercises the context-discipline analyzer: root contexts
+// minted mid-stack and unbounded wait loops that never observe
+// cancellation, plus the suppression machinery in both directions.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// ---- root contexts -------------------------------------------------------
+
+func mintsRoot() context.Context {
+	return context.Background() // want "context.Background mints a root context"
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want "context.TODO mints a root context"
+}
+
+func threadsCallerCtxOK(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+func justifiedRoot() context.Context {
+	//lint:ignore ctxflow fixture: the process root is the one legitimate minting site
+	return context.Background()
+}
+
+func bareSuppressedRoot() context.Context {
+	//lint:ignore ctxflow
+	return context.Background() // want "context.Background mints a root context"
+}
+
+// ---- unbounded wait loops ------------------------------------------------
+
+func tickerOnlyLoop(t *time.Ticker) {
+	for { // want "unbounded wait loop never observes ctx.Done"
+		<-t.C
+	}
+}
+
+func sleepLoop() {
+	for { // want "unbounded wait loop never observes ctx.Done"
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func timeAfterLoop() {
+	for { // want "unbounded wait loop never observes ctx.Done"
+		select {
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func ctxSelectLoopOK(ctx context.Context, t *time.Ticker) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func ctxErrPollLoopOK(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func stopChanLoopOK(stop chan struct{}, t *time.Ticker) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func boundedLoopOK(t *time.Ticker) {
+	for i := 0; i < 3; i++ {
+		<-t.C
+	}
+}
+
+func busyLoopNotAWait(n int) int {
+	total := 0
+	for {
+		total += n
+		if total > 100 {
+			return total
+		}
+	}
+}
+
+func justifiedLoop(t *time.Ticker) {
+	//lint:ignore ctxflow fixture: justified wait loop produces no finding
+	for {
+		<-t.C
+	}
+}

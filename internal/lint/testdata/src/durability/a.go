@@ -1,0 +1,89 @@
+// Package durability exercises the crash-durability analyzer: direct
+// writes that bypass the temp+fsync+rename protocol, renames outside
+// blessed helpers, swallowed Sync/Rename/Close errors, the abandon-idiom
+// exemption, and suppression in both directions.
+package durability
+
+import "os"
+
+// ---- direct writes -------------------------------------------------------
+
+func directWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "direct os.WriteFile in a durability-critical package"
+}
+
+func directCreate(path string) error {
+	f, err := os.Create(path) // want "direct os.Create truncates in place"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func bareRename(a, b string) error {
+	return os.Rename(a, b) // want "os.Rename outside a blessed temp\\+fsync\\+rename helper"
+}
+
+// writeAtomic is a blessed writer — os.CreateTemp + File.Sync + os.Rename
+// in one body — so its rename is the protocol, not a finding. Its two
+// ignored tmp.Close() calls are the abandon idiom (an os.Remove follows in
+// the same block) and are exempt too.
+func writeAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), dir+"/"+name)
+}
+
+// ---- swallowed errors ----------------------------------------------------
+
+func ignoredSync(f *os.File) {
+	_ = f.Sync() // want "File.Sync error ignored in a durability-critical package"
+}
+
+func ignoredClose(f *os.File) {
+	f.Close() // want "Close error ignored in a durability-critical package"
+}
+
+func deferredIgnoredClose(f *os.File) int {
+	defer f.Close() // want "Close error ignored in a durability-critical package"
+	return 1
+}
+
+func ignoredRename(a, b string) { // both checks fire on the call below
+	_ = os.Rename(a, b) // want "os.Rename outside a blessed" "os.Rename error ignored"
+}
+
+func handledSyncOK(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ---- suppression both ways -----------------------------------------------
+
+func justifiedClose(f *os.File) {
+	//lint:ignore durability fixture: read-only handle, nothing durable at stake
+	f.Close()
+}
+
+func bareSuppressedClose(f *os.File) {
+	//lint:ignore durability
+	f.Close() // want "Close error ignored in a durability-critical package"
+}

@@ -1,0 +1,12 @@
+// Test files are exempt: tests write scratch files directly. No findings.
+package durability
+
+import "os"
+
+func testOnlyDirectWrite(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644)
+}
+
+func testOnlyIgnoredClose(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,15 @@
+// Test files are exempt: tests hold locks across whatever they like while
+// asserting on concurrent behavior. None of these produce findings.
+package lockcheck
+
+import "time"
+
+func testOnlySleepUnderLock(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond)
+	g.mu.Unlock()
+}
+
+func testOnlyCopy(g guarded) int {
+	return g.n
+}

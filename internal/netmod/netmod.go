@@ -605,6 +605,8 @@ func (a *Allocator) reallocateWRR() {
 // flow lists the freeze sweep walks when a link saturates, and the stable
 // work/live arrays the rounds iterate. Link lists hold int32 work indices,
 // not pointers, so resetting them never touches the GC.
+//
+//alloc:free one pass over fl reusing the allocator's pooled index arrays
 func (a *Allocator) registerCounts(fl []*FlowDemand) {
 	for _, l := range a.used {
 		a.count[l] = 0
@@ -652,6 +654,8 @@ func (a *Allocator) registerCounts(fl []*FlowDemand) {
 // freeze retires work flow j from the current fill: its path counts drop,
 // links left with no unfrozen crossing flow leave the touched list, and the
 // flow leaves the live set. All removals are O(1) swap-removes.
+//
+//alloc:free swap-removes over the compacted work/live/touched arrays
 func (a *Allocator) freeze(j int32) {
 	f := a.work[j]
 	f.frozen = true
@@ -703,6 +707,8 @@ func capSlack(x, d float64) float64 {
 //     headroom (MaxRate − Rate). It decides only whether the exact scans
 //     run, never what they compute, so its float slack (capSlack) cannot
 //     perturb rates.
+//
+//alloc:free the per-solve rounds run entirely over the pooled work arrays
 func (a *Allocator) waterfill(fl []*FlowDemand) {
 	a.stTierSolves++
 	// Each round saturates at least one link or caps at least one flow, so

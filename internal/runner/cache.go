@@ -5,7 +5,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 )
@@ -176,6 +178,7 @@ func (c *Cache) quarantine(path string) {
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		return
 	}
+	//lint:ignore durability best-effort evidence move, not a publish; a crash-torn quarantine still reads as a cache miss
 	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
 		return
 	}
@@ -239,17 +242,25 @@ func (c *Cache) Put(key string, spec, result json.RawMessage) error {
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.
-// Filesystems that cannot sync directories report it; that is tolerated
-// (the rename is still atomic, only the crash-durability window widens).
+// Filesystems that cannot sync directories (EINVAL/ENOTSUP from network or
+// FUSE mounts) are tolerated: the rename is still atomic, only the
+// crash-durability window widens. Every other Sync error is a real
+// durability failure and propagates.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("runner: opening cache shard for sync: %w", err)
 	}
-	// Sync errors (EINVAL/ENOTSUP from network or FUSE mounts) are
-	// tolerated: atomicity holds, only the crash-durability window widens.
-	_ = d.Sync()
-	return d.Close()
+	err = d.Sync()
+	//lint:ignore durability read-only directory handle; Sync's error above is the durable signal
+	d.Close()
+	if err != nil && (errors.Is(err, fs.ErrInvalid) || errors.Is(err, errors.ErrUnsupported)) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runner: syncing cache shard: %w", err)
+	}
+	return nil
 }
 
 // Len walks the cache and counts valid-looking entry files (by name only;

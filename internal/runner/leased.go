@@ -60,7 +60,7 @@ func runLeased[R any](ctx, gateCtx context.Context, key, specHash string, opts O
 					}
 				}
 			}
-			c.StartHeartbeat()
+			c.StartHeartbeat(ctx)
 			r, att, e := exec()
 			if e == nil {
 				c.Release()

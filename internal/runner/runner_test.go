@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gurita/internal/leakcheck"
 )
 
 // trial is the toy spec used throughout: deterministic output, enough
@@ -126,6 +128,8 @@ func TestRunFirstErrorStopsPool(t *testing.T) {
 }
 
 func TestRunCancellation(t *testing.T) {
+	snap := leakcheck.Take()
+	defer snap.Check(t) // Run must join its worker pool even on cancel
 	ctx, cancel := context.WithCancel(context.Background())
 	var executed atomic.Int32
 	exec := func(ctx context.Context, s trial) (outcome, error) {

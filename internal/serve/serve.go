@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -198,6 +199,7 @@ func New(cfg Config) (*Server, error) {
 		drain:     make(chan struct{}),
 		campaigns: make(map[string]*campaign),
 	}
+	//lint:ignore ctxflow the server IS the process root; every campaign and request context derives from this one and Drain cancels it
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	// Registration order assigns the fair queue's coflow IDs, which break
 	// exact-service ties — register sorted so a given tenant config always
@@ -516,7 +518,10 @@ func (s *Server) settle(c *campaign, done int) {
 	}
 }
 
-// flushManifest writes the campaign's terminal record atomically.
+// flushManifest writes the campaign's terminal record atomically and
+// durably: temp file in the manifest directory, fsync, rename, directory
+// fsync — the same protocol as the cache's Put, so a crash immediately
+// after a drain cannot lose the manifest a resume would read.
 func (s *Server) flushManifest(c *campaign) error {
 	c.mu.Lock()
 	m := Manifest{
@@ -547,11 +552,39 @@ func (s *Server) flushManifest(c *campaign) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, c.id+".json"))
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, c.id+".json")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the manifest directory so a just-renamed manifest survives
+// a crash. Filesystems that cannot sync directories (EINVAL/ENOTSUP) are
+// tolerated: the rename is still atomic, only the durability window widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serve: opening manifest dir for sync: %w", err)
+	}
+	err = d.Sync()
+	//lint:ignore durability read-only directory handle; Sync's error above is the durable signal
+	d.Close()
+	if err != nil && (errors.Is(err, fs.ErrInvalid) || errors.Is(err, errors.ErrUnsupported)) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: syncing manifest dir: %w", err)
+	}
+	return nil
 }
 
 // doc renders the campaign's status document.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	gurita "gurita"
+	"gurita/internal/leakcheck"
 	"gurita/internal/metrics"
 	"gurita/internal/runner"
 )
@@ -341,6 +342,14 @@ func TestSubmissionValidation(t *testing.T) {
 // resumable on a fresh daemon over the same cache with only the skipped
 // trials executing.
 func TestDrainFlushesManifestsAndResumes(t *testing.T) {
+	// Runs last (first-registered cleanup): after both daemons have drained
+	// and every connection is closed, no goroutine born in this test may
+	// survive — the drain contract is a goroutine-lifetime claim.
+	snap := leakcheck.Take()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		snap.Check(t)
+	})
 	cacheDir := t.TempDir()
 	granted := make(chan struct{}, 64)
 	s, err := New(Config{

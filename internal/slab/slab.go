@@ -107,15 +107,19 @@ func (s *Slab[T]) Alloc() (Handle, *T) {
 // foreign or out-of-range handle, and any handle whose slot has since been
 // freed (or freed and recycled) — stale handles fail loudly and
 // deterministically rather than aliasing another object's state.
+//
+//alloc:free two compares and an index on the live path; the panic is outlined
 func (s *Slab[T]) Get(h Handle) *T {
 	if h.gen == 0 || int(h.idx) >= len(s.gens) || s.gens[h.idx] != h.gen {
-		panic(fmt.Sprintf("slab: stale or invalid handle %v", h))
+		badHandle("stale or invalid handle", h)
 	}
 	return &s.chunks[h.idx>>s.shift][h.idx&int32(s.chunkSize-1)]
 }
 
 // Live reports whether h still names a live occupancy (cheap, non-panicking
 // form of Get for debug assertions).
+//
+//alloc:free pure reads over the generation table
 func (s *Slab[T]) Live(h Handle) bool {
 	return h.gen != 0 && int(h.idx) < len(s.gens) && s.gens[h.idx] == h.gen
 }
@@ -124,13 +128,25 @@ func (s *Slab[T]) Live(h Handle) bool {
 // advances, so the handle (and any copy of it) is dead from here on: Get
 // panics, Live reports false, Free panics. The object is zeroed so the
 // slab does not retain pointers held by the dead occupancy.
+//
+//alloc:free recycles through the free list; steady-state Free never grows it
 func (s *Slab[T]) Free(h Handle) {
 	if h.gen == 0 || int(h.idx) >= len(s.gens) || s.gens[h.idx] != h.gen {
-		panic(fmt.Sprintf("slab: double free or invalid handle %v", h))
+		badHandle("double free or invalid handle", h)
 	}
 	var zero T
 	s.chunks[h.idx>>s.shift][h.idx&int32(s.chunkSize-1)] = zero
 	s.gens[h.idx]++ // odd -> even: free
 	s.free = append(s.free, h.idx)
 	s.n--
+}
+
+// badHandle reports a dead or foreign handle. Outlined from Get and Free
+// (and pinned out of the inliner): formatting the message heap-allocates,
+// and the //alloc:free contract on those methods must hold for the live
+// path the simulator executes — a panicking run is already over.
+//
+//go:noinline
+func badHandle(msg string, h Handle) {
+	panic(fmt.Sprintf("slab: %s %v", msg, h))
 }
