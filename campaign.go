@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"gurita/internal/cachestore/httpstore"
 	"gurita/internal/lease"
 	"gurita/internal/metrics"
 	"gurita/internal/obs"
@@ -252,6 +253,14 @@ type CampaignOptions struct {
 	// content-addressed JSON file under this directory and serves repeat
 	// trials from it, which is what makes interrupted campaigns resumable.
 	CacheDir string
+	// CacheURL, when non-empty, uses a remote guritad cache server at this
+	// base URL (e.g. "http://cachehost:7070") instead of a local CacheDir:
+	// trials are fetched from and published to the daemon's /v1/cache/ API,
+	// so workers on machines that share no filesystem split one campaign.
+	// Mutually exclusive with CacheDir. With MultiProcess, trial leases move
+	// to the daemon too (its clock is authoritative; the MultiProcessOptions
+	// lease-tuning knobs are server-side settings and must be zero here).
+	CacheURL string
 	// Force re-executes trials even on cache hits (entries are rewritten).
 	Force bool
 	// IncludeCoflows carries per-coflow rows through results and the cache
@@ -376,6 +385,9 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 	for i, s := range specs {
 		norm[i] = s.normalized()
 	}
+	if opts.CacheDir != "" && opts.CacheURL != "" {
+		return nil, CampaignStats{}, errors.New("gurita: CacheDir and CacheURL are mutually exclusive; pick a local directory or a remote cache server")
+	}
 	var cache *runner.Cache
 	if opts.CacheDir != "" {
 		var err error
@@ -384,9 +396,10 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 			return nil, CampaignStats{}, err
 		}
 	}
-	// Multi-process mode: a lease manager over the shared cache plus the
+	// Multi-process mode: a lease layer over the shared cache plus the
 	// campaign's grid hash, which names this worker's manifest shard and lets
-	// shards from the same grid find each other.
+	// shards from the same grid find each other. With CacheDir the leases are
+	// files in the cache; with CacheURL they live in the daemon's lease table.
 	var (
 		mgr      *lease.Manager
 		owner    string
@@ -394,8 +407,8 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		reg      *obs.SyncRegistry
 	)
 	if mp := opts.MultiProcess; mp != nil {
-		if cache == nil {
-			return nil, CampaignStats{}, errors.New("gurita: multi-process campaigns need CacheDir (workers coordinate through it)")
+		if cache == nil && opts.CacheURL == "" {
+			return nil, CampaignStats{}, errors.New("gurita: multi-process campaigns need CacheDir or CacheURL (workers coordinate through the cache)")
 		}
 		if opts.Force {
 			return nil, CampaignStats{}, errors.New("gurita: Force re-executes unconditionally, which multi-process leases exist to prevent; drop one of them")
@@ -408,27 +421,52 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		if reg == nil {
 			reg = obs.NewSyncRegistry()
 		}
-		cache.Counters = reg
-		var err error
-		mgr, err = lease.Open(lease.Config{
-			Dir:         filepath.Join(opts.CacheDir, runner.LeaseSubdir),
-			Owner:       owner,
-			Schema:      opts.schema(),
-			TTL:         mp.LeaseTTL,
-			Heartbeat:   mp.Heartbeat,
-			MaxAttempts: mp.MaxAttempts,
-			Counters:    reg,
-		})
-		if err != nil {
-			return nil, CampaignStats{}, err
+		if cache != nil {
+			cache.Counters = reg
+			var err error
+			mgr, err = lease.Open(lease.Config{
+				Dir:         filepath.Join(opts.CacheDir, runner.LeaseSubdir),
+				Owner:       owner,
+				Schema:      opts.schema(),
+				TTL:         mp.LeaseTTL,
+				Heartbeat:   mp.Heartbeat,
+				MaxAttempts: mp.MaxAttempts,
+				Counters:    reg,
+			})
+			if err != nil {
+				return nil, CampaignStats{}, err
+			}
+		} else if mp.LeaseTTL != 0 || mp.Heartbeat != 0 || mp.MaxAttempts != 0 {
+			// The daemon's clock is authoritative over remote leases; a
+			// client-side TTL would be a lie the protocol cannot honor.
+			return nil, CampaignStats{}, errors.New("gurita: remote-cache lease tuning is server-side; set -cache-lease-ttl/-cache-lease-max-attempts on guritad instead")
 		}
 		keys := make([]string, len(norm))
+		var err error
 		for i, s := range norm {
 			if keys[i], err = runner.Key(opts.schema(), s); err != nil {
 				return nil, CampaignStats{}, err
 			}
 		}
 		gridHash = runner.GridHash(keys)
+	}
+	// Remote cache: the httpstore backend replaces the local Cache/Manager
+	// pair wholesale — same interfaces, different machine.
+	var remote *httpstore.Store
+	if opts.CacheURL != "" {
+		ro := owner
+		if ro == "" {
+			ro = DefaultWorkerID()
+		}
+		cfg := httpstore.Config{BaseURL: opts.CacheURL, Schema: opts.schema(), Owner: ro}
+		if reg != nil {
+			cfg.Counters = reg
+		}
+		var err error
+		remote, err = httpstore.Open(cfg)
+		if err != nil {
+			return nil, CampaignStats{}, err
+		}
 	}
 	for _, dir := range []string{opts.ObsTraceDir, opts.ObsDumpDir} {
 		if dir != "" {
@@ -498,7 +536,7 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		doc := metrics.NewResultDoc(res, opts.IncludeCoflows)
 		return &doc, nil
 	}
-	docs, stats, err := runner.Run(ctx, norm, exec, runner.Options{
+	ropts := runner.Options{
 		Workers:         opts.Workers,
 		Cache:           cache,
 		Force:           opts.Force,
@@ -510,8 +548,15 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		Gate:            opts.Gate,
 		Drain:           opts.Drain,
 		Lease:           mgr,
-	})
-	if mgr != nil {
+	}
+	if remote != nil {
+		ropts.Store = remote
+		if opts.MultiProcess != nil {
+			ropts.StoreLeases = remote
+		}
+	}
+	docs, stats, err := runner.Run(ctx, norm, exec, ropts)
+	if opts.MultiProcess != nil {
 		// Fold the runner's trial tallies into the registry so the manifest
 		// shard's counters and its stats columns are cross-checkable (the
 		// chaos harness asserts they agree after merging), then flush the
@@ -522,7 +567,19 @@ func RunCampaign(ctx context.Context, specs []TrialSpec, opts CampaignOptions) (
 		reg.Add("runner.trials.cache_hits", int64(stats.CacheHits))
 		reg.Add("runner.trials.dedup_hits", int64(stats.DedupHits))
 		m := runner.NewWorkerManifest(metrics.WorkerManifestSchema, owner, gridHash, stats, reg.Snapshot())
-		if _, werr := runner.WriteWorkerManifest(opts.CacheDir, m); werr != nil && err == nil {
+		if remote != nil {
+			// Publish through the daemon so the shard lands in its cache
+			// dir's manifests/ subtree — exactly where a filesystem worker
+			// would have written it. Detached from ctx: a drained or failed
+			// campaign still accounts for itself, like the local-write path.
+			data, werr := runner.EncodeWorkerManifest(m)
+			if werr == nil {
+				werr = remote.PutManifest(context.WithoutCancel(ctx), runner.ManifestName(owner, gridHash), data)
+			}
+			if werr != nil && err == nil {
+				err = werr
+			}
+		} else if _, werr := runner.WriteWorkerManifest(opts.CacheDir, m); werr != nil && err == nil {
 			err = werr
 		}
 	}

@@ -114,6 +114,7 @@ func run() (err error) {
 	opts := gurita.CampaignOptions{
 		Workers:         campaign.Parallel,
 		CacheDir:        campaign.CacheDir,
+		CacheURL:        campaign.CacheURL,
 		Force:           campaign.Force,
 		Progress:        progress,
 		TrialTimeout:    campaign.TrialTimeout,

@@ -4,6 +4,12 @@
 // scheduling, and a shared content-addressed result cache that dedups
 // identical trials across tenants (single-flight per cache key).
 //
+// The daemon also exports that cache over HTTP (/v1/cache/): guritaworker
+// and guritasim processes pointed at it with -cache-url share trials, trial
+// leases, and manifest shards across machines with no shared filesystem —
+// the daemon's disk is the cache, its clock arbitrates lease expiry
+// (-cache-lease-ttl, -cache-lease-max-attempts).
+//
 // The config surface reuses the shared CLI flag groups (internal/cliflags),
 // so -cache/-parallel/-trial-timeout/-obs-trace/-cpuprofile mean exactly
 // what they mean in guritasim and figures. Fault profiles are per-trial
@@ -72,6 +78,8 @@ func run() error {
 		queues       = flag.Int("queues", 4, "fair-queue priority levels (mirrors the simulator's switch queues)")
 		retryAfter   = flag.Int("retry-after", 5, "Retry-After hint on 429 responses, seconds")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "bound on the graceful drain after SIGTERM/SIGINT")
+		cacheTTL     = flag.Duration("cache-lease-ttl", 0, "TTL for remote-cache trial leases handed to /v1/cache/ workers (0 = 5s)")
+		cacheMaxAtt  = flag.Int("cache-lease-max-attempts", 0, "claim attempts per trial across remote-cache workers before quarantine (0 = 5)")
 		tenants      = tenantWeights{}
 
 		campaign = cliflags.RegisterCampaign(flag.CommandLine, "trials")
@@ -96,6 +104,10 @@ func run() error {
 		return badUsage("-retry-after must be >= 1 seconds, got %d", *retryAfter)
 	case *drainTimeout <= 0:
 		return badUsage("-drain-timeout must be positive, got %v", *drainTimeout)
+	case *cacheTTL < 0:
+		return badUsage("-cache-lease-ttl must be >= 0, got %v", *cacheTTL)
+	case *cacheMaxAtt < 0:
+		return badUsage("-cache-lease-max-attempts must be >= 0, got %d", *cacheMaxAtt)
 	case obsFl.Listen != "":
 		return badUsage("-obs-listen is the single-campaign introspector; the daemon's own API serves progress (GET /v1/campaigns/{id})")
 	}
@@ -129,6 +141,9 @@ func run() error {
 		ObsTraceDir:  obsFl.TraceDir,
 		ObsDumpDir:   obsFl.DumpDir,
 		MultiProcess: leaseFl.Options(),
+
+		CacheLeaseTTL:         *cacheTTL,
+		CacheLeaseMaxAttempts: *cacheMaxAtt,
 	})
 	if err != nil {
 		return err

@@ -238,6 +238,7 @@ func run() (err error) {
 		results, stats, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
 			Workers:  campaign.Parallel,
 			CacheDir: campaign.CacheDir,
+			CacheURL: campaign.CacheURL,
 			Force:    campaign.Force,
 			// Coflow rows ride along so -json output carries avg_cct exactly
 			// as the serial path writes it.

@@ -7,6 +7,11 @@
 // go stale and are reclaimed by survivors after -lease-ttl, so the fleet as
 // a whole finishes the grid with results byte-identical to a serial run.
 //
+// With -cache-url instead of -cache, the shared cache is a guritad daemon's
+// /v1/cache/ API: workers need no shared filesystem at all, leases live in
+// the daemon (whose clock is authoritative), and everything else — splitting,
+// reclaim, byte-identical convergence — works the same across machines.
+//
 // Each worker writes a per-owner manifest shard under <cache>/manifests/
 // accounting for what it executed, retried, and reclaimed; merge the shards
 // with the library's runner.MergeWorkerManifests (the guritachaos harness
@@ -149,6 +154,7 @@ func run(args []string) (err error) {
 	results, stats, err := gurita.RunCampaign(ctx, specs, gurita.CampaignOptions{
 		Workers:  campaign.Parallel,
 		CacheDir: campaign.CacheDir,
+		CacheURL: campaign.CacheURL,
 		// Coflow rows ride through the cache so every fleet member — and the
 		// serial guritasim run a chaos audit compares against — shares one
 		// schema and one set of cache keys.

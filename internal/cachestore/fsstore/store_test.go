@@ -1,0 +1,77 @@
+package fsstore_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gurita/internal/cachestore"
+	"gurita/internal/cachestore/conformancetest"
+	"gurita/internal/cachestore/fsstore"
+)
+
+func TestConformance(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) *conformancetest.Harness {
+		const ttl = 300 * time.Millisecond
+		dir := t.TempDir()
+		h := &conformancetest.Harness{TTL: ttl, MaxAttempts: 2}
+		h.Open = func(t *testing.T, owner string) conformancetest.Full {
+			t.Helper()
+			// One OpenStore per owner over one shared directory is exactly
+			// how peer worker processes share a cache root.
+			s, err := fsstore.OpenStore(fsstore.Config{
+				Dir:         dir,
+				Schema:      "conformance-v1",
+				Owner:       owner,
+				TTL:         ttl,
+				MaxAttempts: 2,
+			})
+			if err != nil {
+				t.Fatalf("fsstore.OpenStore: %v", err)
+			}
+			return s
+		}
+		h.Corrupt = func(t *testing.T, key string) {
+			t.Helper()
+			// Tear the entry file in place: a crash mid-write or bit rot.
+			path := filepath.Join(dir, key[:2], key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading entry to corrupt: %v", err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatalf("corrupting entry: %v", err)
+			}
+		}
+		return h
+	})
+}
+
+// BenchmarkFSStorePut measures the per-trial publish cost of the filesystem
+// backend: envelope assembly plus the temp+fsync+rename atomic write. Pinned
+// in BENCH_baseline.json (gated by cmd/benchgate).
+func BenchmarkFSStorePut(b *testing.B) {
+	dir := b.TempDir()
+	s, err := fsstore.OpenStore(fsstore.Config{Dir: dir, Schema: "bench-v1", Owner: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	result := json.RawMessage(`{"metric":42,"rows":[1,2,3,4,5,6,7,8]}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := json.RawMessage(fmt.Sprintf(`{"trial":%d}`, i))
+		key, err := cachestore.Key("bench-v1", spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Put(ctx, key, spec, result); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package cachestore
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat drives periodic lease renewal for one acquired key. It is the
+// backend-independent replacement for ad-hoc per-backend heartbeat loops:
+// the runner starts one after every acquisition and stops it around
+// Release/PoisonKey. A renewal that returns an error (ErrLeaseLost, or a
+// transport failure past the backend's retry budget) marks the heartbeat
+// Lost and stops the loop — a worker that was presumed dead must not
+// resurrect or extend a lease it no longer owns.
+type Heartbeat struct {
+	lost    atomic.Bool
+	stopped atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// StartHeartbeat begins renewing key through ls every ls.HeartbeatEvery()
+// until Stop is called or ctx is cancelled — a campaign abort must not leave
+// detached heartbeats extending leases for trials nobody is executing.
+func StartHeartbeat(ctx context.Context, ls LeaseStore, key string) *Heartbeat {
+	h := &Heartbeat{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		// Wall-clock renewal cadence: leases coordinate processes, not
+		// simulations, and no trial result ever reads these timestamps.
+		//
+		//lint:ignore nondetsource lease heartbeat cadence is wall-clock coordination between worker processes; trial results never depend on it
+		t := time.NewTicker(ls.HeartbeatEvery())
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-h.stop:
+				return
+			case <-t.C:
+				if err := ls.Renew(ctx, key); err != nil {
+					h.lost.Store(true)
+					return
+				}
+			}
+		}
+	}()
+	return h
+}
+
+// Lost reports whether a renewal discovered the lease taken over (or
+// unreachable past the backend's retry budget).
+func (h *Heartbeat) Lost() bool { return h.lost.Load() }
+
+// Stop halts the renewal loop and waits for it to exit. Idempotent and safe
+// for concurrent use.
+func (h *Heartbeat) Stop() {
+	if h.stopped.CompareAndSwap(false, true) {
+		close(h.stop)
+	}
+	<-h.done
+}

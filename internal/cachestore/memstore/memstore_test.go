@@ -1,0 +1,82 @@
+package memstore_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gurita/internal/cachestore"
+	"gurita/internal/cachestore/conformancetest"
+	"gurita/internal/cachestore/memstore"
+)
+
+func TestConformance(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) *conformancetest.Harness {
+		const ttl = 300 * time.Millisecond
+		var root *memstore.Store
+		h := &conformancetest.Harness{TTL: ttl, MaxAttempts: 2}
+		h.Open = func(t *testing.T, owner string) conformancetest.Full {
+			t.Helper()
+			if root == nil {
+				s, err := memstore.Open(memstore.Config{
+					Schema:      "conformance-v1",
+					Owner:       owner,
+					TTL:         ttl,
+					MaxAttempts: 2,
+				})
+				if err != nil {
+					t.Fatalf("memstore.Open: %v", err)
+				}
+				root = s
+				return s
+			}
+			s, err := root.WithOwner(owner)
+			if err != nil {
+				t.Fatalf("memstore.WithOwner(%q): %v", owner, err)
+			}
+			return s
+		}
+		h.Corrupt = func(t *testing.T, key string) {
+			t.Helper()
+			if !root.Corrupt(key) {
+				t.Fatalf("no entry to corrupt for key %s", key[:12])
+			}
+		}
+		return h
+	})
+}
+
+// TestWithOwnerSharesStore pins the WithOwner contract directly: peer handles
+// see each other's entries but keep their own lease stats.
+func TestWithOwnerSharesStore(t *testing.T) {
+	ctx := context.Background()
+	a, err := memstore.Open(memstore.Config{Schema: "v1", Owner: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.WithOwner("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WithOwner(""); err == nil {
+		t.Fatalf("WithOwner accepted an empty owner")
+	}
+	spec := json.RawMessage(`{"n":1}`)
+	key, err := cachestore.Key("v1", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(ctx, key, spec, json.RawMessage(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get(ctx, key); !ok {
+		t.Fatalf("peer handle does not see the shared entry")
+	}
+	if la, err := a.Claim(ctx, key); err != nil || la.State != cachestore.LeaseAcquired {
+		t.Fatalf("a.Claim = (%+v, %v)", la, err)
+	}
+	if a.LeaseStats().Acquired != 1 || b.LeaseStats().Acquired != 0 {
+		t.Fatalf("lease stats leaked across handles: a=%+v b=%+v", a.LeaseStats(), b.LeaseStats())
+	}
+}

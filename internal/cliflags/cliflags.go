@@ -25,10 +25,11 @@ import (
 )
 
 // Campaign is the worker-pool/cache flag group of every campaign-running
-// command: -parallel, -cache, -force, -trial-timeout.
+// command: -parallel, -cache, -cache-url, -force, -trial-timeout.
 type Campaign struct {
 	Parallel     int
 	CacheDir     string
+	CacheURL     string
 	Force        bool
 	TrialTimeout time.Duration
 }
@@ -40,6 +41,7 @@ func RegisterCampaign(fs *flag.FlagSet, noun string) *Campaign {
 	c := &Campaign{}
 	fs.IntVar(&c.Parallel, "parallel", runtime.NumCPU(), "campaign worker-pool size (output is identical for any value)")
 	fs.StringVar(&c.CacheDir, "cache", "", "persist finished "+noun+" under this directory and resume/skip from it")
+	fs.StringVar(&c.CacheURL, "cache-url", "", "use a remote guritad cache server at this base URL (e.g. http://host:7070) instead of a local -cache directory")
 	fs.BoolVar(&c.Force, "force", false, "re-run "+noun+" even when cached")
 	fs.DurationVar(&c.TrialTimeout, "trial-timeout", 0, "per-"+singular(noun)+" wall-clock bound, e.g. 90s or 5m (0 = unbounded)")
 	return c
@@ -60,8 +62,11 @@ func (c *Campaign) Validate() error {
 	if c.TrialTimeout < 0 {
 		return fmt.Errorf("-trial-timeout must be >= 0, got %v", c.TrialTimeout)
 	}
-	if c.Force && c.CacheDir == "" {
-		return fmt.Errorf("-force re-runs cached trials, so it needs -cache DIR")
+	if c.CacheDir != "" && c.CacheURL != "" {
+		return fmt.Errorf("-cache and -cache-url are mutually exclusive; pick a local directory or a remote cache server")
+	}
+	if c.Force && c.CacheDir == "" && c.CacheURL == "" {
+		return fmt.Errorf("-force re-runs cached trials, so it needs -cache DIR or -cache-url URL")
 	}
 	return nil
 }
@@ -107,9 +112,18 @@ func (l *Lease) Validate(set func(string) bool, c *Campaign) error {
 		}
 		return nil
 	}
+	if c.CacheURL != "" {
+		// Remote leases live in the daemon, whose clock is authoritative;
+		// client-side TTL tuning would be a lie the protocol cannot honor.
+		for _, name := range []string{"lease-ttl", "lease-heartbeat", "lease-max-attempts"} {
+			if set(name) {
+				return fmt.Errorf("-%s is server-side with -cache-url; set -cache-lease-ttl/-cache-lease-max-attempts on guritad instead", name)
+			}
+		}
+	}
 	switch {
-	case c.CacheDir == "":
-		return fmt.Errorf("-workers-external coordinates workers through the cache, so it needs -cache DIR")
+	case c.CacheDir == "" && c.CacheURL == "":
+		return fmt.Errorf("-workers-external coordinates workers through the cache, so it needs -cache DIR or -cache-url URL")
 	case c.Force:
 		return fmt.Errorf("-force re-executes unconditionally, which -workers-external leases exist to prevent; drop one of them")
 	case l.TTL < 0:

@@ -14,8 +14,15 @@
 //
 // One lease is one file, <dir>/<key>.lease, created with O_CREATE|O_EXCL so
 // the filesystem arbitrates the initial race, written with the owner id and
-// schema stamp, fsynced, and heartbeated by bumping its mtime. A lease whose
-// mtime is older than the TTL is presumed dead and may be reclaimed by any
+// schema stamp, fsynced, and heartbeated by atomically rewriting the record
+// with a bumped monotonic sequence number. Liveness is judged logically, not
+// by mtime: an observer records the (owner, seq) pair it sees and presumes
+// the holder dead only after watching that pair stay unchanged for a full
+// TTL of its own clock — so filesystems with lazy, cached, or coarse
+// timestamps cannot make a live worker look dead (or a dead one look live).
+// The file's mtime survives only as a fallback hint for records that carry
+// no sequence number (pre-seq lease files, foreign schemas, torn writes) and
+// for Sweep's post-campaign cleanup. A stale lease may be reclaimed by any
 // peer: the reclaimer writes its own record to a temp file and atomically
 // renames it over the lease, then reads the file back — rename arbitrates,
 // read-back decides. A reclaim increments the lease's attempt counter; when
@@ -34,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -55,8 +63,9 @@ type Config struct {
 	// are stale by definition (the trials they guarded are from another
 	// world) and are reclaimed freely.
 	Schema string
-	// TTL is the staleness threshold: a lease whose heartbeat (mtime) is
-	// older than TTL may be reclaimed by any peer. Default 5s.
+	// TTL is the staleness threshold: a lease whose (owner, seq) pair has
+	// been observed unchanged for longer than TTL may be reclaimed by any
+	// peer. Default 5s.
 	TTL time.Duration
 	// Heartbeat is the renewal period; it must be well under TTL or a busy
 	// worker looks dead. Default TTL/3.
@@ -91,13 +100,33 @@ const (
 	StatePoisoned
 )
 
-// record is the on-disk lease file.
+// record is the on-disk lease file. Seq is the logical heartbeat: the
+// holder bumps it on every renewal, so liveness is visible in the record's
+// content, never its mtime. A record with Seq zero predates sequence
+// heartbeats (or was written by a foreign world) and is judged by the mtime
+// fallback instead.
 type record struct {
 	Schema  string `json:"schema"`
 	Key     string `json:"key"`
 	Owner   string `json:"owner"`
 	Attempt int    `json:"attempt"`
+	Seq     uint64 `json:"seq,omitempty"`
 }
+
+// seqIncarnation spaces out the starting sequence number of every claim this
+// process takes, so a release-then-reclaim of the same key by the same owner
+// can never present an (owner, seq) pair a peer has already observed — that
+// would make a live second incarnation look TTL-stale. Renewals bump by one;
+// 2^32 renewals per claim is unreachable.
+var seqIncarnation atomic.Uint64
+
+func newSeq() uint64 { return seqIncarnation.Add(1) << 32 }
+
+// ErrLost reports that a renewal or release found the lease taken over by a
+// peer (this process was presumed dead). The trial may keep executing — its
+// eventual publish is byte-identical to the usurper's — but the lease is no
+// longer ours to extend.
+var ErrLost = errors.New("lease: lease lost to a peer")
 
 // Poison is the on-disk quarantine marker for a trial that exhausted its
 // cross-worker attempts.
@@ -118,10 +147,27 @@ type Stats struct {
 	Poisoned  int64 // trials this manager quarantined
 }
 
+// observation is one remembered sighting of a peer's lease: the (owner, seq)
+// pair and when this manager first saw it. Staleness is the pair surviving
+// unchanged past the TTL on the observer's own clock.
+type observation struct {
+	owner string
+	seq   uint64
+	since time.Time
+}
+
 // Manager coordinates one process's leases under one directory. Safe for
 // concurrent use by the worker pool.
 type Manager struct {
 	cfg Config
+
+	// clock overrides the wall clock in tests; nil means time.Now.
+	clock func() time.Time
+
+	// obs tracks busy peers' (owner, seq) sightings per key, the basis of
+	// the mtime-free staleness judgment.
+	obsMu sync.Mutex
+	obs   map[string]observation
 
 	acquired  atomic.Int64
 	reclaimed atomic.Int64
@@ -156,7 +202,7 @@ func Open(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lease: creating lease dir: %w", err)
 	}
-	return &Manager{cfg: cfg}, nil
+	return &Manager{cfg: cfg, obs: make(map[string]observation)}, nil
 }
 
 // Owner returns the manager's configured owner id.
@@ -164,6 +210,9 @@ func (m *Manager) Owner() string { return m.cfg.Owner }
 
 // TTL returns the staleness threshold in effect.
 func (m *Manager) TTL() time.Duration { return m.cfg.TTL }
+
+// Heartbeat returns the renewal period in effect.
+func (m *Manager) Heartbeat() time.Duration { return m.cfg.Heartbeat }
 
 // Stats snapshots the lifetime counters.
 func (m *Manager) Stats() Stats {
@@ -182,7 +231,35 @@ func (m *Manager) Stats() Stats {
 // this package.
 //
 //lint:ignore nondetsource lease heartbeat/staleness is wall-clock coordination between worker processes; trial results never depend on it
-func (m *Manager) now() time.Time { return time.Now() }
+func (m *Manager) now() time.Time {
+	if m.clock != nil {
+		return m.clock()
+	}
+	//lint:ignore nondetsource lease expiry is wall-clock coordination between processes; trial results never depend on it
+	return time.Now()
+}
+
+// observe records (or refreshes) the sighting of (owner, seq) on key and
+// returns how long this manager has watched that exact pair. A changed pair
+// restarts the watch: the holder renewed, so it is alive.
+func (m *Manager) observe(key, owner string, seq uint64, now time.Time) time.Duration {
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	o, ok := m.obs[key]
+	if !ok || o.owner != owner || o.seq != seq {
+		m.obs[key] = observation{owner: owner, seq: seq, since: now}
+		return 0
+	}
+	return now.Sub(o.since)
+}
+
+// forgetObs drops the sighting for key: the lease was acquired, released,
+// vanished, or poisoned, so any remembered (owner, seq) pair is moot.
+func (m *Manager) forgetObs(key string) {
+	m.obsMu.Lock()
+	delete(m.obs, key)
+	m.obsMu.Unlock()
+}
 
 func (m *Manager) add(name string, d int64) {
 	if m.cfg.Counters != nil {
@@ -216,7 +293,7 @@ func (m *Manager) Claim(key string) (*Claim, error) {
 		// We created the file: the filesystem arbitrated the initial race in
 		// our favor. Fill it in and fsync so a crash cannot leave a lease
 		// that lies about its owner for longer than one TTL.
-		rec := record{Schema: m.cfg.Schema, Key: key, Owner: m.cfg.Owner, Attempt: 1}
+		rec := record{Schema: m.cfg.Schema, Key: key, Owner: m.cfg.Owner, Attempt: 1, Seq: newSeq()}
 		if werr := writeRecord(f, rec); werr != nil {
 			f.Close()
 			os.Remove(path)
@@ -226,6 +303,7 @@ func (m *Manager) Claim(key string) (*Claim, error) {
 			os.Remove(path)
 			return nil, fmt.Errorf("lease: closing %s: %w", filepath.Base(path), werr)
 		}
+		m.forgetObs(key)
 		m.acquired.Add(1)
 		m.add("lease.acquired", 1)
 		return &Claim{m: m, Key: key, State: StateAcquired, Attempt: 1}, nil
@@ -234,32 +312,50 @@ func (m *Manager) Claim(key string) (*Claim, error) {
 		return nil, fmt.Errorf("lease: creating %s: %w", filepath.Base(path), err)
 	}
 
-	// Somebody holds (or held) the lease. Read it and judge staleness by
-	// heartbeat mtime; an unreadable or foreign-schema lease is judged by
-	// mtime alone (a crashed writer or an older world — both reclaimable
-	// once stale).
+	// Somebody holds (or held) the lease. Records that carry a sequence
+	// number are judged by logical observation — stale only once this
+	// manager has watched the same (owner, seq) pair for a full TTL, so the
+	// filesystem's timestamps are never trusted for liveness. Records
+	// without one (pre-seq lease files, foreign schemas, torn writes) have
+	// no heartbeat to observe; for those the mtime fallback hint decides.
 	rec, mtime, ok := m.readLease(key)
 	if mtime.IsZero() {
 		// Vanished between EEXIST and stat: the holder just released it.
 		// Report busy-with-zero-remaining so the caller re-claims promptly
 		// (by then the cache usually answers first).
+		m.forgetObs(key)
 		return &Claim{m: m, Key: key, State: StateBusy}, nil
 	}
-	age := m.now().Sub(mtime)
-	if age <= m.cfg.TTL {
-		c := &Claim{m: m, Key: key, State: StateBusy, Remaining: m.cfg.TTL - age}
+	now := m.now()
+	var (
+		stale     bool
+		remaining time.Duration
+		holder    string
+	)
+	attempt := 2
+	if ok && rec.Schema == m.cfg.Schema && rec.Seq != 0 {
+		holder = rec.Owner
+		attempt = rec.Attempt + 1
+		watched := m.observe(key, rec.Owner, rec.Seq, now)
+		stale = watched > m.cfg.TTL
+		remaining = m.cfg.TTL - watched
+	} else {
+		age := now.Sub(mtime)
+		stale = age > m.cfg.TTL
+		remaining = m.cfg.TTL - age
 		if ok {
-			c.Holder = rec.Owner
+			holder = rec.Owner
+			if rec.Schema == m.cfg.Schema {
+				attempt = rec.Attempt + 1
+			}
 		}
-		return c, nil
+	}
+	if !stale {
+		return &Claim{m: m, Key: key, State: StateBusy, Holder: holder, Remaining: remaining}, nil
 	}
 
 	// Stale: reclaim, or poison when the trial has burned through its
 	// attempt budget. An unreadable lease counts as one unknown attempt.
-	attempt := 2
-	if ok && rec.Schema == m.cfg.Schema {
-		attempt = rec.Attempt + 1
-	}
 	if m.cfg.MaxAttempts > 0 && attempt > m.cfg.MaxAttempts {
 		p := &Poison{
 			Schema:   m.cfg.Schema,
@@ -271,11 +367,12 @@ func (m *Manager) Claim(key string) (*Claim, error) {
 			return nil, perr
 		}
 		os.Remove(path) // best-effort; Sweep collects stragglers
+		m.forgetObs(key)
 		m.poisoned.Add(1)
 		m.add("lease.poisoned", 1)
 		return &Claim{m: m, Key: key, State: StatePoisoned, Poison: p}, nil
 	}
-	newRec := record{Schema: m.cfg.Schema, Key: key, Owner: m.cfg.Owner, Attempt: attempt}
+	newRec := record{Schema: m.cfg.Schema, Key: key, Owner: m.cfg.Owner, Attempt: attempt, Seq: newSeq()}
 	if err := m.writeLease(key, newRec); err != nil {
 		return nil, err
 	}
@@ -285,6 +382,7 @@ func (m *Manager) Claim(key string) (*Claim, error) {
 	// execution that follows publishes identical bytes, and heartbeat
 	// verification converges ownership. See DESIGN.md §15.)
 	back, _, bok := m.readLease(key)
+	m.forgetObs(key)
 	if !bok || back.Owner != m.cfg.Owner {
 		c := &Claim{m: m, Key: key, State: StateBusy, Remaining: m.cfg.TTL}
 		if bok {
@@ -360,6 +458,12 @@ func (m *Manager) writePoison(key string, p *Poison) error {
 // workers that died after publishing their result but before releasing.
 // Fresh leases (live peers still executing a duplicate) are left alone.
 // Returns how many files were removed.
+//
+// Sweep is post-campaign cleanup, not a liveness decision: nothing is taken
+// over, so it may use the mtime hint (every renewal rewrites the file, so a
+// live holder's lease always has a recent mtime on any real filesystem). A
+// lease a sweep wrongly removes is re-created by its holder's next renewal
+// race at worst, and duplicates publish identical bytes.
 func (m *Manager) Sweep(keys []string) int {
 	removed := 0
 	for _, key := range keys {
@@ -432,26 +536,42 @@ func (c *Claim) StartHeartbeat(ctx context.Context) {
 	}()
 }
 
-// beat renews the lease once; false stops the heartbeat loop.
-func (c *Claim) beat() bool {
+// Renew extends the lease once (one logical heartbeat): it verifies the
+// record is still ours, then atomically rewrites it with the sequence number
+// bumped. Peers see the changed (owner, seq) pair and restart their
+// staleness watch; the file's mtime plays no part. ErrLost means a peer took
+// the lease over (this process was presumed dead — SIGSTOP, scheduler
+// stall); the trial keeps executing, its eventual publish is byte-identical
+// to the usurper's, but the lease is no longer ours to extend.
+func (c *Claim) Renew() error {
+	if c.State != StateAcquired {
+		return fmt.Errorf("lease: renewing a claim in state %d", c.State)
+	}
+	if c.lost.Load() {
+		return ErrLost
+	}
 	rec, mtime, ok := c.m.readLease(c.Key)
 	if mtime.IsZero() || !ok || rec.Owner != c.m.cfg.Owner {
-		// Gone or taken over: we were presumed dead (SIGSTOP, scheduler
-		// stall). The trial keeps executing — its eventual publish is
-		// byte-identical to the usurper's — but the lease is no longer ours.
-		c.lost.Store(true)
+		c.markLost()
+		return ErrLost
+	}
+	rec.Seq++
+	if err := c.m.writeLease(c.Key, rec); err != nil {
+		c.markLost()
+		return ErrLost
+	}
+	return nil
+}
+
+// beat renews the lease once; false stops the heartbeat loop.
+func (c *Claim) beat() bool { return c.Renew() == nil }
+
+// markLost records a takeover exactly once per claim.
+func (c *Claim) markLost() {
+	if !c.lost.Swap(true) {
 		c.m.lost.Add(1)
 		c.m.add("lease.lost", 1)
-		return false
 	}
-	now := c.m.now()
-	if err := os.Chtimes(c.m.leasePath(c.Key), now, now); err != nil {
-		c.lost.Store(true)
-		c.m.lost.Add(1)
-		c.m.add("lease.lost", 1)
-		return false
-	}
-	return true
 }
 
 // Lost reports whether the heartbeat discovered a peer took the lease over.
@@ -482,10 +602,7 @@ func (c *Claim) Release() {
 	c.stop()
 	rec, mtime, ok := c.m.readLease(c.Key)
 	if mtime.IsZero() || !ok || rec.Owner != c.m.cfg.Owner {
-		if !c.lost.Swap(true) {
-			c.m.lost.Add(1)
-			c.m.add("lease.lost", 1)
-		}
+		c.markLost()
 		return
 	}
 	if os.Remove(c.m.leasePath(c.Key)) == nil {

@@ -30,12 +30,45 @@ func mustOpen(t *testing.T, dir, owner string, mut ...func(*Config)) *Manager {
 	return m
 }
 
-// age rewinds the lease file's mtime so staleness tests don't sleep.
+// age rewinds the lease file's mtime. Liveness for seq-carrying records no
+// longer reads mtimes, so this only drives the fallback path (legacy and
+// foreign records) and Sweep.
 func age(t *testing.T, m *Manager, key string, by time.Duration) {
 	t.Helper()
 	past := time.Now().Add(-by)
 	if err := os.Chtimes(m.leasePath(key), past, past); err != nil {
 		t.Fatalf("Chtimes: %v", err)
+	}
+}
+
+// warpClock installs a controllable clock on m and returns a function that
+// advances it, so observation-based staleness tests move time instead of
+// sleeping.
+func warpClock(m *Manager) func(time.Duration) {
+	var mu sync.Mutex
+	offset := time.Duration(0)
+	m.clock = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Now().Add(offset)
+	}
+	return func(d time.Duration) {
+		mu.Lock()
+		offset += d
+		mu.Unlock()
+	}
+}
+
+// sight performs the first Claim a peer makes against a held lease: the
+// sighting that starts its staleness watch. It must come back busy.
+func sight(t *testing.T, m *Manager, key string) {
+	t.Helper()
+	c, err := m.Claim(key)
+	if err != nil {
+		t.Fatalf("sighting claim: %v", err)
+	}
+	if c.State != StateBusy {
+		t.Fatalf("sighting claim state = %v, want busy", c.State)
 	}
 }
 
@@ -71,13 +104,16 @@ func TestClaimAcquireReleaseCycle(t *testing.T) {
 	if c.State != StateAcquired || c.Attempt != 1 || c.Reclaimed {
 		t.Fatalf("first claim = %+v, want acquired attempt 1", c)
 	}
-	// The lease file exists and carries our identity.
+	// The lease file exists and carries our identity plus a live sequence.
 	rec, mtime, ok := m.readLease("k1")
 	if !ok || mtime.IsZero() {
 		t.Fatal("lease file unreadable after acquire")
 	}
 	if rec.Owner != "w1" || rec.Schema != testSchema || rec.Attempt != 1 {
 		t.Fatalf("lease record = %+v", rec)
+	}
+	if rec.Seq == 0 {
+		t.Fatalf("acquired lease has no sequence number: %+v", rec)
 	}
 	c.Release()
 	if _, err := os.Stat(m.leasePath("k1")); !errors.Is(err, os.ErrNotExist) {
@@ -123,12 +159,15 @@ func TestReclaimStaleLease(t *testing.T) {
 	dir := t.TempDir()
 	m1 := mustOpen(t, dir, "w1")
 	m2 := mustOpen(t, dir, "w2")
+	advance := warpClock(m2)
 	c1, _ := m1.Claim("k")
 	if c1.State != StateAcquired {
 		t.Fatal("setup claim failed")
 	}
-	// w1 "dies": no heartbeat, lease goes stale.
-	age(t, m1, "k", m1.TTL()+time.Second)
+	// w1 "dies": no renewals. w2 sights the lease, then watches the same
+	// (owner, seq) pair sit unchanged past the TTL of its own clock.
+	sight(t, m2, "k")
+	advance(m2.TTL() + time.Second)
 	c2, err := m2.Claim("k")
 	if err != nil {
 		t.Fatalf("reclaim: %v", err)
@@ -191,19 +230,23 @@ func TestForeignSchemaLeaseReclaimableWhenStale(t *testing.T) {
 func TestPoisonAfterMaxAttempts(t *testing.T) {
 	dir := t.TempDir()
 	m := mustOpen(t, dir, "w1", func(c *Config) { c.MaxAttempts = 3 })
-	// Simulate a crash loop: claim, age, reclaim, never release.
+	advance := warpClock(m)
+	// Simulate a crash loop: claim, watch the seq go silent, reclaim, never
+	// release. Each cycle needs a sighting plus a TTL of observed silence.
 	c, _ := m.Claim("k")
 	if c.State != StateAcquired {
 		t.Fatal("setup")
 	}
 	for want := 2; want <= 3; want++ {
-		age(t, m, "k", m.TTL()+time.Second)
+		sight(t, m, "k")
+		advance(m.TTL() + time.Second)
 		c, _ = m.Claim("k")
 		if c.State != StateAcquired || c.Attempt != want {
 			t.Fatalf("attempt %d claim = %+v", want, c)
 		}
 	}
-	age(t, m, "k", m.TTL()+time.Second)
+	sight(t, m, "k")
+	advance(m.TTL() + time.Second)
 	c, err := m.Claim("k")
 	if err != nil {
 		t.Fatal(err)
@@ -319,28 +362,33 @@ func TestHeartbeatStopsOnContextCancel(t *testing.T) {
 
 func TestHeartbeatDetectsTakeover(t *testing.T) {
 	dir := t.TempDir()
-	m1 := mustOpen(t, dir, "w1", func(c *Config) {
-		c.TTL = 10 * time.Second // never stale by itself
-		c.Heartbeat = 30 * time.Millisecond
-	})
+	m1 := mustOpen(t, dir, "w1", func(c *Config) { c.TTL = 10 * time.Second })
 	m2 := mustOpen(t, dir, "w2", func(c *Config) { c.TTL = 10 * time.Second })
 	c1, _ := m1.Claim("k")
-	c1.StartHeartbeat(context.Background())
-	// A peer force-reclaims (simulating our process having been SIGSTOPped
-	// long enough to be presumed dead, from the peer's point of view).
-	age(t, m2, "k", 11*time.Second)
+	if c1.State != StateAcquired {
+		t.Fatal("setup")
+	}
+	// From the peer's point of view our process is SIGSTOPped: it sights the
+	// lease, the (owner, seq) pair never changes, and a TTL later it
+	// force-reclaims.
+	advance := warpClock(m2)
+	sight(t, m2, "k")
+	advance(11 * time.Second)
 	c2, err := m2.Claim("k")
 	if err != nil || c2.State != StateAcquired || !c2.Reclaimed {
 		t.Fatalf("forced reclaim = %+v, %v", c2, err)
 	}
-	// Our next beat must discover the takeover and mark the claim lost
-	// without touching the usurper's lease.
-	deadline := time.Now().Add(2 * time.Second)
-	for !c1.Lost() && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	// Our next renewal (the heartbeat's beat) must discover the takeover and
+	// mark the claim lost without touching the usurper's lease.
+	if err := c1.Renew(); !errors.Is(err, ErrLost) {
+		t.Fatalf("Renew after takeover = %v, want ErrLost", err)
 	}
 	if !c1.Lost() {
-		t.Fatal("heartbeat never detected takeover")
+		t.Fatal("renewal never detected takeover")
+	}
+	// A second renewal short-circuits without side effects.
+	if err := c1.Renew(); !errors.Is(err, ErrLost) {
+		t.Fatalf("second Renew = %v, want ErrLost", err)
 	}
 	rec, _, ok := m2.readLease("k")
 	if !ok || rec.Owner != "w2" {
@@ -352,7 +400,7 @@ func TestHeartbeatDetectsTakeover(t *testing.T) {
 		t.Fatal("lost claim's Release removed the usurper's lease")
 	}
 	if m1.Stats().Lost != 1 {
-		t.Errorf("lost stat = %d, want 1", m1.Stats().Lost)
+		t.Errorf("lost stat = %d, want 1 (loss counted once)", m1.Stats().Lost)
 	}
 	c2.Release()
 }
@@ -437,8 +485,10 @@ func TestCountersEmitted(t *testing.T) {
 	c, _ := m.Claim("a")
 	c.Release()
 	c, _ = m.Claim("b")
-	age(t, m, "b", m.TTL()+time.Second)
 	m2 := mustOpen(t, dir, "w2", func(c *Config) { c.Counters = reg })
+	advance := warpClock(m2)
+	sight(t, m2, "b")
+	advance(m2.TTL() + time.Second)
 	c2, _ := m2.Claim("b")
 	if !c2.Reclaimed {
 		t.Fatal("setup: reclaim failed")
@@ -453,6 +503,106 @@ func TestCountersEmitted(t *testing.T) {
 			t.Errorf("counter %s = %d, want %d", k, reg.m[k], v)
 		}
 	}
+}
+
+// TestRenewBumpsSeq: every renewal rewrites the record with a larger sequence
+// number — the signal observers use to tell a live holder from a dead one.
+func TestRenewBumpsSeq(t *testing.T) {
+	m := mustOpen(t, t.TempDir(), "w1")
+	c, _ := m.Claim("k")
+	if c.State != StateAcquired {
+		t.Fatal("setup")
+	}
+	rec0, _, ok := m.readLease("k")
+	if !ok || rec0.Seq == 0 {
+		t.Fatalf("initial record = %+v ok=%v", rec0, ok)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Renew(); err != nil {
+			t.Fatalf("Renew %d: %v", i, err)
+		}
+		rec, _, ok := m.readLease("k")
+		if !ok {
+			t.Fatalf("record unreadable after renew %d", i)
+		}
+		if rec.Seq <= rec0.Seq {
+			t.Fatalf("renew %d: seq %d did not advance past %d", i, rec.Seq, rec0.Seq)
+		}
+		if rec.Owner != "w1" || rec.Attempt != rec0.Attempt {
+			t.Fatalf("renew %d mutated identity: %+v", i, rec)
+		}
+		rec0 = rec
+	}
+	c.Release()
+}
+
+// TestLazyTimestampSafety: on a filesystem that never updates mtimes (the
+// record looks ancient forever), a holder whose sequence numbers keep
+// advancing must never be reclaimed. This is the hole mtime-based liveness
+// had and the reason liveness now watches (owner, seq) pairs.
+func TestLazyTimestampSafety(t *testing.T) {
+	dir := t.TempDir()
+	m1 := mustOpen(t, dir, "w1", func(c *Config) {
+		c.TTL = 400 * time.Millisecond
+		c.Heartbeat = 25 * time.Millisecond
+	})
+	m2 := mustOpen(t, dir, "w2", func(c *Config) { c.TTL = 400 * time.Millisecond })
+	c1, _ := m1.Claim("k")
+	if c1.State != StateAcquired {
+		t.Fatal("setup")
+	}
+	c1.StartHeartbeat(context.Background())
+	// Sabotage the mtime after every beat window, simulating a filesystem
+	// with lazy (or frozen) timestamps, while a peer keeps trying to claim.
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		past := time.Now().Add(-time.Hour)
+		// Ignore races with the heartbeat's atomic rewrite: the file may be
+		// mid-rename, and a miss just means the record keeps its fresh mtime.
+		_ = os.Chtimes(m1.leasePath("k"), past, past)
+		c2, err := m2.Claim("k")
+		if err != nil {
+			t.Fatalf("peer claim: %v", err)
+		}
+		if c2.State != StateBusy {
+			t.Fatalf("peer claim = %+v, want busy: ancient mtime must not outrank advancing seq", c2)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c1.Release()
+	if c1.Lost() {
+		t.Error("holder lost lease despite continuous heartbeat")
+	}
+}
+
+// TestLegacySeqlessLeaseMtimeFallback: lease records written before sequence
+// numbers existed (PR 8 cache dirs) carry no seq field; liveness for those
+// falls back to the mtime hint so old campaigns still resume.
+func TestLegacySeqlessLeaseMtimeFallback(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir, "w1")
+	legacy, _ := json.Marshal(record{Schema: testSchema, Key: "k", Owner: "ghost", Attempt: 2})
+	if strings.Contains(string(legacy), "seq") {
+		t.Fatalf("legacy record marshals a seq field: %s", legacy)
+	}
+	if err := os.WriteFile(m.leasePath("k"), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh legacy lease: busy, holder reported.
+	c, err := m.Claim("k")
+	if err != nil || c.State != StateBusy || c.Holder != "ghost" {
+		t.Fatalf("fresh legacy claim = %+v, %v, want busy held by ghost", c, err)
+	}
+	// Aged legacy lease: reclaimable by mtime alone, attempts inherited.
+	age(t, m, "k", m.TTL()+time.Second)
+	c, err = m.Claim("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State != StateAcquired || !c.Reclaimed || c.Attempt != 3 {
+		t.Fatalf("stale legacy claim = %+v, want acquired attempt 3 reclaimed", c)
+	}
+	c.Release()
 }
 
 func TestStatsMatchCounters(t *testing.T) {

@@ -12,7 +12,12 @@ import (
 var concurrencyBearing = []string{
 	"gurita/internal/runner",
 	"gurita/internal/lease",
+	"gurita/internal/cachestore",
+	"gurita/internal/cachestore/fsstore",
+	"gurita/internal/cachestore/memstore",
+	"gurita/internal/cachestore/httpstore",
 	"gurita/internal/serve",
+	"gurita/internal/serve/cachehttp",
 	"gurita/internal/serve/fairq",
 }
 

@@ -11,7 +11,9 @@ import (
 var durabilityCritical = []string{
 	"gurita/internal/lease",
 	"gurita/internal/runner",
+	"gurita/internal/cachestore/fsstore",
 	"gurita/internal/serve",
+	"gurita/internal/serve/cachehttp",
 }
 
 // Durability enforces the temp+fsync+rename write protocol in the

@@ -157,6 +157,16 @@ var outputBearing = append([]string{
 	// accounting the manifests promise. Wall-clock staleness arithmetic is
 	// its one justified nondeterminism source, carrying a lint waiver.
 	"gurita/internal/lease",
+	// The pluggable store behind campaign execution: cache keys, envelope
+	// bytes, lease arbitration, and manifest shards all flow through these
+	// packages, so nondeterminism here corrupts the exactly-once-bytes
+	// contract across every backend. Wall-clock use (lease TTLs, retry
+	// budgets) is their one justified source, carrying lint waivers.
+	"gurita/internal/cachestore",
+	"gurita/internal/cachestore/fsstore",
+	"gurita/internal/cachestore/memstore",
+	"gurita/internal/cachestore/httpstore",
+	"gurita/internal/serve/cachehttp",
 	"gurita/internal/obs",
 	// The daemon path: its queue dispatch order feeds the fair scheduler and
 	// its responses are result bytes, so it is output-bearing end to end

@@ -1,294 +1,44 @@
 package runner
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
-	"errors"
-	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
+
+	"gurita/internal/cachestore"
+	"gurita/internal/cachestore/fsstore"
 )
 
 // Counters is the observability hook for cache (and runner) operational
 // counters; obs.SyncRegistry satisfies it. Nil is a valid no-op.
-type Counters interface {
-	Add(name string, delta int64)
-}
+type Counters = cachestore.Counters
 
 // Names of the subdirectories the multi-process machinery keeps inside a
-// cache root, alongside the two-hex-digit entry shards. Len and entry
-// validation must never confuse their files with trial results.
+// cache root, alongside the two-hex-digit entry shards. These alias the
+// cachestore definitions (the single source of truth — see
+// cachestore.IsBookkeeping) and are kept here for compatibility.
 const (
-	LeaseSubdir    = "leases"
-	QuarantineDir  = "quarantine"
-	ManifestSubdir = "manifests"
-	campaignSubdir = "campaigns" // serve's resumable campaign manifests
+	LeaseSubdir    = cachestore.LeaseSubdir
+	QuarantineDir  = cachestore.QuarantineDir
+	ManifestSubdir = cachestore.ManifestSubdir
+	campaignSubdir = cachestore.CampaignSubdir // serve's resumable campaign manifests
 )
 
-// Cache is the on-disk result store: one JSON file per finished trial,
-// content-addressed by the trial's Key and fanned out over 256 two-hex-digit
-// subdirectories (<dir>/ab/abcdef….json) to keep directories small at
-// paper-campaign scale.
-//
-// Robustness over cleverness: a cache entry is trusted only if its envelope
-// parses, its schema string matches the cache's, its recorded key matches
-// both its filename and the key recomputed from the stored spec, and the
-// stored result hash matches the result bytes. A mismatched *schema* is an
-// entry from another world — silently a miss, recomputed and overwritten.
-// Anything else that fails verification (a torn write that still parses, a
-// flipped bit, a hand-edited file) is evidence of corruption: the file is
-// moved to <dir>/quarantine/ (never deleted — it is forensic evidence) and
-// counted on the runner.cache.quarantined counter, and the read is a miss.
-// Writes go through a temp file plus fsync plus rename plus directory fsync
-// so a concurrent reader (or a kill -9) never observes a half-written entry
-// and a crash cannot un-commit a rename.
-type Cache struct {
-	dir    string
-	schema string
+// Cache is the on-disk result store, now owned by cachestore/fsstore (the
+// filesystem backend of the pluggable store). The alias keeps the runner's
+// long-standing API — Open, Cache.Get/Put/Len — intact for existing callers.
+type Cache = fsstore.Cache
 
-	// Counters, when non-nil, receives runner.cache.* operational counters.
-	// Set it before the cache is shared between goroutines.
-	Counters Counters
-}
-
-// entry is the on-disk envelope around a cached result. Spec is stored
-// verbatim so humans (and external tooling) can inspect what produced a
-// result without reversing the hash; ResultSHA pins the result bytes so
-// corruption inside the (large) result payload is caught without comparing
-// against a recomputation.
-type entry struct {
-	Schema    string          `json:"schema"`
-	Key       string          `json:"key"`
-	Spec      json.RawMessage `json:"spec"`
-	Result    json.RawMessage `json:"result"`
-	ResultSHA string          `json:"result_sha256,omitempty"`
-}
+// entry is the on-disk envelope around a cached result; see cachestore.Entry.
+type entry = cachestore.Entry
 
 // Open creates (if needed) and returns the cache rooted at dir. The schema
 // string versions the entry contents: entries written under a different
 // schema are treated as misses, never as errors.
-func Open(dir, schema string) (*Cache, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("runner: cache dir must not be empty")
-	}
-	if schema == "" {
-		return nil, fmt.Errorf("runner: cache schema must not be empty")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("runner: creating cache dir: %w", err)
-	}
-	return &Cache{dir: dir, schema: schema}, nil
-}
+func Open(dir, schema string) (*Cache, error) { return fsstore.Open(dir, schema) }
 
-// Schema returns the schema version this cache validates entries against.
-func (c *Cache) Schema() string { return c.schema }
+// resultSHA hashes a result payload in canonical (compact) form; see
+// cachestore.ResultSHA.
+func resultSHA(result json.RawMessage) (string, error) { return cachestore.ResultSHA(result) }
 
-// Dir returns the cache root directory.
-func (c *Cache) Dir() string { return c.dir }
-
-// path maps a key to its entry file.
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".json")
-}
-
-func (c *Cache) count(name string) {
-	if c.Counters != nil {
-		c.Counters.Add(name, 1)
-	}
-}
-
-// Get returns the cached result JSON for key. A missing file, an entry
-// written under a different schema, or a legacy entry without a result hash
-// is a plain miss; an entry that fails content verification is quarantined
-// (see Cache doc) and also reported as a miss.
-func (c *Cache) Get(key string) (json.RawMessage, bool) {
-	if len(key) < 3 {
-		return nil, false
-	}
-	path := c.path(key)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, false
-	}
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil {
-		// Does not parse: a torn or mangled write. Atomic renames should make
-		// this impossible, which is exactly why it must be preserved, not
-		// silently recomputed over.
-		c.quarantine(path)
-		return nil, false
-	}
-	if e.Schema != c.schema {
-		// Another schema's entry is stale, not corrupt.
-		return nil, false
-	}
-	if e.ResultSHA == "" {
-		// Legacy entry from before result hashing: unverifiable, recompute.
-		return nil, false
-	}
-	if !c.verify(key, &e) {
-		c.quarantine(path)
-		return nil, false
-	}
-	return e.Result, true
-}
-
-// verify checks an entry's content against its own claims: the recorded key
-// matches the filename, the key recomputes from the stored spec (so a spec
-// swap is caught), and the result bytes hash to the recorded ResultSHA.
-func (c *Cache) verify(key string, e *entry) bool {
-	if e.Key != key {
-		return false
-	}
-	if len(e.Result) == 0 || string(e.Result) == "null" {
-		return false
-	}
-	// Recompute the content address from the stored spec. json.Marshal of a
-	// RawMessage compacts and HTML-escapes exactly like the original
-	// json.Marshal of the spec value did, so a faithful entry always
-	// re-derives its own key.
-	recomputed, err := Key(c.schema, e.Spec)
-	if err != nil || recomputed != key {
-		return false
-	}
-	sha, err := resultSHA(e.Result)
-	return err == nil && sha == e.ResultSHA
-}
-
-// resultSHA hashes a result payload in canonical (compact) form, so the
-// hash is invariant under the whitespace MarshalIndent re-introduces when
-// the envelope is written and re-read.
-func resultSHA(result json.RawMessage) (string, error) {
-	var buf bytes.Buffer
-	if err := json.Compact(&buf, result); err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(buf.Bytes())
-	return hex.EncodeToString(sum[:]), nil
-}
-
-// quarantine moves a corrupt entry file into <dir>/quarantine/ and counts
-// it. Failures are best-effort: quarantine exists to preserve evidence, and
-// a read that cannot quarantine still correctly reports a miss.
-func (c *Cache) quarantine(path string) {
-	qdir := filepath.Join(c.dir, QuarantineDir)
-	if err := os.MkdirAll(qdir, 0o755); err != nil {
-		return
-	}
-	//lint:ignore durability best-effort evidence move, not a publish; a crash-torn quarantine still reads as a cache miss
-	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
-		return
-	}
-	c.count("runner.cache.quarantined")
-}
-
-// Put persists a finished trial atomically and durably: the envelope is
-// written to a temp file in the entry's own shard, fsynced, renamed into
-// place, and the shard directory is fsynced — so readers see either the old
-// entry, the new entry, or a miss (never a torn write), and a crash
-// immediately after Put returns cannot lose the committed entry.
-func (c *Cache) Put(key string, spec, result json.RawMessage) error {
-	if len(key) < 3 {
-		return fmt.Errorf("runner: cache key %q too short", key)
-	}
-	sha, err := resultSHA(result)
-	if err != nil {
-		return fmt.Errorf("runner: hashing cache result: %w", err)
-	}
-	data, err := json.MarshalIndent(entry{
-		Schema:    c.schema,
-		Key:       key,
-		Spec:      spec,
-		Result:    result,
-		ResultSHA: sha,
-	}, "", " ")
-	if err != nil {
-		return fmt.Errorf("runner: encoding cache entry: %w", err)
-	}
-	final := c.path(key)
-	shard := filepath.Dir(final)
-	if err := os.MkdirAll(shard, 0o755); err != nil {
-		return fmt.Errorf("runner: creating cache shard: %w", err)
-	}
-	tmp, err := os.CreateTemp(shard, "."+key[:8]+".tmp*")
-	if err != nil {
-		return fmt.Errorf("runner: creating cache temp file: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing cache entry: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: syncing cache entry: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: closing cache entry: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: committing cache entry: %w", err)
-	}
-	if err := syncDir(shard); err != nil {
-		return err
-	}
-	return nil
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives a crash.
-// Filesystems that cannot sync directories (EINVAL/ENOTSUP from network or
-// FUSE mounts) are tolerated: the rename is still atomic, only the
-// crash-durability window widens. Every other Sync error is a real
-// durability failure and propagates.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("runner: opening cache shard for sync: %w", err)
-	}
-	err = d.Sync()
-	//lint:ignore durability read-only directory handle; Sync's error above is the durable signal
-	d.Close()
-	if err != nil && (errors.Is(err, fs.ErrInvalid) || errors.Is(err, errors.ErrUnsupported)) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("runner: syncing cache shard: %w", err)
-	}
-	return nil
-}
-
-// Len walks the cache and counts valid-looking entry files (by name only;
-// entries are fully validated on Get). The multi-process bookkeeping
-// subtrees (leases, quarantine, manifests, campaign manifests) are not
-// entries and are skipped. Intended for tooling and tests.
-func (c *Cache) Len() int {
-	skip := map[string]bool{
-		LeaseSubdir:    true,
-		QuarantineDir:  true,
-		ManifestSubdir: true,
-		campaignSubdir: true,
-	}
-	n := 0
-	_ = filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return nil
-		}
-		if d.IsDir() {
-			if skip[d.Name()] && filepath.Dir(path) == c.dir {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if filepath.Ext(path) == ".json" {
-			n++
-		}
-		return nil
-	})
-	return n
-}
+// syncDir fsyncs a directory so a just-renamed entry survives a crash; see
+// fsstore.SyncDir for the tolerated-error policy.
+func syncDir(dir string) error { return fsstore.SyncDir(dir) }

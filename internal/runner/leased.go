@@ -6,7 +6,7 @@ import (
 	"errors"
 	"time"
 
-	"gurita/internal/lease"
+	"gurita/internal/cachestore"
 )
 
 // Lease-wait polling bounds. A worker waiting on a busy peer polls the
@@ -19,8 +19,10 @@ const (
 )
 
 // runLeased resolves one cache-missed trial under cross-process lease
-// coordination. It loops claim → (execute | wait | inherit-poison) until
-// the trial has a result or a verdict:
+// coordination, against whichever lease backend the store pair provides —
+// lease files in a shared directory (fsstore) or a daemon's in-memory lease
+// table (httpstore). It loops claim → (execute | wait | inherit-poison)
+// until the trial has a result or a verdict:
 //
 //   - Acquired: this worker executes (through exec — the gate + retry
 //     ladder + cache write-back), heartbeating the lease throughout, and
@@ -34,36 +36,36 @@ const (
 // Duplicate execution remains possible in takeover races and is harmless:
 // every executor publishes byte-identical results through the same atomic
 // cache write. The lease only needs to make duplicates rare.
-func runLeased[R any](ctx, gateCtx context.Context, key, specHash string, opts Options, exec func() (R, int, error)) (res R, attempts int, served bool, err error) {
+func runLeased[R any](ctx, gateCtx context.Context, key, specHash string, store cachestore.Store, leases cachestore.LeaseStore, opts Options, exec func() (R, int, error)) (res R, attempts int, served bool, err error) {
 	var zero R
-	m := opts.Lease
 	for {
 		if gateCtx.Err() != nil {
 			return zero, 0, false, gateCause(gateCtx)
 		}
-		c, cerr := m.Claim(key)
+		l, cerr := leases.Claim(ctx, key)
 		if cerr != nil {
-			// The lease directory is campaign infrastructure like the cache:
+			// The lease backend is campaign infrastructure like the cache:
 			// failing to coordinate must abort, not silently degrade to
 			// uncoordinated duplicate execution.
 			return zero, 0, false, &infraError{cerr}
 		}
-		switch c.State {
-		case lease.StateAcquired:
+		switch l.State {
+		case cachestore.LeaseAcquired:
 			// A peer may have published and released between our cache miss
 			// and this claim; don't re-execute what the cache already holds.
 			if !opts.Force {
-				if raw, ok := opts.Cache.Get(key); ok {
+				if raw, ok := store.Get(ctx, key); ok {
 					if jerr := json.Unmarshal(raw, &res); jerr == nil {
-						c.Release()
+						leases.Release(ctx, key)
 						return res, 0, true, nil
 					}
 				}
 			}
-			c.StartHeartbeat(ctx)
+			hb := cachestore.StartHeartbeat(ctx, leases, key)
 			r, att, e := exec()
+			hb.Stop()
 			if e == nil {
-				c.Release()
+				leases.Release(ctx, key)
 				return r, att, false, nil
 			}
 			// A permanent trial failure under ContinueOnError is poisoned so
@@ -76,14 +78,14 @@ func runLeased[R any](ctx, gateCtx context.Context, key, specHash string, opts O
 			if opts.ContinueOnError && att >= 1 &&
 				ctx.Err() == nil && gateCtx.Err() == nil &&
 				!errors.As(e, &infra) && !errors.Is(e, ErrDrained) {
-				_ = c.PoisonTrial(specHash, att, e)
+				_ = leases.PoisonKey(ctx, key, specHash, att, e)
 			} else {
-				c.Release()
+				leases.Release(ctx, key)
 			}
 			return zero, att, false, e
 
-		case lease.StateBusy:
-			delay := m.TTL() / 4
+		case cachestore.LeaseBusy:
+			delay := leases.TTL() / 4
 			if delay < leasePollFloor {
 				delay = leasePollFloor
 			}
@@ -91,8 +93,8 @@ func runLeased[R any](ctx, gateCtx context.Context, key, specHash string, opts O
 				delay = leasePollCeil
 			}
 			// No point sleeping past the moment the lease could go stale.
-			if c.Remaining > 0 && c.Remaining < delay {
-				delay = c.Remaining
+			if l.Remaining > 0 && l.Remaining < delay {
+				delay = l.Remaining
 				if delay < leasePollFloor {
 					delay = leasePollFloor
 				}
@@ -102,18 +104,18 @@ func runLeased[R any](ctx, gateCtx context.Context, key, specHash string, opts O
 				return zero, 0, false, gateCause(gateCtx)
 			case <-time.After(delay):
 			}
-			if raw, ok := opts.Cache.Get(key); ok {
+			if raw, ok := store.Get(ctx, key); ok {
 				if jerr := json.Unmarshal(raw, &res); jerr == nil {
 					return res, 0, true, nil
 				}
 			}
 
-		case lease.StatePoisoned:
+		case cachestore.LeasePoisoned:
 			return zero, 0, false, &PoisonedError{
 				Key:      key,
-				SpecHash: c.Poison.SpecHash,
-				Attempts: c.Poison.Attempts,
-				Cause:    c.Poison.Err,
+				SpecHash: l.Poison.SpecHash,
+				Attempts: l.Poison.Attempts,
+				Cause:    l.Poison.Err,
 			}
 		}
 	}

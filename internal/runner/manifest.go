@@ -81,21 +81,42 @@ func manifestDir(cacheDir string) string {
 	return filepath.Join(cacheDir, ManifestSubdir)
 }
 
+// ManifestName is the canonical shard filename for an owner on a grid:
+// <owner>-<grid[:8]>.json. Reruns by the same owner on the same grid
+// overwrite their shard instead of accumulating.
+func ManifestName(owner, grid string) string {
+	if len(grid) > 8 {
+		grid = grid[:8]
+	}
+	return fmt.Sprintf("%s-%s.json", owner, grid)
+}
+
+// EncodeWorkerManifest renders a shard with the exact bytes
+// WriteWorkerManifest persists, for callers publishing through a remote
+// manifest store instead of the local filesystem.
+func EncodeWorkerManifest(m WorkerManifest) ([]byte, error) {
+	if m.Owner == "" || m.Grid == "" || m.Schema == "" {
+		return nil, fmt.Errorf("runner: worker manifest needs owner, grid, and schema")
+	}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("runner: encoding worker manifest: %w", err)
+	}
+	return data, nil
+}
+
 // WriteWorkerManifest atomically writes the shard into <cacheDir>/manifests/
 // as <owner>-<grid[:8]>.json and returns its path.
 func WriteWorkerManifest(cacheDir string, m WorkerManifest) (string, error) {
-	if m.Owner == "" || m.Grid == "" || m.Schema == "" {
-		return "", fmt.Errorf("runner: worker manifest needs owner, grid, and schema")
+	data, err := EncodeWorkerManifest(m)
+	if err != nil {
+		return "", err
 	}
 	dir := manifestDir(cacheDir)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("runner: creating manifest dir: %w", err)
 	}
-	data, err := json.MarshalIndent(m, "", " ")
-	if err != nil {
-		return "", fmt.Errorf("runner: encoding worker manifest: %w", err)
-	}
-	name := fmt.Sprintf("%s-%s.json", m.Owner, m.Grid[:8])
+	name := ManifestName(m.Owner, m.Grid)
 	final := filepath.Join(dir, name)
 	tmp, err := os.CreateTemp(dir, "."+name+".tmp*")
 	if err != nil {

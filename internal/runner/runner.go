@@ -33,6 +33,8 @@ import (
 	"sync"
 	"time"
 
+	"gurita/internal/cachestore"
+	"gurita/internal/cachestore/fsstore"
 	"gurita/internal/lease"
 )
 
@@ -152,7 +154,24 @@ type Options struct {
 	// Workers is the worker-pool size; <= 0 means runtime.NumCPU().
 	Workers int
 	// Cache persists finished trials; nil disables caching.
+	//
+	// Cache is the filesystem-backed convenience form: it is equivalent to
+	// setting Store to an fsstore backend over the same directory. Drivers
+	// that want a different backend (in-memory for tests, a remote guritad
+	// cache over HTTP) set Store instead; when both are set, Store wins.
 	Cache *Cache
+	// Store, when non-nil, persists finished trials through a pluggable
+	// content-addressed backend (fsstore, memstore, httpstore). It subsumes
+	// Cache: the runner only ever talks to this interface, and a configured
+	// Cache is wrapped into one internally.
+	Store cachestore.Store
+	// StoreLeases, when non-nil and combined with Store, turns the campaign
+	// multi-process through the backend's lease primitives — the pluggable
+	// form of Lease, and like Store it wins when both are set. The backend
+	// decides what "multi-process" spans: fsstore coordinates processes
+	// sharing a directory, httpstore coordinates workers on different
+	// machines through one daemon.
+	StoreLeases cachestore.LeaseStore
 	// Force ignores existing cache entries (results are still written back,
 	// overwriting them).
 	Force bool
@@ -218,6 +237,27 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// stores normalizes the two configuration generations onto the interfaces
+// the runner actually executes against: an explicit Store/StoreLeases pair
+// wins; a legacy Cache (and Lease) is wrapped into the filesystem backend.
+// Returns (nil, nil) for an uncached run.
+func (o Options) stores() (cachestore.Store, cachestore.LeaseStore) {
+	store, leases := o.Store, o.StoreLeases
+	if store == nil && o.Cache != nil {
+		fs := fsstore.WrapCacheAndManager(o.Cache, o.Lease)
+		store = fs
+		if leases == nil && o.Lease != nil {
+			leases = fs
+		}
+	}
+	if store == nil {
+		// Leases coordinate duplicate *publishes*; without a store there is
+		// nothing to publish, so a lease layer alone is meaningless.
+		return nil, nil
+	}
+	return store, leases
+}
+
 // hitKind classifies how a trial's result was obtained.
 type hitKind int
 
@@ -252,6 +292,8 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 		return results, stats, ctx.Err()
 	}
 
+	store, leases := opts.stores()
+
 	// Key every spec up front: a spec that cannot be hashed is a programming
 	// error better reported before any work starts. Spec hashes (schema-free)
 	// are computed regardless of caching: the failure manifest records them
@@ -260,8 +302,8 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 	keys := make([]string, len(specs))
 	specHashes := make([]string, len(specs))
 	schema := ""
-	if opts.Cache != nil {
-		schema = opts.Cache.Schema()
+	if store != nil {
+		schema = store.Schema()
 	}
 	for i, s := range specs {
 		h, err := SpecHash(s)
@@ -269,7 +311,7 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 			return nil, stats, err
 		}
 		specHashes[i] = h
-		if opts.Cache != nil {
+		if store != nil {
 			k, err := Key(schema, s)
 			if err != nil {
 				return nil, stats, err
@@ -311,12 +353,12 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 		}
 	}
 
-	// Multi-process lease bookkeeping: the manager may be shared across
+	// Multi-process lease bookkeeping: the lease store may be shared across
 	// concurrent campaigns in one process, so per-campaign reclaim/lost
 	// counts are deltas over its lifetime counters.
-	var leaseBase lease.Stats
-	if opts.Lease != nil {
-		leaseBase = opts.Lease.Stats()
+	var leaseBase cachestore.LeaseStats
+	if leases != nil {
+		leaseBase = leases.LeaseStats()
 	}
 
 	var (
@@ -391,7 +433,7 @@ func Run[S, R any](ctx context.Context, specs []S, exec func(ctx context.Context
 				if ctx.Err() != nil {
 					return
 				}
-				res, hit, attempts, err := runOne(ctx, gateCtx, i, specs[i], keys[i], specHashes[i], exec, opts)
+				res, hit, attempts, err := runOne(ctx, gateCtx, i, specs[i], keys[i], specHashes[i], exec, opts, store, leases)
 				if err != nil {
 					// A drain abandons trials still waiting for admission:
 					// they are skipped, not failed — the resubmission will
@@ -436,15 +478,15 @@ feed:
 	close(indices)
 	wg.Wait()
 
-	if opts.Lease != nil {
-		now := opts.Lease.Stats()
+	if leases != nil {
+		now := leases.LeaseStats()
 		stats.Reclaims = int(now.Reclaimed - leaseBase.Reclaimed)
 		stats.LeaseLost = int(now.Lost - leaseBase.Lost)
 		// Sweep stale leases over this grid's keys: leftovers of workers
 		// that died after publishing but before releasing, and of our own
 		// claims lost to takeover races. Live peers' fresh leases survive.
-		if opts.Cache != nil && !opts.Force {
-			opts.Lease.Sweep(keys)
+		if store != nil && !opts.Force {
+			leases.Sweep(ctx, keys)
 		}
 	}
 
@@ -481,9 +523,9 @@ func isDrainAbort(err error) bool {
 // coalescing (in-process), then lease coordination (cross-process), then
 // gated execution (through the panic-recovering retry ladder) plus
 // write-back on a miss.
-func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, specHash string, exec func(context.Context, S) (R, error), opts Options) (res R, hit hitKind, attempts int, err error) {
-	if opts.Cache != nil && !opts.Force {
-		if raw, ok := opts.Cache.Get(key); ok {
+func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, specHash string, exec func(context.Context, S) (R, error), opts Options, store cachestore.Store, leases cachestore.LeaseStore) (res R, hit hitKind, attempts int, err error) {
+	if store != nil && !opts.Force {
+		if raw, ok := store.Get(ctx, key); ok {
 			if err := json.Unmarshal(raw, &res); err == nil {
 				return res, hitCache, 0, nil
 			}
@@ -504,7 +546,7 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, spec
 		if aerr != nil {
 			return zero, att, fmt.Errorf("runner: trial %s: %w", shortKey(key), aerr)
 		}
-		if opts.Cache != nil {
+		if store != nil {
 			specJSON, merr := json.Marshal(spec)
 			if merr != nil {
 				return zero, att, &infraError{fmt.Errorf("runner: marshaling spec: %w", merr)}
@@ -513,7 +555,7 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, spec
 			if merr != nil {
 				return zero, att, &infraError{fmt.Errorf("runner: marshaling result: %w", merr)}
 			}
-			if perr := opts.Cache.Put(key, specJSON, resultJSON); perr != nil {
+			if perr := store.Put(ctx, key, specJSON, resultJSON); perr != nil {
 				return zero, att, &infraError{perr}
 			}
 		}
@@ -527,9 +569,9 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, spec
 	// was answered by a peer's publish" for hit classification.
 	peerServed := false
 	execute := executeDirect
-	if opts.Lease != nil && opts.Cache != nil && !opts.Force && key != "" {
+	if leases != nil && store != nil && !opts.Force && key != "" {
 		execute = func() (R, int, error) {
-			r, att, served, lerr := runLeased[R](ctx, gateCtx, key, specHash, opts, executeDirect)
+			r, att, served, lerr := runLeased[R](ctx, gateCtx, key, specHash, store, leases, opts, executeDirect)
 			peerServed = served
 			return r, att, lerr
 		}
@@ -565,8 +607,8 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, spec
 		// trial) is presumed gone: re-check the cache it may have populated,
 		// then execute independently — duplicates publish identical bytes.
 		if errors.Is(ferr, ErrFlightStalled) {
-			if opts.Cache != nil && !opts.Force {
-				if raw, ok := opts.Cache.Get(key); ok {
+			if store != nil && !opts.Force {
+				if raw, ok := store.Get(ctx, key); ok {
 					if err := json.Unmarshal(raw, &res); err == nil {
 						return res, hitDedup, 0, nil
 					}
@@ -582,8 +624,8 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, spec
 			}
 			// Result type mismatch across sharers (a driver bug): fall back
 			// to the cache, which the leader just populated.
-			if opts.Cache != nil {
-				if raw, ok := opts.Cache.Get(key); ok {
+			if store != nil {
+				if raw, ok := store.Get(ctx, key); ok {
 					if err := json.Unmarshal(raw, &res); err == nil {
 						return res, hitDedup, 0, nil
 					}
@@ -598,8 +640,8 @@ func runOne[S, R any](ctx, gateCtx context.Context, index int, spec S, key, spec
 		// propagate — a deterministic trial fails the same way everywhere.
 		if ctx.Err() == nil && gateCtx.Err() == nil &&
 			(errors.Is(ferr, context.Canceled) || errors.Is(ferr, context.DeadlineExceeded) || errors.Is(ferr, ErrDrained)) {
-			if opts.Cache != nil && !opts.Force {
-				if raw, ok := opts.Cache.Get(key); ok {
+			if store != nil && !opts.Force {
+				if raw, ok := store.Get(ctx, key); ok {
 					if err := json.Unmarshal(raw, &res); err == nil {
 						return res, hitCache, 0, nil
 					}

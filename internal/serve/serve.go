@@ -46,6 +46,7 @@ import (
 	"gurita/internal/metrics"
 	"gurita/internal/obs"
 	"gurita/internal/runner"
+	"gurita/internal/serve/cachehttp"
 	"gurita/internal/serve/fairq"
 	"gurita/internal/sim"
 )
@@ -105,6 +106,12 @@ type Config struct {
 	// Registry defaults to the server's own, so lease and reclaim counters
 	// surface in /v1/stats. Incompatible with Force.
 	MultiProcess *gurita.MultiProcessOptions
+	// CacheLeaseTTL is the server-authoritative lease TTL for the /v1/cache/
+	// API (remote httpstore workers); <= 0 means the cachehttp default (5s).
+	CacheLeaseTTL time.Duration
+	// CacheLeaseMaxAttempts bounds cross-worker claim attempts per trial on
+	// the /v1/cache/ API before the trial is poisoned; 0 means the default (5).
+	CacheLeaseMaxAttempts int
 }
 
 // Campaign states, in lifecycle order. A campaign is created running and
@@ -212,7 +219,21 @@ func New(cfg Config) (*Server, error) {
 	for _, id := range ids {
 		s.fair.SetTenant(id, cfg.Tenants[id])
 	}
+	// The remote-cache API: any number of httpstore workers on other
+	// machines share this daemon's cache dir over HTTP, with
+	// server-authoritative leases. Mounted unconditionally — the daemon
+	// always hosts a cache dir, and an unused endpoint costs nothing.
+	cache, err := cachehttp.New(cachehttp.Config{
+		Dir:         cfg.CacheDir,
+		TTL:         cfg.CacheLeaseTTL,
+		MaxAttempts: cfg.CacheLeaseMaxAttempts,
+		Counters:    cfg.Registry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: cache API: %w", err)
+	}
 	s.mux = http.NewServeMux()
+	s.mux.Handle("/v1/cache/", cache.Handler())
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
